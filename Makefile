@@ -1,0 +1,32 @@
+# Developer conveniences; the only hard dependency is a Python environment
+# with numpy, pytest, pytest-benchmark and hypothesis installed.
+
+PY ?= python
+
+.PHONY: install test bench experiments examples artifacts clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PY) -m repro.bench.experiments all
+
+artifacts:
+	$(PY) -m repro.cli experiment E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 \
+	    E11 E12 E13 E14 E15 E16 E17 --out-dir results
+
+examples:
+	$(PY) examples/quickstart.py --duration 60
+	$(PY) examples/financial_monitoring.py --duration 60
+	$(PY) examples/sensor_outage.py --duration 120
+	$(PY) examples/latency_budget_leaderboard.py --duration 60
+	$(PY) examples/multi_gateway_operations.py --duration 60
+
+clean:
+	rm -rf .pytest_cache .hypothesis build *.egg-info

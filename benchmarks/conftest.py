@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark runs one experiment from :mod:`repro.bench.experiments` at a
+reduced workload scale (the full-scale tables are produced with
+``python -m repro.bench.experiments all``), times it via pytest-benchmark,
+prints the paper-style table, and asserts the qualitative *shape* the paper
+reports — who wins, monotonicity, crossovers — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import ExperimentResult, render_table
+
+# Workload scale for benchmark runs (fraction of full experiment duration).
+BENCH_SCALE = 0.2
+
+
+def run_and_render(benchmark, experiment, scale: float = BENCH_SCALE) -> ExperimentResult:
+    """Time one experiment end-to-end and print its table."""
+    result = benchmark.pedantic(experiment, kwargs={"scale": scale}, rounds=1, iterations=1)
+    print()
+    print(render_table(result))
+    return result
+
+
+@pytest.fixture
+def bench_scale() -> float:
+    return BENCH_SCALE

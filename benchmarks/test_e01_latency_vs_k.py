@@ -1,0 +1,22 @@
+"""E1: result latency vs slack K — latency grows ~linearly with K."""
+
+from repro.bench.experiments import e01_latency_vs_k
+from repro.bench.report import is_monotone
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e01_latency_vs_k(benchmark):
+    result = run_and_render(benchmark, e01_latency_vs_k)
+    ks = result.column("k")
+    latencies = result.column("mean_latency")
+    buffered = result.column("max_buffered")
+
+    # Latency increases monotonically with K...
+    assert is_monotone(latencies, increasing=True)
+    # ...and approaches K + constant (linear regime for large K).
+    for k, latency in zip(ks, latencies):
+        if k >= 1.0:
+            assert k <= latency <= k + 1.0
+    # Buffer occupancy grows with K as well.
+    assert is_monotone(buffered, increasing=True)

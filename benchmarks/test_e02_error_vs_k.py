@@ -1,0 +1,19 @@
+"""E2: result error vs slack K — error falls monotonically with K."""
+
+from repro.bench.experiments import e02_error_vs_k
+from repro.bench.report import is_monotone
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e02_error_vs_k(benchmark):
+    result = run_and_render(benchmark, e02_error_vs_k)
+    errors = result.column("mean_error")
+    recalls = result.column("recall")
+
+    # Quality improves monotonically with buffering (small noise allowed).
+    assert is_monotone(errors, increasing=False, tolerance=0.1)
+    # The zero-slack end pays a visible error; deep buffering nearly none.
+    assert errors[0] > 5 * errors[-1]
+    # No windows are lost entirely at any K in this workload.
+    assert all(recall > 0.99 for recall in recalls)

@@ -1,0 +1,31 @@
+"""E3: the headline table — AQ-K meets targets at a fraction of the
+conservative baseline's latency."""
+
+from repro.bench.experiments import e03_headline
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e03_headline(benchmark):
+    result = run_and_render(benchmark, e03_headline)
+    rows = {row["policy"]: row for row in result.rows}
+
+    no_buffer = rows["no-buffer"]
+    conservative = rows["mp-k-slack"]
+    aqk_loose = rows["aq-k(theta=0.05)"]
+    aqk_strict = rows["aq-k(theta=0.01)"]
+
+    # The conservative baseline is near-exact but pays worst-case latency.
+    assert conservative["mean_error"] < 0.001
+    assert conservative["mean_latency"] > 5 * aqk_loose["mean_latency"]
+
+    # AQ-K meets its targets.
+    assert aqk_loose["mean_error"] <= 0.05
+    assert aqk_strict["mean_error"] <= 0.015
+
+    # The strict target costs more latency than the loose one.
+    assert aqk_strict["mean_latency"] >= aqk_loose["mean_latency"]
+
+    # No-buffer is fastest; its error exceeds the strict target.
+    assert no_buffer["mean_latency"] <= aqk_loose["mean_latency"]
+    assert no_buffer["mean_error"] > 0.01

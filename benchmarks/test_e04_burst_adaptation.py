@@ -1,0 +1,30 @@
+"""E4: adaptation timeline — slack follows the delay burst up and down."""
+
+import numpy as np
+
+from repro.bench.experiments import e04_burst_adaptation
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e04_burst_adaptation(benchmark):
+    # Needs enough post-burst runway for the delay sample to turn over, so
+    # it runs at a larger scale than the other benchmarks.
+    result = run_and_render(benchmark, e04_burst_adaptation, scale=0.35)
+    rows = result.rows
+    n = len(rows)
+    # The schedule puts the burst in the middle third of the run.
+    calm_before = [r["slack"] for r in rows[1 : n // 3] if r["slack"] is not None]
+    in_burst = [
+        r["slack"] for r in rows[n // 3 + 1 : 2 * n // 3 + 1] if r["slack"] is not None
+    ]
+    calm_after = [r["slack"] for r in rows[-2:] if r["slack"] is not None]
+
+    assert calm_before and in_burst and calm_after
+    # Slack climbs during the burst and decays afterwards.
+    assert np.median(in_burst) > 3 * np.median(calm_before)
+    assert np.median(calm_after) < np.median(in_burst) / 3
+
+    # Quality stays in the target's ballpark even across the regime change.
+    errors = [r["mean_error"] for r in rows if r["mean_error"] is not None]
+    assert np.mean(errors) < 0.1

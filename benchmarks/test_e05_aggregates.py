@@ -1,0 +1,28 @@
+"""E5: per-aggregate error models — all targets met; tuned models buy
+latency over the naive model on non-mass aggregates."""
+
+from repro.bench.experiments import e05_aggregates
+
+from benchmarks.conftest import run_and_render
+
+THETA = 0.05
+
+
+def test_e05_aggregates(benchmark):
+    result = run_and_render(benchmark, e05_aggregates)
+    rows = {row["aggregate"]: row for row in result.rows}
+
+    # Every aggregate meets the quality target under both models.
+    for row in result.rows:
+        assert row["model_error"] <= THETA, row
+        assert row["naive_error"] <= THETA, row
+
+    # For mass aggregates the tuned model IS the naive model: same runs.
+    for name in ("count", "sum", "distinct"):
+        assert rows[name]["model_latency"] == rows[name]["naive_latency"]
+
+    # For mean-like and rank aggregates the tuned model exploits their
+    # error tolerance: equal-or-lower latency than the naive model.
+    for name in ("mean", "median", "p95", "max"):
+        assert rows[name]["model_latency"] <= rows[name]["naive_latency"] * 1.05
+    assert rows["mean"]["model_latency"] < rows["mean"]["naive_latency"]

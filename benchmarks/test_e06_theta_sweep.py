@@ -1,0 +1,19 @@
+"""E6: latency decreases monotonically as the quality target loosens."""
+
+from repro.bench.experiments import e06_theta_sweep
+from repro.bench.report import is_monotone
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e06_theta_sweep(benchmark):
+    result = run_and_render(benchmark, e06_theta_sweep)
+    latencies = result.column("mean_latency")
+    slacks = result.column("final_slack")
+
+    assert is_monotone(latencies, increasing=False, tolerance=0.1)
+    assert is_monotone(slacks, increasing=False, tolerance=0.25)
+
+    # Each run meets its own target on mean error.
+    for row in result.rows:
+        assert row["mean_error"] <= row["theta"] * 1.1, row

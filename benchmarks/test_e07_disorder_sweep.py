@@ -1,0 +1,19 @@
+"""E7: heavier delay tails widen AQ-K's advantage over max-delay buffering."""
+
+from repro.bench.experiments import e07_disorder_sweep
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e07_disorder_sweep(benchmark):
+    result = run_and_render(benchmark, e07_disorder_sweep)
+
+    for row in result.rows:
+        # The quality target is met at every tail weight.
+        assert row["aqk_error"] <= 0.05, row
+        # AQ-K always beats the conservative baseline on latency.
+        assert row["aqk_latency"] < row["mpk_latency"], row
+
+    # The saving is large in the heavy-tail regime (the paper's sweet spot).
+    heaviest = result.rows[-1]
+    assert heaviest["latency_saving"] > 5.0

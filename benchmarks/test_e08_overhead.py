@@ -1,0 +1,17 @@
+"""E8: estimation/adaptation overhead is a modest constant factor."""
+
+from repro.bench.experiments import e08_overhead
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e08_overhead(benchmark):
+    result = run_and_render(benchmark, e08_overhead)
+    rows = {row["policy"]: row for row in result.rows}
+
+    # Adaptive machinery costs at most ~2.5x the zero-overhead baseline
+    # (wall-clock on the Python simulator; the paper's claim is "small
+    # constant factor").
+    assert rows["aq-k"]["relative_throughput"] > 0.4
+    # Plain K-slack buffering costs less than adaptation.
+    assert rows["k-slack"]["relative_throughput"] >= rows["aq-k"]["relative_throughput"] * 0.9

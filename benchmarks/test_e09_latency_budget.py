@@ -1,0 +1,19 @@
+"""E9: latency-budget mode respects its bound; quality improves with budget."""
+
+from repro.bench.experiments import e09_latency_budget
+from repro.bench.report import is_monotone
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e09_latency_budget(benchmark):
+    result = run_and_render(benchmark, e09_latency_budget)
+
+    for row in result.rows:
+        # The slack never exceeds the budget.
+        assert row["final_slack"] <= row["budget"] + 1e-9, row
+
+    # Larger budgets buy strictly better (or equal) quality.
+    errors = result.column("mean_error")
+    assert is_monotone(errors, increasing=False, tolerance=0.1)
+    assert errors[-1] < errors[0]

@@ -1,0 +1,19 @@
+"""E10: window/slide sensitivity — long windows absorb lateness; short
+windows are the hard case."""
+
+from repro.bench.experiments import e10_window_sweep
+from repro.bench.report import is_monotone
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e10_window_sweep(benchmark):
+    result = run_and_render(benchmark, e10_window_sweep)
+
+    # Error shrinks as windows grow (late mass is a smaller fraction).
+    errors = result.column("mean_error")
+    assert is_monotone(errors, increasing=False, tolerance=0.15)
+
+    # The largest window is near-exact; the smallest is the hard case.
+    assert errors[-1] < 0.01
+    assert errors[0] > errors[-1]

@@ -1,0 +1,27 @@
+"""E11: one shared buffer serves all queries at per-query quality, using
+less memory than private buffers."""
+
+import re
+
+from repro.bench.experiments import e11_multiquery
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e11_multiquery(benchmark):
+    result = run_and_render(benchmark, e11_multiquery)
+
+    for row in result.rows:
+        # Shared execution matches the private run's quality...
+        assert row["shared_error"] <= row["theta"] * 1.2, row
+        # ...and its latency (within noise).
+        assert row["shared_latency"] <= row["private_latency"] * 1.25, row
+
+    # Strict queries wait longer than loose ones under the shared buffer.
+    latencies = [row["shared_latency"] for row in result.rows]  # theta ascending
+    assert latencies[0] >= latencies[-1]
+
+    # Memory: the shared buffer's peak is below the sum of private peaks.
+    note = [n for n in result.notes if n.startswith("peak buffered")][0]
+    shared, private = map(int, re.findall(r"=(\d+)", note))
+    assert shared < private

@@ -1,0 +1,16 @@
+"""E12: domain workloads end-to-end — targets met on all three domains."""
+
+from repro.bench.experiments import e12_workloads
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e12_workloads(benchmark):
+    result = run_and_render(benchmark, e12_workloads)
+    assert len(result.rows) == 3
+
+    for row in result.rows:
+        # The quality target is met on every domain.
+        assert row["aqk_error"] <= 0.05, row
+        # AQ-K is never worse on quality than the eager baseline.
+        assert row["aqk_error"] <= row["nobuf_error"] * 1.05, row

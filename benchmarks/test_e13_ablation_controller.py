@@ -1,0 +1,23 @@
+"""E13: controller ablation — the estimator carries burst response; pure
+feedback alone badly violates the target."""
+
+from repro.bench.experiments import e13_ablation_controller
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e13_ablation_controller(benchmark):
+    result = run_and_render(benchmark, e13_ablation_controller)
+    rows = {row["controller"]: row for row in result.rows}
+
+    # Pure feedback (no estimator) reacts too slowly to the burst: it
+    # violates the target while every estimator-based variant holds it.
+    assert rows["feedback-only"]["mean_error"] > 0.05
+    for name in ("estimator-only", "estimator+pi", "estimator+aimd"):
+        assert rows[name]["mean_error"] <= 0.05, name
+
+    # Feedback on top of the estimator buys latency over estimator-only.
+    assert (
+        rows["estimator+pi"]["mean_latency"]
+        <= rows["estimator-only"]["mean_latency"] * 1.05
+    )

@@ -1,0 +1,18 @@
+"""E14: sampler ablation — recency-biased sampling recovers after the
+burst; the uniform reservoir over-buffers indefinitely."""
+
+from repro.bench.experiments import e14_ablation_sampling
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e14_ablation_sampling(benchmark):
+    # Needs enough post-burst runway for the sliding sample to recover, so
+    # it runs at a larger scale than the other benchmarks.
+    result = run_and_render(benchmark, e14_ablation_sampling, scale=0.35)
+    rows = {row["sampler"]: row for row in result.rows}
+
+    # After the burst ends, the sliding sampler's slack returns near the
+    # calm level while the reservoir remains inflated by stale burst
+    # delays.
+    assert rows["sliding"]["final_slack"] < rows["reservoir"]["final_slack"] / 2

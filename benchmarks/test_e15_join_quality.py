@@ -1,0 +1,31 @@
+"""E15: quality-driven joins meet recall targets far below worst-case slack."""
+
+from repro.bench.experiments import e15_join_quality
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e15_join_quality(benchmark):
+    result = run_and_render(benchmark, e15_join_quality, scale=0.3)
+    rows = {row["policy"]: row for row in result.rows}
+
+    # Joins are much more disorder-sensitive than window aggregates: the
+    # eager baseline loses a large share of pairs.
+    assert rows["no-buffer"]["pair_recall"] < 0.8
+
+    # The quality-driven join meets its recall target (small tolerance for
+    # the cold-start transient of a short run)...
+    assert rows["quality(loss<=0.05)"]["pair_recall"] >= 0.93
+    assert rows["quality(loss<=0.01)"]["pair_recall"] >= 0.97
+
+    # ...at far less slack than conservative max-delay buffering.
+    assert (
+        rows["quality(loss<=0.05)"]["final_slack"]
+        < rows["mp-k-slack"]["final_slack"] / 4
+    )
+
+    # Stricter targets cost more slack.
+    assert (
+        rows["quality(loss<=0.01)"]["final_slack"]
+        >= rows["quality(loss<=0.05)"]["final_slack"]
+    )

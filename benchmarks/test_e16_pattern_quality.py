@@ -1,0 +1,34 @@
+"""E16: sequence patterns are the most disorder-sensitive query shape."""
+
+from repro.bench.experiments import e16_pattern_quality
+from repro.bench.report import is_monotone
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e16_pattern_quality(benchmark):
+    result = run_and_render(benchmark, e16_pattern_quality, scale=0.3)
+    rows = {row["policy"]: row for row in result.rows}
+
+    # Recall improves monotonically with slack across the quantile ladder.
+    ladder = ["no-buffer", "k-slack(p50)", "k-slack(p95)", "k-slack(p99)", "mp-k-slack"]
+    recalls = [rows[name]["match_recall"] for name in ladder]
+    assert is_monotone(recalls, increasing=True, tolerance=0.02)
+
+    # Patterns lose far more than window aggregates at zero slack (window
+    # count error on the same delay mix is ~2%; pattern loss is ~20%)...
+    assert rows["no-buffer"]["match_recall"] < 0.85
+    # ...and the conservative policy recovers nearly everything.
+    assert rows["mp-k-slack"]["match_recall"] > 0.99
+
+    # Latency follows slack.
+    latencies = [rows[name]["mean_match_latency"] for name in ladder]
+    assert is_monotone(latencies, increasing=True, tolerance=0.05)
+
+    # The quality-driven pattern meets its recall targets below the
+    # conservative policy's slack.
+    assert rows["quality(loss<=0.05)"]["match_recall"] >= 0.93
+    assert rows["quality(loss<=0.01)"]["match_recall"] >= 0.97
+    assert (
+        rows["quality(loss<=0.05)"]["slack"] < rows["mp-k-slack"]["slack"] / 4
+    )

@@ -1,0 +1,183 @@
+"""Micro-benchmarks of the engine's hot paths.
+
+Unlike the experiment benchmarks (which time whole evaluation runs and
+check result shapes), these time individual components with
+pytest-benchmark's statistics so regressions in the per-element hot path
+are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aqk import AQKSlackHandler
+from repro.core.sampling import P2DelayBank, SlidingDelaySample
+from repro.core.spec import QualityTarget
+from repro.engine.aggregates import MeanAggregate, make_aggregate
+from repro.engine.buffer import SortingBuffer
+from repro.engine.handlers import KSlackHandler
+from repro.engine.sketches import HyperLogLog, P2Quantile
+from repro.engine.windows import SlidingWindowAssigner
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.element import StreamElement
+from repro.streams.generators import generate_stream
+
+N = 5000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(3)
+    return inject_disorder(
+        generate_stream(duration=N / 100, rate=100, rng=rng),
+        ExponentialDelay(0.3),
+        rng,
+    )
+
+
+def test_sorting_buffer_push_release(benchmark, stream):
+    def run():
+        buffer = SortingBuffer()
+        released = 0
+        for i, element in enumerate(stream):
+            buffer.push(element)
+            if i % 10 == 0:
+                released += len(buffer.release_until(element.event_time - 0.5))
+        return released
+
+    assert benchmark(run) > 0
+
+
+def test_kslack_offer(benchmark, stream):
+    def run():
+        handler = KSlackHandler(0.5)
+        released = 0
+        for element in stream:
+            released += len(handler.offer(element))
+        return released
+
+    assert benchmark(run) > 0
+
+
+def test_aqk_offer(benchmark, stream):
+    def run():
+        handler = AQKSlackHandler(
+            target=QualityTarget(0.05), aggregate=make_aggregate("count")
+        )
+        released = 0
+        for element in stream:
+            released += len(handler.offer(element))
+        return released
+
+    assert benchmark(run) > 0
+
+
+def test_window_assignment(benchmark):
+    assigner = SlidingWindowAssigner(size=10, slide=2)
+
+    def run():
+        total = 0
+        for i in range(N):
+            total += len(assigner.assign(i * 0.01))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_mean_aggregate_fold(benchmark):
+    aggregate = MeanAggregate()
+    values = list(np.random.default_rng(0).random(N))
+
+    def run():
+        accumulator = aggregate.create()
+        for value in values:
+            aggregate.add(accumulator, value)
+        return aggregate.result(accumulator)
+
+    assert benchmark(run) >= 0
+
+
+def test_p2_quantile_observe(benchmark):
+    values = list(np.random.default_rng(0).exponential(1.0, N))
+
+    def run():
+        sketch = P2Quantile(0.95)
+        for value in values:
+            sketch.observe(value)
+        return sketch.value()
+
+    assert benchmark(run) > 0
+
+
+def test_sliding_delay_sample_quantile(benchmark):
+    values = list(np.random.default_rng(0).exponential(1.0, N))
+
+    def run():
+        sample = SlidingDelaySample(capacity=2000)
+        total = 0.0
+        for i, value in enumerate(values):
+            sample.observe(value)
+            if i % 100 == 0:
+                total += sample.quantile(0.95)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_p2_delay_bank_quantile(benchmark):
+    values = list(np.random.default_rng(0).exponential(1.0, N))
+
+    def run():
+        bank = P2DelayBank()
+        total = 0.0
+        for i, value in enumerate(values):
+            bank.observe(value)
+            if i % 100 == 0:
+                total += bank.quantile(0.95)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_hyperloglog_add(benchmark):
+    def run():
+        sketch = HyperLogLog(precision=12)
+        for i in range(N):
+            sketch.add(i % 1000)
+        return sketch.estimate()
+
+    assert benchmark(run) > 0
+
+
+def test_naive_window_operator_throughput(benchmark, stream):
+    from repro.engine.aggregate_op import WindowAggregateOperator
+    from repro.engine.pipeline import run_pipeline
+    from repro.engine.windows import SlidingWindowAssigner
+
+    def run():
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(10, 1),
+            MeanAggregate(),
+            KSlackHandler(0.5),
+            track_feedback=False,
+        )
+        return len(run_pipeline(stream, operator).results)
+
+    assert benchmark(run) > 0
+
+
+def test_sliced_window_operator_throughput(benchmark, stream):
+    from repro.engine.pipeline import run_pipeline
+    from repro.engine.sliced_op import SlicedWindowAggregateOperator
+    from repro.engine.windows import SlidingWindowAssigner
+
+    def run():
+        operator = SlicedWindowAggregateOperator(
+            SlidingWindowAssigner(10, 1),
+            MeanAggregate(),
+            KSlackHandler(0.5),
+            track_feedback=False,
+        )
+        return len(run_pipeline(stream, operator).results)
+
+    assert benchmark(run) > 0

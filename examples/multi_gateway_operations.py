@@ -1,0 +1,129 @@
+"""Operating a query over multiple gateways, with checkpointed restart.
+
+A fleet of sensors reports through three gateways with different network
+paths (one is slow and occasionally silent).  This example shows the
+operational machinery a production deployment needs around the core
+operator:
+
+* merging per-gateway streams into one arrival-ordered input,
+* the multi-source frontier (min over gateways, idle-gateway timeout),
+* checkpointing the running operator and resuming it without losing
+  window state — the resumed run finishes with results identical to an
+  uninterrupted one.
+
+Run:  python examples/multi_gateway_operations.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import (
+    CountAggregate,
+    MultiSourceWatermarkHandler,
+    WindowAggregateOperator,
+    load_checkpoint,
+    save_checkpoint,
+    tumbling,
+)
+from repro.streams import (
+    ConstantDelay,
+    ExponentialDelay,
+    ShiftedDelay,
+    StreamElement,
+    generate_stream,
+    inject_disorder,
+    merge_streams,
+)
+
+
+def gateway_stream(rng, gateway, duration, delay_model):
+    base = generate_stream(duration=duration, rate=40, rng=rng)
+    tagged = [
+        StreamElement(event_time=el.event_time, value=el.value, key=gateway, seq=el.seq)
+        for el in base
+    ]
+    return inject_disorder(tagged, delay_model, rng)
+
+
+def gateway_of(element: StreamElement) -> object:
+    # Module-level (not a lambda) so the operator stays checkpointable.
+    return element.key
+
+
+def build_operator():
+    handler = MultiSourceWatermarkHandler(
+        source_of=gateway_of,
+        idle_timeout=10.0,
+        expected_sources={"gw-east", "gw-west", "gw-sat"},
+    )
+    return WindowAggregateOperator(tumbling(5.0), CountAggregate(), handler)
+
+
+def main(duration: float = 120.0) -> None:
+    rng = np.random.default_rng(5)
+    streams = [
+        gateway_stream(rng, "gw-east", duration, ConstantDelay(0.05)),
+        gateway_stream(rng, "gw-west", duration, ExponentialDelay(0.3)),
+        gateway_stream(
+            rng, "gw-sat", duration, ShiftedDelay(1.5, ExponentialDelay(0.5))
+        ),
+    ]
+    merged = merge_streams(streams)
+    print(
+        f"merged {len(merged)} readings from 3 gateways "
+        f"({', '.join(sorted({e.key for e in merged}))})\n"
+    )
+
+    # --- uninterrupted reference run -------------------------------- #
+    reference_op = build_operator()
+    reference = []
+    for element in merged:
+        reference.extend(reference_op.process(element))
+    reference.extend(reference_op.finish())
+
+    # --- checkpointed run: process half, restart, resume ------------- #
+    half = len(merged) // 2
+    operator = build_operator()
+    results = []
+    for element in merged[:half]:
+        results.extend(operator.process(element))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "query.ckpt"
+        n_bytes = save_checkpoint(operator, path)
+        print(f"checkpointed after {half} elements "
+              f"({n_bytes} bytes, {len(results)} windows already emitted)")
+        del operator  # "process restart"
+        resumed = load_checkpoint(path)
+
+    for element in merged[half:]:
+        results.extend(resumed.process(element))
+    results.extend(resumed.finish())
+
+    identical = [
+        (a.key, a.window, a.value) == (b.key, b.window, b.value)
+        for a, b in zip(results, reference)
+    ]
+    print(f"resumed run emitted {len(results)} windows; "
+          f"reference emitted {len(reference)}")
+    print(f"results identical to uninterrupted run: "
+          f"{all(identical) and len(results) == len(reference)}")
+
+    handler = resumed.handler
+    print(f"\nmulti-source frontier: min over {handler.source_count()} gateways"
+          f" (idle right now: {handler.idle_sources() or 'none'})")
+    slowest = max(r.latency for r in reference if not r.flushed)
+    print(f"worst window latency (pinned by the satellite gateway): "
+          f"{slowest:.2f}s")
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=None,
+                        help="event-time span in seconds")
+    args = parser.parse_args()
+    main(**({} if args.duration is None else {"duration": args.duration}))

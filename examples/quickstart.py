@@ -1,0 +1,77 @@
+"""Quickstart: quality-driven query execution in ~40 lines.
+
+Generates an out-of-order stream, runs the same sliding-window count query
+under four disorder-handling policies, and prints the latency/quality
+tradeoff — the paper's core comparison — as a small table.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ContinuousQuery, sliding
+from repro.streams import (
+    ExponentialDelay,
+    MixtureDelay,
+    ParetoDelay,
+    generate_stream,
+    inject_disorder,
+    measure_disorder,
+)
+
+
+def main(duration: float = 240.0) -> None:
+    rng = np.random.default_rng(42)
+
+    # A 4-minute stream at 100 events/s whose delays mix a fast path with a
+    # heavy Pareto tail -- the regime where buffering policy matters most.
+    delays = MixtureDelay(
+        [(0.9, ExponentialDelay(0.2)), (0.1, ParetoDelay(shape=1.8, scale=1.0))]
+    )
+    stream = inject_disorder(
+        generate_stream(duration=duration, rate=100, rng=rng), delays, rng
+    )
+    stats = measure_disorder(stream)
+    print(
+        f"stream: {stats.n_elements} elements, "
+        f"{stats.out_of_order_fraction:.0%} out of order, "
+        f"max delay {stats.max_delay:.1f}s\n"
+    )
+
+    def query():
+        return (
+            ContinuousQuery()
+            .from_elements(stream)
+            .window(sliding(10, 2))
+            .aggregate("count")
+        )
+
+    runs = {
+        "no buffering (fast, wrong)": query().without_buffering(),
+        "max-delay buffering (exact, slow)": query().with_max_delay_slack(),
+        "quality-driven, error <= 5%": query().with_quality(0.05),
+        "quality-driven, error <= 1%": query().with_quality(0.01),
+    }
+
+    print(f"{'policy':<36} {'mean error':>10} {'mean latency':>13}")
+    for label, built in runs.items():
+        run = built.run(assess=True, threshold=0.05)
+        print(
+            f"{label:<36} {run.report.mean_error:>9.4f} "
+            f"{run.latency.mean:>12.2f}s"
+        )
+
+    print(
+        "\nThe quality-driven runs meet their error targets at a fraction of"
+        "\nthe conservative baseline's latency -- the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=None,
+                        help="event-time span in seconds")
+    args = parser.parse_args()
+    main(**({} if args.duration is None else {"duration": args.duration}))

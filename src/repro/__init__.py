@@ -1,0 +1,63 @@
+"""repro — Quality-Driven Continuous Query Execution over Out-of-Order Data Streams.
+
+A from-scratch Python reproduction of the SIGMOD 2015 system: a continuous
+query engine with pluggable disorder handling, whose centerpiece is the
+adaptive quality-driven K-slack operator (:class:`~repro.core.aqk.AQKSlackHandler`)
+that meets a user-specified result-quality target at minimal latency.
+
+Quickstart::
+
+    import numpy as np
+    from repro import ContinuousQuery, sliding
+    from repro.streams import generate_stream, inject_disorder, ExponentialDelay
+
+    rng = np.random.default_rng(42)
+    stream = inject_disorder(
+        generate_stream(duration=120, rate=100, rng=rng),
+        ExponentialDelay(0.5),
+        rng,
+    )
+    run = (
+        ContinuousQuery()
+        .from_elements(stream)
+        .window(sliding(10, 2))
+        .aggregate("mean")
+        .with_quality(0.05)
+        .run(assess=True)
+    )
+    print(run.report.mean_error, run.latency.mean)
+"""
+
+from repro.core.aqk import AQKSlackHandler
+from repro.core.quality import QualityReport, assess_quality
+from repro.core.spec import LatencyBudget, QualityTarget
+from repro.engine.aggregates import make_aggregate
+from repro.engine.handlers import KSlackHandler, MPKSlackHandler, NoBufferHandler
+from repro.engine.operator import WindowResult
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import Window, sliding, tumbling
+from repro.queries.language import ContinuousQuery, QueryRun
+from repro.queries.sql import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AQKSlackHandler",
+    "ContinuousQuery",
+    "KSlackHandler",
+    "LatencyBudget",
+    "MPKSlackHandler",
+    "NoBufferHandler",
+    "QualityReport",
+    "QualityTarget",
+    "QueryRun",
+    "Window",
+    "WindowResult",
+    "__version__",
+    "assess_quality",
+    "make_aggregate",
+    "parse_query",
+    "run_pipeline",
+    "sliding",
+    "tumbling",
+]

@@ -1,0 +1,1037 @@
+"""The reconstructed evaluation suite: one function per table/figure.
+
+Each ``eNN_*`` function reproduces the corresponding experiment from
+DESIGN.md and returns an :class:`~repro.bench.report.ExperimentResult`
+holding the same rows/series the paper-style table or figure would show.
+``scale`` shrinks the workload duration so the pytest-benchmark targets
+stay fast; running this module as a script executes experiments at full
+scale::
+
+    python -m repro.bench.experiments E3 E6
+    python -m repro.bench.experiments all --scale 0.5
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.bench.harness import (
+    PolicyRun,
+    WorkloadSpec,
+    default_delay_model,
+    make_policy,
+    run_policy,
+    standard_query,
+    workload_summary,
+)
+from repro.bench.report import ExperimentResult, render_table
+from repro.core.aqk import AQKSlackHandler
+from repro.core.controller import (
+    AIMDController,
+    NoFeedbackController,
+    PIController,
+    PureFeedbackController,
+)
+from repro.core.estimators import NaiveModel
+from repro.core.quality import assess_quality, error_timeline
+from repro.core.sampling import ReservoirSample, SlidingDelaySample
+from repro.core.shared import SharedAQKBuffer, run_shared
+from repro.core.spec import QualityTarget
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import make_aggregate
+from repro.engine.oracle import oracle_results
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import SlidingWindowAssigner
+from repro.errors import ExperimentError
+from repro.streams.delay import BurstyDelay, ExponentialDelay, MixtureDelay, ParetoDelay
+from repro.streams.disorder import measure_disorder
+from repro.workloads.financial import financial_ticks
+from repro.workloads.sensors import sensor_readings
+from repro.workloads.soccer import soccer_positions
+
+THETA_DEFAULT = 0.05
+
+
+# --------------------------------------------------------------------- #
+# E1 / E2: the static tradeoff curves
+
+
+def e01_latency_vs_k(scale: float = 1.0) -> ExperimentResult:
+    """Figure E1: result latency grows with the slack K."""
+    stream = WorkloadSpec().scaled(scale).build()
+    assigner = standard_query()
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Result latency vs slack K (fixed K-slack, sliding 10s/2s, mean)",
+        columns=["k", "mean_latency", "p95_latency", "max_buffered"],
+        notes=[workload_summary(stream)],
+    )
+    for k in (0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+        run = run_policy(
+            stream, assigner, "mean", make_policy("k-slack", make_aggregate("mean"), 10.0, k=k)
+        )
+        result.add_row(
+            k=k,
+            mean_latency=run.latency.mean,
+            p95_latency=run.latency.p95,
+            max_buffered=run.max_buffered,
+        )
+    return result
+
+
+def e02_error_vs_k(scale: float = 1.0) -> ExperimentResult:
+    """Figure E2: result error falls with the slack K (quality side)."""
+    stream = WorkloadSpec().scaled(scale).build()
+    assigner = standard_query()
+    aggregate = make_aggregate("count")
+    oracle = oracle_results(stream, assigner, aggregate)
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="Result error vs slack K (fixed K-slack, sliding 10s/2s, count)",
+        columns=["k", "mean_error", "p95_error", "violation_fraction", "recall"],
+        notes=[workload_summary(stream), f"violations at theta={THETA_DEFAULT}"],
+    )
+    for k in (0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+        run = run_policy(
+            stream,
+            assigner,
+            make_aggregate("count"),
+            make_policy("k-slack", aggregate, 10.0, k=k),
+            threshold=THETA_DEFAULT,
+            oracle=oracle,
+        )
+        result.add_row(
+            k=k,
+            mean_error=run.report.mean_error,
+            p95_error=run.report.p95_error,
+            violation_fraction=run.report.violation_fraction,
+            recall=run.report.window_recall,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E3: headline comparison
+
+
+def e03_headline(scale: float = 1.0) -> ExperimentResult:
+    """Table E3: AQ-K vs baselines at equal quality targets."""
+    stream = WorkloadSpec().scaled(scale).build()
+    assigner = standard_query()
+    aggregate = make_aggregate("count")
+    oracle = oracle_results(stream, assigner, aggregate)
+    stats = measure_disorder(stream)
+
+    policies = [
+        ("no-buffer", {}),
+        ("watermark-heuristic", {"delay_quantile": 0.95}),
+        ("k-slack", {"k": stats.p95_delay}),
+        ("mp-k-slack", {}),
+        ("aq-k", {"theta": 0.05}),
+        ("aq-k", {"theta": 0.01}),
+    ]
+    result = ExperimentResult(
+        experiment_id="E3",
+        title="Headline: policies at quality targets (count, sliding 10s/2s)",
+        columns=[
+            "policy",
+            "target",
+            "mean_error",
+            "violation_fraction",
+            "mean_latency",
+            "p95_latency",
+            "final_slack",
+            "max_buffered",
+        ],
+        notes=[workload_summary(stream)],
+    )
+    for name, params in policies:
+        theta = params.get("theta", THETA_DEFAULT)
+        label = name if "theta" not in params else f"{name}(theta={params['theta']})"
+        run = run_policy(
+            stream,
+            assigner,
+            make_aggregate("count"),
+            make_policy(name, aggregate, 10.0, **dict(params)),
+            threshold=theta,
+            oracle=oracle,
+            name=label,
+        )
+        result.add_row(
+            policy=label,
+            target=theta if name == "aq-k" else None,
+            mean_error=run.report.mean_error,
+            violation_fraction=run.report.violation_fraction,
+            mean_latency=run.latency.mean,
+            p95_latency=run.latency.p95,
+            final_slack=run.final_slack,
+            max_buffered=run.max_buffered,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E4: adaptation under a delay burst
+
+
+def burst_workload(scale: float = 1.0, seed: int = 42) -> WorkloadSpec:
+    """Calm -> burst -> calm delay workload used by E4/E13/E14."""
+    duration = 300.0 * scale
+    return WorkloadSpec(
+        duration=duration,
+        rate=100.0,
+        seed=seed,
+        delay_model=BurstyDelay(
+            calm=ExponentialDelay(0.1),
+            burst=ExponentialDelay(3.0),
+            burst_start=duration / 3,
+            burst_end=2 * duration / 3,
+        ),
+    )
+
+
+def e04_burst_adaptation(scale: float = 1.0) -> ExperimentResult:
+    """Figure E4: K(t), error(t), latency(t) across a delay burst."""
+    spec = burst_workload(scale)
+    stream = spec.build()
+    assigner = standard_query()
+    aggregate = make_aggregate("count")
+    oracle = oracle_results(stream, assigner, aggregate)
+    handler = make_policy("aq-k", aggregate, 10.0, theta=THETA_DEFAULT)
+    run = run_policy(
+        stream,
+        assigner,
+        make_aggregate("count"),
+        handler,
+        threshold=THETA_DEFAULT,
+        oracle=oracle,
+        keep_scores=True,
+    )
+    bucket = spec.duration / 10
+    error_buckets = dict(error_timeline(run.report, bucket))
+    latency_buckets: dict[int, list[float]] = {}
+    for score in run.report.scores:
+        if not np.isnan(score.latency):
+            latency_buckets.setdefault(int(score.window.end // bucket), []).append(
+                score.latency
+            )
+    slack_buckets: dict[int, list[float]] = {}
+    for record in handler.adaptations:
+        slack_buckets.setdefault(int(record.arrival_time // bucket), []).append(
+            record.k_applied
+        )
+
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="Adaptation timeline across a delay burst (AQ-K, theta=0.05)",
+        columns=["t", "slack", "mean_error", "mean_latency"],
+        notes=[
+            workload_summary(stream),
+            f"burst in [{spec.delay_model.burst_start:g}, "
+            f"{spec.delay_model.burst_end:g})s",
+        ],
+    )
+    for index in range(10):
+        t = index * bucket
+        slacks = slack_buckets.get(index, [])
+        latencies = latency_buckets.get(index, [])
+        result.add_row(
+            t=t,
+            slack=float(np.median(slacks)) if slacks else None,
+            mean_error=error_buckets.get(t),
+            mean_latency=float(np.mean(latencies)) if latencies else None,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E5: per-aggregate error models vs the naive model
+
+
+def e05_aggregates(scale: float = 1.0) -> ExperimentResult:
+    """Table E5: error-model fidelity across aggregate functions."""
+    stream = WorkloadSpec().scaled(scale).build()
+    assigner = standard_query()
+    result = ExperimentResult(
+        experiment_id="E5",
+        title="Aggregates under AQ-K (theta=0.05): tuned vs naive error model",
+        columns=[
+            "aggregate",
+            "model_error",
+            "model_latency",
+            "naive_error",
+            "naive_latency",
+        ],
+        notes=[workload_summary(stream), "naive model: error = late fraction"],
+    )
+    for name in ("count", "sum", "mean", "max", "median", "p95", "distinct"):
+        aggregate = make_aggregate(name)
+        oracle = oracle_results(stream, assigner, aggregate)
+        tuned = run_policy(
+            stream,
+            assigner,
+            make_aggregate(name),
+            AQKSlackHandler(
+                target=QualityTarget(THETA_DEFAULT),
+                aggregate=aggregate,
+                window_size=10.0,
+            ),
+            threshold=THETA_DEFAULT,
+            oracle=oracle,
+        )
+        naive = run_policy(
+            stream,
+            assigner,
+            make_aggregate(name),
+            AQKSlackHandler(
+                target=QualityTarget(THETA_DEFAULT),
+                aggregate=NaiveModel(),
+                window_size=10.0,
+            ),
+            threshold=THETA_DEFAULT,
+            oracle=oracle,
+        )
+        result.add_row(
+            aggregate=name,
+            model_error=tuned.report.mean_error,
+            model_latency=tuned.latency.mean,
+            naive_error=naive.report.mean_error,
+            naive_latency=naive.latency.mean,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E6: quality-target sweep
+
+
+def e06_theta_sweep(scale: float = 1.0) -> ExperimentResult:
+    """Figure E6: achieved latency as the quality target loosens."""
+    stream = WorkloadSpec().scaled(scale).build()
+    assigner = standard_query()
+    aggregate = make_aggregate("count")
+    oracle = oracle_results(stream, assigner, aggregate)
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="Quality-target sweep (AQ-K, count, sliding 10s/2s)",
+        columns=["theta", "mean_error", "violation_fraction", "mean_latency", "final_slack"],
+        notes=[workload_summary(stream)],
+    )
+    for theta in (0.005, 0.01, 0.02, 0.05, 0.1, 0.2):
+        run = run_policy(
+            stream,
+            assigner,
+            make_aggregate("count"),
+            make_policy("aq-k", aggregate, 10.0, theta=theta),
+            threshold=theta,
+            oracle=oracle,
+        )
+        result.add_row(
+            theta=theta,
+            mean_error=run.report.mean_error,
+            violation_fraction=run.report.violation_fraction,
+            mean_latency=run.latency.mean,
+            final_slack=run.final_slack,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E7: disorder-intensity sweep
+
+
+def e07_disorder_sweep(scale: float = 1.0) -> ExperimentResult:
+    """Figure E7: AQ-K vs conservative baseline as tails get heavier."""
+    assigner = standard_query()
+    aggregate = make_aggregate("count")
+    result = ExperimentResult(
+        experiment_id="E7",
+        title="Disorder-intensity sweep: Pareto tail shape (smaller = heavier)",
+        columns=[
+            "shape",
+            "ooo_fraction",
+            "aqk_error",
+            "aqk_latency",
+            "mpk_latency",
+            "latency_saving",
+        ],
+        notes=["10% of delays Pareto(shape, scale=1); 90% exp(0.2)"],
+    )
+    for shape in (3.0, 2.2, 1.8, 1.4, 1.1):
+        spec = WorkloadSpec(
+            delay_model=MixtureDelay(
+                [
+                    (0.9, ExponentialDelay(0.2)),
+                    (0.1, ParetoDelay(shape=shape, scale=1.0)),
+                ]
+            )
+        ).scaled(scale)
+        stream = spec.build()
+        oracle = oracle_results(stream, assigner, aggregate)
+        stats = measure_disorder(stream)
+        aqk = run_policy(
+            stream,
+            assigner,
+            make_aggregate("count"),
+            make_policy("aq-k", aggregate, 10.0, theta=THETA_DEFAULT),
+            threshold=THETA_DEFAULT,
+            oracle=oracle,
+        )
+        mpk = run_policy(
+            stream,
+            assigner,
+            make_aggregate("count"),
+            make_policy("mp-k-slack", aggregate, 10.0),
+            threshold=THETA_DEFAULT,
+            oracle=oracle,
+        )
+        saving = (
+            mpk.latency.mean / aqk.latency.mean if aqk.latency.mean > 0 else float("nan")
+        )
+        result.add_row(
+            shape=shape,
+            ooo_fraction=stats.out_of_order_fraction,
+            aqk_error=aqk.report.mean_error,
+            aqk_latency=aqk.latency.mean,
+            mpk_latency=mpk.latency.mean,
+            latency_saving=saving,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E8: runtime overhead of adaptation
+
+
+def e08_overhead(scale: float = 1.0) -> ExperimentResult:
+    """Table E8: throughput cost of estimation + adaptation."""
+    stream = WorkloadSpec().scaled(scale).build()
+    assigner = standard_query()
+    aggregate = make_aggregate("count")
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="Processing overhead (single-threaded simulated engine)",
+        columns=["policy", "wall_time_s", "throughput_eps", "relative_throughput"],
+        notes=[
+            workload_summary(stream),
+            "absolute numbers are Python-simulator artifacts; ratios transfer",
+        ],
+    )
+    baseline_eps = None
+    for name, params in [
+        ("no-buffer", {}),
+        ("k-slack", {"k": 1.0}),
+        ("aq-k", {"theta": THETA_DEFAULT}),
+    ]:
+        run = run_policy(
+            stream,
+            assigner,
+            make_aggregate("count"),
+            make_policy(name, aggregate, 10.0, **dict(params)),
+        )
+        eps = run.output.metrics.throughput_eps
+        if baseline_eps is None:
+            baseline_eps = eps
+        result.add_row(
+            policy=name,
+            wall_time_s=run.output.metrics.wall_time_s,
+            throughput_eps=eps,
+            relative_throughput=eps / baseline_eps,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E9: latency-budget mode
+
+
+def e09_latency_budget(scale: float = 1.0) -> ExperimentResult:
+    """Table E9: quality maximized under a latency budget."""
+    stream = WorkloadSpec().scaled(scale).build()
+    assigner = standard_query()
+    aggregate = make_aggregate("count")
+    oracle = oracle_results(stream, assigner, aggregate)
+    result = ExperimentResult(
+        experiment_id="E9",
+        title="Latency-budget mode (AQ-K, count)",
+        columns=["budget", "final_slack", "mean_error", "mean_latency", "p95_latency"],
+        notes=[workload_summary(stream)],
+    )
+    for budget in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+        run = run_policy(
+            stream,
+            assigner,
+            make_aggregate("count"),
+            make_policy("aq-k-budget", aggregate, 10.0, budget=budget),
+            threshold=THETA_DEFAULT,
+            oracle=oracle,
+        )
+        result.add_row(
+            budget=budget,
+            final_slack=run.final_slack,
+            mean_error=run.report.mean_error,
+            mean_latency=run.latency.mean,
+            p95_latency=run.latency.p95,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E10: window/slide sensitivity
+
+
+def e10_window_sweep(scale: float = 1.0) -> ExperimentResult:
+    """Table E10: sensitivity to window and slide parameters."""
+    stream = WorkloadSpec().scaled(scale).build()
+    aggregate = make_aggregate("count")
+    result = ExperimentResult(
+        experiment_id="E10",
+        title="Window/slide sweep (AQ-K, count, theta=0.05)",
+        columns=["window", "slide", "mean_error", "violation_fraction", "mean_latency"],
+        notes=[workload_summary(stream)],
+    )
+    for window, slide in ((2.0, 1.0), (5.0, 1.0), (10.0, 2.0), (30.0, 5.0), (60.0, 10.0)):
+        assigner = SlidingWindowAssigner(size=window, slide=slide)
+        run = run_policy(
+            stream,
+            assigner,
+            make_aggregate("count"),
+            make_policy("aq-k", aggregate, window, theta=THETA_DEFAULT),
+            threshold=THETA_DEFAULT,
+        )
+        result.add_row(
+            window=window,
+            slide=slide,
+            mean_error=run.report.mean_error,
+            violation_fraction=run.report.violation_fraction,
+            mean_latency=run.latency.mean,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E11: shared multi-query execution
+
+
+def e11_multiquery(scale: float = 1.0) -> ExperimentResult:
+    """Table E11: one shared buffer vs per-query buffers."""
+    spec = WorkloadSpec().scaled(scale)
+    stream = spec.build()
+    assigner = standard_query()
+    aggregate_name = "count"
+    thetas = [0.01, 0.02, 0.05, 0.2]
+    truth = oracle_results(stream, assigner, make_aggregate(aggregate_name))
+
+    # Shared execution.
+    buffer = SharedAQKBuffer()
+    operators = {}
+    for theta in thetas:
+        qid = f"q{theta}"
+        handler = buffer.register(
+            qid,
+            target=QualityTarget(theta),
+            aggregate=make_aggregate(aggregate_name),
+            window_size=10.0,
+        )
+        operators[qid] = WindowAggregateOperator(
+            standard_query(), make_aggregate(aggregate_name), handler
+        )
+    shared_results = run_shared(stream, buffer, operators)
+
+    result = ExperimentResult(
+        experiment_id="E11",
+        title="Shared buffer vs private buffers (4 concurrent count queries)",
+        columns=[
+            "theta",
+            "shared_error",
+            "shared_latency",
+            "private_error",
+            "private_latency",
+        ],
+        notes=[workload_summary(stream)],
+    )
+
+    private_peak = 0
+    for theta in thetas:
+        qid = f"q{theta}"
+        shared_report = assess_quality(shared_results[qid], truth, threshold=theta)
+        shared_latencies = [r.latency for r in shared_results[qid] if not r.flushed]
+        shared_latency = (
+            np.mean(shared_latencies) if shared_latencies else float("nan")
+        )
+        private = run_policy(
+            stream,
+            assigner,
+            make_aggregate(aggregate_name),
+            AQKSlackHandler(
+                target=QualityTarget(theta),
+                aggregate=make_aggregate(aggregate_name),
+                window_size=10.0,
+            ),
+            threshold=theta,
+            oracle=truth,
+        )
+        private_peak += private.max_buffered
+        result.add_row(
+            theta=theta,
+            shared_error=shared_report.mean_error,
+            shared_latency=float(shared_latency),
+            private_error=private.report.mean_error,
+            private_latency=private.latency.mean,
+        )
+    result.notes.append(
+        f"peak buffered elements: shared={buffer.max_buffered}, "
+        f"sum of private={private_peak}"
+    )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E12: domain workloads end-to-end
+
+
+def e12_workloads(scale: float = 1.0) -> ExperimentResult:
+    """Table E12: AQ-K on the three simulated domain workloads."""
+    rng_seed = 42
+    duration = 180.0 * scale
+    cases = [
+        (
+            "financial",
+            financial_ticks(
+                duration=duration, rate=150, rng=np.random.default_rng(rng_seed)
+            ),
+            "mean",
+        ),
+        (
+            "sensors",
+            sensor_readings(
+                duration=duration, rate=100, rng=np.random.default_rng(rng_seed)
+            ),
+            "mean",
+        ),
+        (
+            "soccer",
+            soccer_positions(
+                duration=duration, rate=200, rng=np.random.default_rng(rng_seed)
+            ),
+            "max",
+        ),
+    ]
+    result = ExperimentResult(
+        experiment_id="E12",
+        title="Domain workloads (AQ-K theta=0.05 vs no-buffer)",
+        columns=[
+            "workload",
+            "aggregate",
+            "aqk_error",
+            "aqk_latency",
+            "nobuf_error",
+            "nobuf_latency",
+        ],
+    )
+    for name, stream, aggregate_name in cases:
+        aggregate = make_aggregate(aggregate_name)
+        assigner = standard_query()
+        oracle = oracle_results(stream, assigner, aggregate)
+        aqk = run_policy(
+            stream,
+            assigner,
+            make_aggregate(aggregate_name),
+            make_policy("aq-k", aggregate, 10.0, theta=THETA_DEFAULT),
+            threshold=THETA_DEFAULT,
+            oracle=oracle,
+        )
+        nobuf = run_policy(
+            stream,
+            assigner,
+            make_aggregate(aggregate_name),
+            make_policy("no-buffer", aggregate, 10.0),
+            threshold=THETA_DEFAULT,
+            oracle=oracle,
+        )
+        result.notes.append(f"{name}: {workload_summary(stream)}")
+        result.add_row(
+            workload=name,
+            aggregate=aggregate_name,
+            aqk_error=aqk.report.mean_error,
+            aqk_latency=aqk.latency.mean,
+            nobuf_error=nobuf.report.mean_error,
+            nobuf_latency=nobuf.latency.mean,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E13 / E14: ablations
+
+
+def e13_ablation_controller(scale: float = 1.0) -> ExperimentResult:
+    """Table E13: controller ablation on the burst workload."""
+    spec = burst_workload(scale)
+    stream = spec.build()
+    assigner = standard_query()
+    aggregate = make_aggregate("count")
+    oracle = oracle_results(stream, assigner, aggregate)
+    controllers = [
+        ("estimator-only", NoFeedbackController()),
+        ("estimator+pi", PIController(target=THETA_DEFAULT)),
+        ("estimator+aimd", AIMDController(target=THETA_DEFAULT)),
+        ("feedback-only", PureFeedbackController(target=THETA_DEFAULT)),
+    ]
+    result = ExperimentResult(
+        experiment_id="E13",
+        title="Controller ablation (burst workload, count, theta=0.05)",
+        columns=["controller", "mean_error", "violation_fraction", "mean_latency"],
+        notes=[workload_summary(stream)],
+    )
+    for name, controller in controllers:
+        handler = AQKSlackHandler(
+            target=QualityTarget(THETA_DEFAULT),
+            aggregate=make_aggregate("count"),
+            window_size=10.0,
+            controller=controller,
+        )
+        run = run_policy(
+            stream,
+            assigner,
+            make_aggregate("count"),
+            handler,
+            threshold=THETA_DEFAULT,
+            oracle=oracle,
+        )
+        result.add_row(
+            controller=name,
+            mean_error=run.report.mean_error,
+            violation_fraction=run.report.violation_fraction,
+            mean_latency=run.latency.mean,
+        )
+    return result
+
+
+def e14_ablation_sampling(scale: float = 1.0) -> ExperimentResult:
+    """Table E14: delay-sampler ablation under non-stationary delays."""
+    spec = burst_workload(scale)
+    stream = spec.build()
+    assigner = standard_query()
+    aggregate = make_aggregate("count")
+    oracle = oracle_results(stream, assigner, aggregate)
+    samplers = [
+        ("sliding", SlidingDelaySample(capacity=2000)),
+        ("reservoir", ReservoirSample(capacity=2000)),
+    ]
+    result = ExperimentResult(
+        experiment_id="E14",
+        title="Delay-sampler ablation (burst workload, count, theta=0.05)",
+        columns=["sampler", "mean_error", "violation_fraction", "mean_latency", "final_slack"],
+        notes=[
+            workload_summary(stream),
+            "reservoir keeps burst delays forever: over-buffers after the burst",
+        ],
+    )
+    for name, sampler in samplers:
+        handler = AQKSlackHandler(
+            target=QualityTarget(THETA_DEFAULT),
+            aggregate=make_aggregate("count"),
+            window_size=10.0,
+            delay_sample=sampler,
+        )
+        run = run_policy(
+            stream,
+            assigner,
+            make_aggregate("count"),
+            handler,
+            threshold=THETA_DEFAULT,
+            oracle=oracle,
+        )
+        result.add_row(
+            sampler=name,
+            mean_error=run.report.mean_error,
+            violation_fraction=run.report.violation_fraction,
+            mean_latency=run.latency.mean,
+            final_slack=run.final_slack,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E15: quality-driven joins
+
+
+def e15_join_quality(scale: float = 1.0) -> ExperimentResult:
+    """Table E15: pair recall vs latency for interval joins under disorder."""
+    from repro.core.join_quality import (
+        QualityDrivenIntervalJoin,
+        join_recall,
+        run_join,
+    )
+    from repro.engine.handlers import KSlackHandler, MPKSlackHandler, NoBufferHandler
+    from repro.engine.join import IntervalJoinOperator, oracle_join_pairs
+    from repro.streams.element import StreamElement
+    from repro.streams.generators import generate_stream
+    from repro.streams.disorder import inject_disorder
+
+    rng = np.random.default_rng(42)
+    base = generate_stream(
+        duration=240.0 * scale, rate=120, rng=rng, keys=("a", "b", "c")
+    )
+    signed = [
+        StreamElement(
+            event_time=el.event_time,
+            value=(1.0 if i % 2 == 0 else -1.0),
+            key=el.key,
+            seq=el.seq,
+        )
+        for i, el in enumerate(base)
+    ]
+    stream = inject_disorder(signed, default_delay_model(), rng)
+
+    def side_of(element: StreamElement) -> str:
+        return "left" if element.value >= 0 else "right"
+
+    bound = 0.5
+    truth = oracle_join_pairs(stream, bound, side_of)
+    stats = measure_disorder(stream)
+
+    result = ExperimentResult(
+        experiment_id="E15",
+        title="Interval join (|dt|<=0.5s) under disorder: recall vs slack",
+        columns=["policy", "pair_recall", "final_slack", "mean_pair_latency"],
+        notes=[workload_summary(stream), f"true pairs: {len(truth)}"],
+    )
+
+    def join_for(name):
+        if name == "no-buffer":
+            return IntervalJoinOperator(bound, NoBufferHandler(), side_of)
+        if name == "k-slack(p95)":
+            return IntervalJoinOperator(bound, KSlackHandler(stats.p95_delay), side_of)
+        if name == "mp-k-slack":
+            return IntervalJoinOperator(bound, MPKSlackHandler(), side_of)
+        if name == "quality(loss<=0.05)":
+            return QualityDrivenIntervalJoin(bound, side_of, threshold=0.05)
+        if name == "quality(loss<=0.01)":
+            return QualityDrivenIntervalJoin(bound, side_of, threshold=0.01)
+        raise ExperimentError(name)
+
+    for name in (
+        "no-buffer",
+        "k-slack(p95)",
+        "mp-k-slack",
+        "quality(loss<=0.05)",
+        "quality(loss<=0.01)",
+    ):
+        operator = join_for(name)
+        results = run_join(stream, operator)
+        latencies = [r.latency for r in results]
+        slack = (
+            operator.current_slack
+            if hasattr(operator, "current_slack")
+            else operator.handler.current_slack
+        )
+        result.add_row(
+            policy=name,
+            pair_recall=join_recall(results, truth),
+            final_slack=slack,
+            mean_pair_latency=float(np.mean(latencies)) if latencies else None,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E16: sequence patterns (CEP) under disorder
+
+
+def e16_pattern_quality(scale: float = 1.0) -> ExperimentResult:
+    """Table E16: A-then-B match recall across disorder-handling policies.
+
+    Sequence patterns are the extreme of disorder sensitivity: one late
+    event deletes an entire match.  The table contrasts the zero-latency
+    baseline, fixed slacks sized at delay quantiles, and the conservative
+    max-delay policy.
+    """
+    from repro.engine.handlers import KSlackHandler, MPKSlackHandler, NoBufferHandler
+    from repro.engine.pattern import (
+        SequencePatternOperator,
+        oracle_pattern_matches,
+        pattern_recall,
+    )
+    from repro.streams.element import StreamElement
+    from repro.streams.generators import generate_stream
+    from repro.streams.disorder import inject_disorder
+
+    rng = np.random.default_rng(42)
+    base = generate_stream(
+        duration=240.0 * scale, rate=120, rng=rng, keys=("x", "y", "z")
+    )
+    typed = [
+        StreamElement(
+            event_time=el.event_time,
+            value=(1.0 if i % 3 else -1.0),  # one third are B events
+            key=el.key,
+            seq=el.seq,
+        )
+        for i, el in enumerate(base)
+    ]
+    stream = inject_disorder(typed, default_delay_model(), rng)
+
+    def is_a(element):
+        return element.value > 0
+
+    def is_b(element):
+        return element.value < 0
+
+    within = 1.0
+    truth = oracle_pattern_matches(stream, is_a, is_b, within)
+    stats = measure_disorder(stream)
+
+    result = ExperimentResult(
+        experiment_id="E16",
+        title="Sequence pattern 'A then B within 1s': recall vs slack",
+        columns=["policy", "match_recall", "slack", "mean_match_latency"],
+        notes=[workload_summary(stream), f"true matches: {len(truth)}"],
+    )
+    from repro.core.pattern_quality import QualityDrivenSequencePattern
+
+    def fixed(handler):
+        return SequencePatternOperator(is_a, is_b, within=within, handler=handler)
+
+    policies = [
+        ("no-buffer", fixed(NoBufferHandler())),
+        ("k-slack(p50)", fixed(KSlackHandler(stats.p50_delay))),
+        ("k-slack(p95)", fixed(KSlackHandler(stats.p95_delay))),
+        ("k-slack(p99)", fixed(KSlackHandler(stats.p99_delay))),
+        ("mp-k-slack", fixed(MPKSlackHandler())),
+        (
+            "quality(loss<=0.05)",
+            QualityDrivenSequencePattern(is_a, is_b, within=within, threshold=0.05),
+        ),
+        (
+            "quality(loss<=0.01)",
+            QualityDrivenSequencePattern(is_a, is_b, within=within, threshold=0.01),
+        ),
+    ]
+    for name, operator in policies:
+        matches = []
+        for element in stream:
+            matches.extend(operator.process(element))
+        matches.extend(operator.finish())
+        latencies = [m.latency for m in matches]
+        slack = (
+            operator.current_slack
+            if hasattr(operator, "current_slack")
+            else operator.handler.current_slack
+        )
+        result.add_row(
+            policy=name,
+            match_recall=pattern_recall(matches, truth),
+            slack=slack,
+            mean_match_latency=float(np.mean(latencies)) if latencies else None,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# E17: execution-path ablation (naive vs sliced window evaluation)
+
+
+def e17_sliced_execution(scale: float = 1.0) -> ExperimentResult:
+    """Table E17: slice-based execution — same results, higher throughput.
+
+    The win grows with window overlap (size/slide), so the table sweeps
+    the overlap factor.
+    """
+    from repro.engine.aggregate_op import WindowAggregateOperator
+    from repro.engine.sliced_op import SlicedWindowAggregateOperator
+    from repro.engine.handlers import KSlackHandler
+
+    stream = WorkloadSpec().scaled(scale).build()
+    result = ExperimentResult(
+        experiment_id="E17",
+        title="Naive vs sliced window execution (mean, K-slack 1s)",
+        columns=[
+            "overlap",
+            "naive_eps",
+            "sliced_eps",
+            "speedup",
+            "results_equal",
+        ],
+        notes=[workload_summary(stream), "overlap = window size / slide"],
+    )
+    for window, slide in ((10.0, 10.0), (10.0, 2.0), (10.0, 1.0), (20.0, 1.0)):
+        assigner = SlidingWindowAssigner(size=window, slide=slide)
+        naive = WindowAggregateOperator(
+            assigner, make_aggregate("mean"), KSlackHandler(1.0), track_feedback=False
+        )
+        sliced = SlicedWindowAggregateOperator(
+            assigner, make_aggregate("mean"), KSlackHandler(1.0), track_feedback=False
+        )
+        naive_out = run_pipeline(stream, naive)
+        sliced_out = run_pipeline(stream, sliced)
+        naive_map = {
+            (r.key, r.window): round(r.value, 9) for r in naive_out.results
+        }
+        sliced_map = {
+            (r.key, r.window): round(r.value, 9) for r in sliced_out.results
+        }
+        result.add_row(
+            overlap=window / slide,
+            naive_eps=naive_out.metrics.throughput_eps,
+            sliced_eps=sliced_out.metrics.throughput_eps,
+            speedup=sliced_out.metrics.throughput_eps
+            / naive_out.metrics.throughput_eps,
+            results_equal=naive_map == sliced_map,
+        )
+    return result
+
+
+EXPERIMENTS = {
+    "E1": e01_latency_vs_k,
+    "E2": e02_error_vs_k,
+    "E3": e03_headline,
+    "E4": e04_burst_adaptation,
+    "E5": e05_aggregates,
+    "E6": e06_theta_sweep,
+    "E7": e07_disorder_sweep,
+    "E8": e08_overhead,
+    "E9": e09_latency_budget,
+    "E10": e10_window_sweep,
+    "E11": e11_multiquery,
+    "E12": e12_workloads,
+    "E13": e13_ablation_controller,
+    "E14": e14_ablation_sampling,
+    "E15": e15_join_quality,
+    "E16": e16_pattern_quality,
+    "E17": e17_sliced_execution,
+}
+
+
+def run_experiment(experiment_id: str, scale: float = 1.0) -> ExperimentResult:
+    """Run one experiment by id (``"E3"``)."""
+    try:
+        function = EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return function(scale=scale)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Script entry point: render selected experiments as tables."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    scale = 1.0
+    if "--scale" in argv:
+        index = argv.index("--scale")
+        scale = float(argv[index + 1])
+        del argv[index : index + 2]
+    if not argv or argv == ["all"]:
+        argv = list(EXPERIMENTS)
+    for experiment_id in argv:
+        print(render_table(run_experiment(experiment_id, scale=scale)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

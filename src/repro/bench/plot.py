@@ -1,0 +1,93 @@
+"""ASCII plotting helpers for experiment output and examples.
+
+No plotting library is available offline, so timelines and tradeoff curves
+are rendered as unicode sparklines and labelled bar charts — enough to see
+the shapes the evaluation is about directly in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    ``nan`` values render as spaces; a constant series renders at the
+    lowest level.
+    """
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return " " * len(values)
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if math.isnan(value):
+            chars.append(" ")
+            continue
+        if span == 0:
+            chars.append(_SPARK_LEVELS[0])
+            continue
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def hbar(value: float, maximum: float, width: int = 40) -> str:
+    """A horizontal bar scaled so ``maximum`` fills ``width`` characters."""
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    if maximum <= 0 or math.isnan(value):
+        return ""
+    filled = int(round(min(1.0, max(0.0, value / maximum)) * width))
+    return "#" * filled
+
+
+def render_series(
+    points: list[tuple[float, float]],
+    label: str = "",
+    width: int = 40,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render (x, y) points as labelled horizontal bars, one row per point.
+
+    Example output::
+
+        t=   0.0  0.120 |#####
+        t=  30.0  0.480 |####################
+    """
+    if not points:
+        return f"{label}(empty series)"
+    ys = [y for __, y in points if not math.isnan(y)]
+    maximum = max(ys) if ys else 0.0
+    lines = []
+    if label:
+        lines.append(label)
+    for x, y in points:
+        formatted = "nan" if math.isnan(y) else value_format.format(y)
+        lines.append(f"  t={x:8.1f}  {formatted:>10} |{hbar(y, maximum, width)}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    entries: list[tuple[str, float]],
+    width: int = 40,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render labelled values as a bar chart (e.g. latency per policy)."""
+    if not entries:
+        return "(empty comparison)"
+    maximum = max(value for __, value in entries if not math.isnan(value))
+    name_width = max(len(name) for name, __ in entries)
+    lines = []
+    for name, value in entries:
+        formatted = "nan" if math.isnan(value) else value_format.format(value)
+        lines.append(
+            f"  {name:<{name_width}}  {formatted:>10} |{hbar(value, maximum, width)}"
+        )
+    return "\n".join(lines)

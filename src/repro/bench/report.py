@@ -1,0 +1,136 @@
+"""Experiment result containers and paper-style ASCII rendering."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure.
+
+    Attributes:
+        experiment_id: Stable id from DESIGN.md (``"E3"``).
+        title: Human-readable caption.
+        columns: Ordered column names; every row must provide each.
+        rows: Data rows (dicts keyed by column name).
+        notes: Free-form remarks appended below the table.
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        """Append one data row; every declared column must be present."""
+        missing = [column for column in self.columns if column not in values]
+        if missing:
+            raise ExperimentError(
+                f"{self.experiment_id}: row missing columns {missing}"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ExperimentError(f"{self.experiment_id}: no column {name!r}")
+        return [row[name] for row in self.rows]
+
+
+def format_value(value) -> str:
+    """Render one cell: compact but unambiguous numbers."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf"
+        if value != 0 and (abs(value) < 0.001 or abs(value) >= 100000):
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as a boxed ASCII table."""
+    header = [str(column) for column in result.columns]
+    body = [[format_value(row[column]) for column in result.columns] for row in result.rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def line(cells: list[str]) -> str:
+        return "| " + " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    parts = [
+        f"{result.experiment_id}: {result.title}",
+        separator,
+        line(header),
+        separator,
+    ]
+    parts.extend(line(row) for row in body)
+    parts.append(separator)
+    for note in result.notes:
+        parts.append(f"  note: {note}")
+    return "\n".join(parts)
+
+
+def is_monotone(values: list[float], increasing: bool, tolerance: float = 0.0) -> bool:
+    """Whether a numeric series is (weakly) monotone up to ``tolerance``.
+
+    Tolerance is relative to the magnitude of the earlier value; used by the
+    benchmark shape checks where stochastic noise can ripple a trend.
+    """
+    for a, b in zip(values, values[1:]):
+        slack = tolerance * max(abs(a), 1e-12)
+        if increasing and b < a - slack:
+            return False
+        if not increasing and b > a + slack:
+            return False
+    return True
+
+
+def to_csv(result: ExperimentResult, path) -> int:
+    """Write an experiment's rows as CSV; returns the number of data rows."""
+    import csv
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.columns)
+        for row in result.rows:
+            writer.writerow([row[column] for column in result.columns])
+    return len(result.rows)
+
+
+def to_json(result: ExperimentResult, path) -> int:
+    """Write an experiment (metadata + rows) as JSON; returns row count."""
+    import json
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "columns": result.columns,
+        "rows": [
+            {column: row[column] for column in result.columns}
+            for row in result.rows
+        ],
+        "notes": result.notes,
+    }
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return len(result.rows)

@@ -1,0 +1,295 @@
+"""AQ-K-slack: the adaptive, quality-driven disorder handler.
+
+This is the paper's contribution.  :class:`AQKSlackHandler` is a drop-in
+:class:`~repro.engine.handlers.DisorderHandler` whose slack ``K`` is chosen
+at runtime from a user requirement instead of being configured:
+
+* **Quality-target mode** (:class:`~repro.core.spec.QualityTarget`): every
+  adaptation round the handler
+
+  1. inverts the aggregate's error model to the *allowed late fraction*
+     ``p = late_fraction_for_error(theta)``,
+  2. reads the slack that keeps all but ``p`` of elements on time off the
+     live delay sample: ``K_est = delay_quantile(1 - p)``,
+  3. passes ``K_est`` through the feedback controller, which scales it by
+     the accumulated bias between *observed* window errors (reported by
+     the aggregation operator via ``observe_error``) and the target.
+
+* **Latency-budget mode** (:class:`~repro.core.spec.LatencyBudget`): the
+  slack is the largest value that both stays within the budget and is
+  useful — ``min(budget, delay_quantile(q_cap))`` — maximizing quality
+  without ever exceeding the bound, and without wasting latency when the
+  stream is nearly in order.
+
+The frontier is kept monotone even while ``K`` shrinks and grows, so
+downstream window lifecycles stay well-defined.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.controller import PIController, SlackController
+from repro.core.estimators import ErrorModel, StreamContext, make_error_model
+from repro.core.sampling import (
+    DelaySample,
+    RateTracker,
+    SlidingDelaySample,
+    ValueStatsTracker,
+)
+from repro.core.spec import BoundedQualityTarget, LatencyBudget, QualityTarget
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.buffer import SortingBuffer
+from repro.engine.handlers import DisorderHandler
+from repro.errors import ConfigurationError
+from repro.streams.element import StreamElement
+from repro.streams.timebase import EventTimeFrontier
+
+
+@dataclass(frozen=True)
+class AdaptationRecord:
+    """One adaptation round, for timelines and debugging."""
+
+    arrival_time: float
+    allowed_late_fraction: float
+    k_estimate: float
+    k_applied: float
+    observed_error_ewma: float | None
+    controller_gain: float | None
+
+
+class AQKSlackHandler(DisorderHandler):
+    """Adaptive quality-driven K-slack buffering."""
+
+    name = "aq-k-slack"
+
+    def __init__(
+        self,
+        target: QualityTarget | BoundedQualityTarget | LatencyBudget,
+        aggregate: AggregateFunction | str | ErrorModel,
+        window_size: float | None = None,
+        delay_sample: DelaySample | None = None,
+        controller: SlackController | None = None,
+        adapt_interval: float = 1.0,
+        warmup_elements: int = 50,
+        k_min: float = 0.0,
+        k_max: float = math.inf,
+        min_late_fraction: float = 1e-4,
+        budget_quantile_cap: float = 0.999,
+        estimation_confidence: float = 0.0,
+    ) -> None:
+        """Args:
+        target: The user requirement (quality target or latency budget).
+        aggregate: The aggregate the downstream operator computes (or an
+            error-model kind / instance) — selects the error model.
+        window_size: Window length of the downstream query, used to
+            estimate elements-per-window for the mean/rank models.
+        delay_sample: Delay tracker; defaults to a sliding sample of the
+            most recent 2000 delays.
+        controller: Feedback controller; defaults to a
+            :class:`~repro.core.controller.PIController` in quality mode.
+        adapt_interval: Minimum arrival-time seconds between adaptations.
+        warmup_elements: Elements observed before the first adaptation;
+            until then ``K`` stays at ``k_min`` plus whatever the sample
+            already supports at the 95th percentile (a safe cold start).
+        k_min / k_max: Hard clamps on the applied slack.
+        min_late_fraction: Floor on the allowed late fraction, preventing
+            the required delay quantile from running into the sample max
+            for very strict targets.
+        budget_quantile_cap: In budget mode, the delay quantile beyond
+            which extra slack is considered useless.
+        estimation_confidence: z-score padding of the delay-quantile rank
+            against sampling error (0 disables).  Positive values make the
+            handler conservative while the delay sample is small.
+        """
+        if adapt_interval <= 0:
+            raise ConfigurationError(
+                f"adapt_interval must be positive, got {adapt_interval}"
+            )
+        if warmup_elements < 0:
+            raise ConfigurationError(
+                f"warmup_elements must be non-negative, got {warmup_elements}"
+            )
+        if not 0 <= k_min <= k_max:
+            raise ConfigurationError(f"need 0 <= k_min <= k_max, got {k_min}, {k_max}")
+        if not 0 < min_late_fraction <= 1:
+            raise ConfigurationError(
+                f"min_late_fraction must lie in (0,1], got {min_late_fraction}"
+            )
+        if not 0 < budget_quantile_cap <= 1:
+            raise ConfigurationError(
+                f"budget_quantile_cap must lie in (0,1], got {budget_quantile_cap}"
+            )
+        if estimation_confidence < 0:
+            raise ConfigurationError(
+                "estimation_confidence must be non-negative, got "
+                f"{estimation_confidence}"
+            )
+
+        self.target = target
+        if isinstance(aggregate, ErrorModel):
+            self.error_model = aggregate
+        else:
+            self.error_model = make_error_model(aggregate)
+        self.window_size = window_size
+        self.delay_sample = (
+            delay_sample if delay_sample is not None else SlidingDelaySample()
+        )
+        if controller is None and isinstance(
+            target, (QualityTarget, BoundedQualityTarget)
+        ):
+            controller = PIController(target=target.threshold)
+        self.controller = controller
+        self.adapt_interval = adapt_interval
+        self.warmup_elements = warmup_elements
+        self.k_min = k_min
+        self.k_max = k_max
+        self.min_late_fraction = min_late_fraction
+        self.budget_quantile_cap = budget_quantile_cap
+        self.estimation_confidence = estimation_confidence
+
+        self.k = k_min
+        self.adaptations: list[AdaptationRecord] = []
+        self._value_stats = ValueStatsTracker()
+        self._rate = RateTracker()
+        self._clock = EventTimeFrontier()
+        self._buffer = SortingBuffer()
+        self._frontier_value = float("-inf")
+        self._last_adapt_arrival = float("-inf")
+        self._elements_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # adaptation
+
+    def _context(self) -> StreamContext:
+        expected = math.nan
+        if self.window_size is not None:
+            expected = self._rate.expected_window_count(self.window_size)
+        return StreamContext(
+            dispersion=self._value_stats.dispersion,
+            expected_window_count=expected,
+        )
+
+    def _confident_quantile(self, q: float) -> float:
+        """Quantile query padded for sampling uncertainty.
+
+        With ``estimation_confidence`` z > 0 the rank is shifted up by z
+        standard errors of the empirical quantile rank
+        (``sqrt(q(1-q)/n)``), so a freshly-filled or small delay sample
+        yields a conservatively larger slack; the padding vanishes as the
+        sample grows.
+        """
+        z = self.estimation_confidence
+        if z > 0:
+            n = max(1, self.delay_sample.count)
+            q = q + z * math.sqrt(q * (1.0 - q) / n)
+            q = min(1.0, q)
+        return self.delay_sample.quantile(q)
+
+    def _adapt_quality(self, arrival_time: float, theta: float) -> None:
+        context = self._context()
+        p_allowed = self.error_model.late_fraction_for_error(theta, context)
+        p_allowed = max(self.min_late_fraction, min(1.0, p_allowed))
+        if p_allowed >= 1.0:
+            k_estimate = 0.0
+        else:
+            k_estimate = self._confident_quantile(1.0 - p_allowed)
+        if self.controller is not None:
+            k_applied = self.controller.adjust(k_estimate)
+        else:
+            k_applied = k_estimate
+        self.k = max(self.k_min, min(self.k_max, k_applied))
+        state = self.controller.state() if self.controller is not None else {}
+        self.adaptations.append(
+            AdaptationRecord(
+                arrival_time=arrival_time,
+                allowed_late_fraction=p_allowed,
+                k_estimate=k_estimate,
+                k_applied=self.k,
+                observed_error_ewma=state.get("error_ewma"),
+                controller_gain=state.get("gain"),
+            )
+        )
+
+    def _adapt_budget(self, arrival_time: float, budget: float) -> None:
+        useful = self.delay_sample.quantile(self.budget_quantile_cap)
+        k_applied = min(budget, useful)
+        self.k = max(self.k_min, min(self.k_max, k_applied))
+        self.adaptations.append(
+            AdaptationRecord(
+                arrival_time=arrival_time,
+                allowed_late_fraction=math.nan,
+                k_estimate=useful,
+                k_applied=self.k,
+                observed_error_ewma=None,
+                controller_gain=None,
+            )
+        )
+
+    def _maybe_adapt(self, arrival_time: float) -> None:
+        if self._elements_seen < self.warmup_elements:
+            return
+        if arrival_time - self._last_adapt_arrival < self.adapt_interval:
+            return
+        self._last_adapt_arrival = arrival_time
+        if isinstance(self.target, QualityTarget):
+            self._adapt_quality(arrival_time, self.target.threshold)
+        elif isinstance(self.target, BoundedQualityTarget):
+            self._adapt_quality(arrival_time, self.target.threshold)
+            if self.k > self.target.budget_seconds:
+                self.k = self.target.budget_seconds
+                self.adaptations[-1] = AdaptationRecord(
+                    arrival_time=self.adaptations[-1].arrival_time,
+                    allowed_late_fraction=self.adaptations[-1].allowed_late_fraction,
+                    k_estimate=self.adaptations[-1].k_estimate,
+                    k_applied=self.k,
+                    observed_error_ewma=self.adaptations[-1].observed_error_ewma,
+                    controller_gain=self.adaptations[-1].controller_gain,
+                )
+        else:
+            self._adapt_budget(arrival_time, self.target.seconds)
+
+    # ------------------------------------------------------------------ #
+    # DisorderHandler protocol
+
+    def offer(self, element: StreamElement) -> list[StreamElement]:
+        if element.arrival_time is None:
+            raise ConfigurationError(
+                "AQKSlackHandler requires elements with arrival timestamps"
+            )
+        self._elements_seen += 1
+        self.delay_sample.observe(element.delay)
+        self._value_stats.observe(element.value)
+        self._rate.observe(element.event_time)
+        self._clock.observe(element.event_time)
+        self._buffer.push(element)
+        self._maybe_adapt(element.arrival_time)
+        candidate = self._clock.value - self.k
+        if candidate > self._frontier_value:
+            self._frontier_value = candidate
+        return self._buffer.release_until(self._frontier_value)
+
+    def flush(self) -> list[StreamElement]:
+        return self._buffer.drain()
+
+    @property
+    def frontier(self) -> float:
+        return self._frontier_value
+
+    @property
+    def current_slack(self) -> float:
+        return self.k
+
+    def buffered_count(self) -> int:
+        return len(self._buffer)
+
+    def max_buffered_count(self) -> int:
+        return self._buffer.max_size
+
+    def observe_error(self, error: float) -> None:
+        if self.controller is not None:
+            self.controller.observe_error(error)
+
+    def describe(self) -> str:
+        return f"aq-k-slack({self.target.describe()}, {self.error_model.describe()})"

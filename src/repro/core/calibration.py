@@ -1,0 +1,139 @@
+"""Offline calibration of error models against a profiling run.
+
+The built-in error models are deliberately conservative first-order
+approximations; at runtime the feedback controller discovers the gap
+between model and reality.  When a representative trace is available
+*ahead* of deployment, the gap can instead be measured offline:
+
+1. replay the trace under a grid of fixed slacks K,
+2. record, per K, the late-mass fraction ``p = P(delay > K)`` and the
+   *observed* mean window error ``e``,
+3. fit the proportionality ``e ≈ c · p`` by least squares.
+
+The resulting :class:`CalibratedErrorModel` (``error = c * p``) starts the
+adaptive handler at the right operating point instead of letting the
+controller find it — reducing the cold-start transient the uncalibrated
+runs pay (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimators import ErrorModel, StreamContext
+from repro.core.quality import assess_quality
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.handlers import KSlackHandler
+from repro.engine.oracle import oracle_results
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import WindowAssigner
+from repro.errors import ConfigurationError
+from repro.streams.element import StreamElement
+
+
+class CalibratedErrorModel(ErrorModel):
+    """Linear error model with an empirically fitted scale: ``e = c * p``."""
+
+    kind = "calibrated"
+
+    def __init__(self, scale: float) -> None:
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+    def error_from_late_fraction(self, p: float, context: StreamContext) -> float:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"late fraction must lie in [0,1], got {p}")
+        return self.scale * p
+
+    def late_fraction_for_error(self, theta: float, context: StreamContext) -> float:
+        if theta < 0:
+            raise ConfigurationError(f"error bound must be non-negative, got {theta}")
+        return min(1.0, theta / self.scale)
+
+    def describe(self) -> str:
+        return f"calibrated(scale={self.scale:.4g})"
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One grid point of the calibration run."""
+
+    k: float
+    late_fraction: float
+    mean_error: float
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted model plus the measurements behind it."""
+
+    model: CalibratedErrorModel
+    points: list[CalibrationPoint]
+
+    @property
+    def scale(self) -> float:
+        return self.model.scale
+
+
+def calibrate_error_model(
+    stream: list[StreamElement],
+    assigner: WindowAssigner,
+    aggregate: AggregateFunction,
+    k_grid: list[float] | None = None,
+) -> CalibrationResult:
+    """Fit ``error = scale * late_fraction`` from replays of ``stream``.
+
+    Args:
+        stream: Arrival-ordered profiling trace (with arrival timestamps).
+        assigner / aggregate: The query to calibrate for.
+        k_grid: Slacks to probe; defaults to the trace's delay quantiles
+            at 0.5/0.75/0.9/0.95/0.99 (plus K=0).
+
+    Returns:
+        :class:`CalibrationResult`; its ``model`` plugs into
+        :class:`~repro.core.aqk.AQKSlackHandler` as the ``aggregate``
+        argument.
+    """
+    if not stream:
+        raise ConfigurationError("cannot calibrate on an empty stream")
+    delays = np.array([element.delay for element in stream])
+    if k_grid is None:
+        k_grid = [0.0] + [
+            float(np.quantile(delays, q)) for q in (0.5, 0.75, 0.9, 0.95, 0.99)
+        ]
+    if not k_grid:
+        raise ConfigurationError("k_grid must contain at least one slack")
+
+    truth = oracle_results(stream, assigner, aggregate)
+    points = []
+    for k in sorted(set(k_grid)):
+        if k < 0:
+            raise ConfigurationError(f"slacks must be non-negative, got {k}")
+        operator = WindowAggregateOperator(
+            assigner, aggregate, KSlackHandler(k), track_feedback=False
+        )
+        output = run_pipeline(stream, operator)
+        report = assess_quality(output.results, truth)
+        late_fraction = float((delays > k).mean())
+        points.append(
+            CalibrationPoint(
+                k=k, late_fraction=late_fraction, mean_error=report.mean_error
+            )
+        )
+
+    # Least-squares fit of e = c * p through the origin.
+    p = np.array([point.late_fraction for point in points])
+    e = np.array([point.mean_error for point in points])
+    denominator = float((p * p).sum())
+    if denominator <= 0:
+        raise ConfigurationError(
+            "calibration trace has no late elements at any probed slack; "
+            "nothing to fit"
+        )
+    scale = float((p * e).sum() / denominator)
+    scale = max(scale, 1e-6)
+    return CalibrationResult(model=CalibratedErrorModel(scale), points=points)

@@ -1,0 +1,141 @@
+"""Quality-driven interval joins: the contribution extended beyond windows.
+
+Window aggregates measure quality as value error; joins measure it as
+**pair recall** — the fraction of true pairs actually emitted.  A late
+element can only lose pairs whose partner was already pruned, so recall
+loss is exactly the "late input mass" quantity the additive error model
+describes, and the same estimate-then-correct machinery applies:
+
+* the *estimator* inverts ``recall loss <= theta`` to an allowed late
+  fraction and reads the matching slack off the live delay sample,
+* the *feedback* signal is the join operator's observed lost-pair
+  fraction, measured against a bounded shadow store of pruned elements.
+
+:class:`QualityDrivenIntervalJoin` packages this: an
+:class:`~repro.engine.join.IntervalJoinOperator` whose slack adapts to a
+recall target.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.aqk import AQKSlackHandler
+from repro.core.spec import QualityTarget
+from repro.engine.join import IntervalJoinOperator, JoinResult
+from repro.errors import ConfigurationError
+from repro.streams.element import StreamElement
+
+
+class QualityDrivenIntervalJoin:
+    """Interval join meeting a pair-recall target at adaptive latency.
+
+    ``threshold`` bounds the tolerated *recall loss*: a threshold of 0.05
+    asks for at least ~95% of true pairs to be emitted.
+    """
+
+    def __init__(
+        self,
+        bound: float,
+        side_selector: Callable[[StreamElement], str],
+        threshold: float,
+        feedback_every: int = 200,
+        shadow_horizon: float | None = None,
+        **aqk_kwargs,
+    ) -> None:
+        """Args:
+        bound: Join predicate: ``|t_left - t_right| <= bound``.
+        side_selector: Maps an element to ``"left"`` or ``"right"``.
+        threshold: Tolerated fraction of pairs lost to lateness.
+        feedback_every: Ingested elements between feedback samples.
+        shadow_horizon: Event-time retention of pruned elements for loss
+            measurement; defaults to ``max(60s, 20 * bound)``.  The horizon
+            must cover the bulk of the delay tail: losses from elements
+            later than ``slack + horizon`` are invisible to feedback, and
+            an undersized horizon makes the controller overconfident.
+        **aqk_kwargs: Forwarded to :class:`~repro.core.aqk.AQKSlackHandler`.
+        """
+        if feedback_every <= 0:
+            raise ConfigurationError(
+                f"feedback_every must be positive, got {feedback_every}"
+            )
+        if shadow_horizon is None:
+            shadow_horizon = max(60.0, 20.0 * bound)
+        self.handler = AQKSlackHandler(
+            target=QualityTarget(threshold),
+            aggregate="additive_mass",
+            **aqk_kwargs,
+        )
+        self.join = IntervalJoinOperator(
+            bound=bound,
+            handler=self.handler,
+            side_selector=side_selector,
+            shadow_horizon=shadow_horizon,
+        )
+        self.threshold = threshold
+        self.feedback_every = feedback_every
+        self._since_feedback = 0
+        self._emitted_snapshot = 0
+        self._lost_snapshot = 0
+
+    def _maybe_feed_back(self) -> None:
+        self._since_feedback += 1
+        if self._since_feedback < self.feedback_every:
+            return
+        self._since_feedback = 0
+        emitted_delta = self.join.emitted_pairs - self._emitted_snapshot
+        lost_delta = self.join.lost_pairs - self._lost_snapshot
+        self._emitted_snapshot = self.join.emitted_pairs
+        self._lost_snapshot = self.join.lost_pairs
+        total = emitted_delta + lost_delta
+        if total > 0:
+            self.handler.observe_error(lost_delta / total)
+
+    def process(self, element: StreamElement) -> list[JoinResult]:
+        """Consume one element; feed recall-loss samples to the controller."""
+        results = self.join.process(element)
+        self._maybe_feed_back()
+        return results
+
+    def finish(self) -> list[JoinResult]:
+        """Stream ended: flush and emit remaining pairs."""
+        return self.join.finish()
+
+    @property
+    def current_slack(self) -> float:
+        return self.handler.current_slack
+
+    @property
+    def emitted_pairs(self) -> int:
+        return self.join.emitted_pairs
+
+    @property
+    def lost_pairs(self) -> int:
+        return self.join.lost_pairs
+
+    def recall_loss_estimate(self) -> float:
+        """Observed fraction of pairs lost to lateness."""
+        return self.join.recall_loss_estimate()
+
+
+def run_join(
+    elements: list[StreamElement],
+    operator,
+) -> list[JoinResult]:
+    """Drive a join operator (plain or quality-driven) over a stream."""
+    results = []
+    for element in elements:
+        results.extend(operator.process(element))
+    results.extend(operator.finish())
+    return results
+
+
+def join_recall(
+    results: list[JoinResult],
+    oracle_pairs: set[tuple[object, float, float]],
+) -> float:
+    """Fraction of true pairs present in the emitted results."""
+    if not oracle_pairs:
+        return float("nan")
+    emitted = {(r.key, r.left_time, r.right_time) for r in results}
+    return len(emitted & oracle_pairs) / len(oracle_pairs)

@@ -1,0 +1,101 @@
+"""Quality-driven sequence patterns: the contribution on CEP operators.
+
+The same estimate-then-correct loop that drives windows
+(:mod:`repro.core.aqk`) and joins (:mod:`repro.core.join_quality`) applies
+to sequence patterns: a late A or B deletes an entire match, so *match
+recall loss* is the late-mass quantity the additive error model describes.
+:class:`QualityDrivenSequencePattern` adapts the pattern operator's slack
+to a recall target, using the operator's shadow-store loss counter as
+observed-error feedback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.aqk import AQKSlackHandler
+from repro.core.spec import QualityTarget
+from repro.engine.pattern import PatternMatch, SequencePatternOperator
+from repro.errors import ConfigurationError
+from repro.streams.element import StreamElement
+
+
+class QualityDrivenSequencePattern:
+    """A-then-B detection meeting a match-recall target at adaptive latency.
+
+    ``threshold`` bounds the tolerated *recall loss*: 0.05 asks for at
+    least ~95% of true matches to be detected.
+    """
+
+    def __init__(
+        self,
+        first_predicate: Callable[[StreamElement], bool],
+        second_predicate: Callable[[StreamElement], bool],
+        within: float,
+        threshold: float,
+        feedback_every: int = 200,
+        shadow_horizon: float | None = None,
+        **aqk_kwargs,
+    ) -> None:
+        if feedback_every <= 0:
+            raise ConfigurationError(
+                f"feedback_every must be positive, got {feedback_every}"
+            )
+        if shadow_horizon is None:
+            shadow_horizon = max(60.0, 20.0 * within)
+        self.handler = AQKSlackHandler(
+            target=QualityTarget(threshold),
+            aggregate="additive_mass",
+            **aqk_kwargs,
+        )
+        self.pattern = SequencePatternOperator(
+            first_predicate=first_predicate,
+            second_predicate=second_predicate,
+            within=within,
+            handler=self.handler,
+            shadow_horizon=shadow_horizon,
+        )
+        self.threshold = threshold
+        self.feedback_every = feedback_every
+        self._since_feedback = 0
+        self._emitted_snapshot = 0
+        self._lost_snapshot = 0
+
+    def _maybe_feed_back(self) -> None:
+        self._since_feedback += 1
+        if self._since_feedback < self.feedback_every:
+            return
+        self._since_feedback = 0
+        emitted_delta = self.pattern.matches_emitted - self._emitted_snapshot
+        lost_delta = self.pattern.matches_lost - self._lost_snapshot
+        self._emitted_snapshot = self.pattern.matches_emitted
+        self._lost_snapshot = self.pattern.matches_lost
+        total = emitted_delta + lost_delta
+        if total > 0:
+            self.handler.observe_error(lost_delta / total)
+
+    def process(self, element: StreamElement) -> list[PatternMatch]:
+        """Consume one element; feed recall-loss samples to the controller."""
+        matches = self.pattern.process(element)
+        self._maybe_feed_back()
+        return matches
+
+    def finish(self) -> list[PatternMatch]:
+        """Stream ended: flush and emit remaining matches."""
+        return self.pattern.finish()
+
+    @property
+    def current_slack(self) -> float:
+        return self.handler.current_slack
+
+    @property
+    def matches_emitted(self) -> int:
+        return self.pattern.matches_emitted
+
+    @property
+    def matches_lost(self) -> int:
+        return self.pattern.matches_lost
+
+    def recall_loss_estimate(self) -> float:
+        """Observed fraction of matches lost to lateness."""
+        return self.pattern.recall_loss_estimate()

@@ -1,0 +1,167 @@
+"""Result-quality measurement against the in-order oracle.
+
+Quality is scored per window: the value a run emitted for ``(key, window)``
+against the exact value the oracle computed from the complete stream.
+Windows the run never emitted (all of their input arrived late) count as
+full loss.  The report aggregates per-window relative errors into the
+statistics the evaluation tables print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.aggregate_op import relative_error
+from repro.engine.operator import WindowResult
+from repro.engine.windows import Window
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WindowScore:
+    """Per-window comparison row (kept for timelines and debugging)."""
+
+    key: object
+    window: Window
+    emitted: float
+    exact: float
+    error: float
+    latency: float
+
+
+@dataclass
+class QualityReport:
+    """Quality of one run against the oracle.
+
+    Attributes:
+        n_oracle_windows: Number of ground-truth (non-empty) windows.
+        n_emitted_windows: Distinct windows the run emitted.
+        window_recall: Fraction of oracle windows the run emitted at all.
+        mean_error / p50_error / p95_error / max_error: Statistics of the
+            per-window relative error over **all** oracle windows (missed
+            windows scored 1.0).
+        violation_fraction: Fraction of oracle windows whose error exceeds
+            ``threshold`` (``nan`` when no threshold given).
+        threshold: The quality target the run was evaluated against.
+        scores: Per-window detail rows, in window-end order.
+    """
+
+    n_oracle_windows: int
+    n_emitted_windows: int
+    window_recall: float
+    mean_error: float
+    p50_error: float
+    p95_error: float
+    max_error: float
+    violation_fraction: float
+    threshold: float | None
+    scores: list[WindowScore] = field(default_factory=list)
+
+    def meets(self, threshold: float | None = None) -> bool:
+        """Whether the mean error satisfies the (given or stored) bound."""
+        bound = threshold if threshold is not None else self.threshold
+        if bound is None:
+            raise ConfigurationError("no threshold to check against")
+        return self.mean_error <= bound
+
+
+def assess_quality(
+    results: list[WindowResult],
+    oracle: dict[tuple[object, Window], tuple[float, int]],
+    threshold: float | None = None,
+    keep_scores: bool = False,
+) -> QualityReport:
+    """Score emitted results against oracle truth.
+
+    Revision streams (speculative operators) are collapsed to the last
+    emitted value per window before scoring; latency is taken from the
+    first emission.
+    """
+    emitted_value: dict[tuple[object, Window], float] = {}
+    first_latency: dict[tuple[object, Window], float] = {}
+    for result in results:
+        slot = (result.key, result.window)
+        emitted_value[slot] = result.value
+        if slot not in first_latency:
+            first_latency[slot] = result.latency
+
+    if not oracle:
+        return QualityReport(
+            n_oracle_windows=0,
+            n_emitted_windows=len(emitted_value),
+            window_recall=math.nan,
+            mean_error=math.nan,
+            p50_error=math.nan,
+            p95_error=math.nan,
+            max_error=math.nan,
+            violation_fraction=math.nan,
+            threshold=threshold,
+        )
+
+    errors = []
+    scores: list[WindowScore] = []
+    matched = 0
+    for slot in sorted(oracle, key=lambda s: (s[1].end, s[1].start, str(s[0]))):
+        exact, __ = oracle[slot]
+        if slot in emitted_value:
+            matched += 1
+            emitted = emitted_value[slot]
+            error = relative_error(emitted, exact)
+            latency = first_latency[slot]
+        else:
+            emitted = math.nan
+            error = 1.0
+            latency = math.nan
+        errors.append(error)
+        if keep_scores:
+            scores.append(
+                WindowScore(
+                    key=slot[0],
+                    window=slot[1],
+                    emitted=emitted,
+                    exact=exact,
+                    error=error,
+                    latency=latency,
+                )
+            )
+
+    array = np.asarray(errors, dtype=float)
+    if threshold is None:
+        violation = math.nan
+    else:
+        violation = float((array > threshold).mean())
+    return QualityReport(
+        n_oracle_windows=len(oracle),
+        n_emitted_windows=len(emitted_value),
+        window_recall=matched / len(oracle),
+        mean_error=float(array.mean()),
+        p50_error=float(np.quantile(array, 0.5)),
+        p95_error=float(np.quantile(array, 0.95)),
+        max_error=float(array.max()),
+        violation_fraction=violation,
+        threshold=threshold,
+        scores=scores,
+    )
+
+
+def error_timeline(report: QualityReport, bucket: float) -> list[tuple[float, float]]:
+    """Bucket per-window errors by window end time: (bucket_start, mean err).
+
+    Requires the report to have been built with ``keep_scores=True``; used
+    by the burst-adaptation experiment to plot error over time.
+    """
+    if bucket <= 0:
+        raise ConfigurationError(f"bucket must be positive, got {bucket}")
+    if not report.scores:
+        return []
+    buckets: dict[int, list[float]] = {}
+    for score in report.scores:
+        index = int(score.window.end // bucket)
+        buckets.setdefault(index, []).append(score.error)
+    return [
+        (index * bucket, float(np.mean(values)))
+        for index, values in sorted(buckets.items())
+    ]

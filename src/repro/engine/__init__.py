@@ -1,0 +1,133 @@
+"""Continuous-query engine: operators, windows, aggregates, disorder handling."""
+
+from repro.engine.aggregate_op import (
+    OperatorStats,
+    WindowAggregateOperator,
+    relative_error,
+)
+from repro.engine.aggregates import (
+    AggregateFunction,
+    CountAggregate,
+    DistinctCountAggregate,
+    MaxAggregate,
+    MeanAggregate,
+    MedianAggregate,
+    MinAggregate,
+    QuantileAggregate,
+    RangeAggregate,
+    StdDevAggregate,
+    SumAggregate,
+    make_aggregate,
+)
+from repro.engine.buffer import SortingBuffer
+from repro.engine.handlers import (
+    DisorderHandler,
+    KSlackHandler,
+    MPKSlackHandler,
+    NoBufferHandler,
+)
+from repro.engine.join import IntervalJoinOperator, JoinResult, oracle_join_pairs
+from repro.engine.metrics import LatencySummary, RunMetrics, SlackSample
+from repro.engine.multisource import MultiSourceWatermarkHandler
+from repro.engine.operator import Operator, WindowResult
+from repro.engine.oracle import oracle_results
+from repro.engine.pipeline import RunOutput, run_pipeline
+from repro.engine.retraction import (
+    SpeculativeAggregateOperator,
+    final_values,
+    initial_latencies,
+)
+from repro.engine.checkpoint import load_checkpoint, save_checkpoint
+from repro.engine.pattern import (
+    PatternMatch,
+    SequencePatternOperator,
+    oracle_pattern_matches,
+    pattern_recall,
+)
+from repro.engine.session_op import SessionAggregateOperator
+from repro.engine.sliced_op import SlicedWindowAggregateOperator
+from repro.engine.topk import ApproxTopKAggregate, TopKCountAggregate
+from repro.engine.sketches import (
+    ApproxDistinctAggregate,
+    ApproxQuantileAggregate,
+    HyperLogLog,
+    P2Quantile,
+    SpaceSaving,
+)
+from repro.engine.watermarks import (
+    FixedLagWatermarkHandler,
+    HeuristicWatermarkHandler,
+    PerfectWatermarkHandler,
+)
+from repro.engine.windows import (
+    SessionWindowMerger,
+    SlidingWindowAssigner,
+    TumblingWindowAssigner,
+    Window,
+    WindowAssigner,
+    sliding,
+    tumbling,
+)
+
+__all__ = [
+    "AggregateFunction",
+    "ApproxDistinctAggregate",
+    "ApproxQuantileAggregate",
+    "ApproxTopKAggregate",
+    "CountAggregate",
+    "DisorderHandler",
+    "DistinctCountAggregate",
+    "FixedLagWatermarkHandler",
+    "HeuristicWatermarkHandler",
+    "HyperLogLog",
+    "IntervalJoinOperator",
+    "JoinResult",
+    "KSlackHandler",
+    "LatencySummary",
+    "MPKSlackHandler",
+    "MaxAggregate",
+    "MeanAggregate",
+    "MedianAggregate",
+    "MinAggregate",
+    "MultiSourceWatermarkHandler",
+    "NoBufferHandler",
+    "Operator",
+    "OperatorStats",
+    "P2Quantile",
+    "PatternMatch",
+    "PerfectWatermarkHandler",
+    "QuantileAggregate",
+    "RangeAggregate",
+    "RunMetrics",
+    "RunOutput",
+    "SequencePatternOperator",
+    "SessionAggregateOperator",
+    "SessionWindowMerger",
+    "SlackSample",
+    "SlicedWindowAggregateOperator",
+    "SlidingWindowAssigner",
+    "SortingBuffer",
+    "SpaceSaving",
+    "SpeculativeAggregateOperator",
+    "StdDevAggregate",
+    "SumAggregate",
+    "TopKCountAggregate",
+    "TumblingWindowAssigner",
+    "Window",
+    "WindowAggregateOperator",
+    "WindowAssigner",
+    "WindowResult",
+    "final_values",
+    "initial_latencies",
+    "load_checkpoint",
+    "make_aggregate",
+    "oracle_join_pairs",
+    "oracle_pattern_matches",
+    "oracle_results",
+    "pattern_recall",
+    "relative_error",
+    "run_pipeline",
+    "save_checkpoint",
+    "sliding",
+    "tumbling",
+]

@@ -1,0 +1,245 @@
+"""The windowed aggregation operator with pluggable disorder handling.
+
+:class:`WindowAggregateOperator` wires together a window assigner, an
+aggregate function and a :class:`~repro.engine.handlers.DisorderHandler`:
+
+1. every arriving element is offered to the handler, which may buffer it and
+   releases zero or more elements downstream;
+2. released elements are folded into their (still open) windows; elements
+   whose windows were already finalized are **late** — they are dropped from
+   results but recorded for quality feedback;
+3. the handler's frontier finalizes windows (``end <= frontier``), emitting
+   :class:`~repro.engine.operator.WindowResult` rows stamped with the
+   current arrival time.
+
+Quality feedback loop
+---------------------
+
+Closed windows are retained (accumulator included) for ``feedback_horizon``
+seconds of event time.  Late elements arriving within the horizon keep
+updating the retained accumulator, so when a record retires the operator
+knows both the value it *emitted* and the best late-corrected value — their
+relative difference is an *observed error* sample.  These samples are
+reported to the handler via ``observe_error``; the adaptive quality-driven
+handler uses them to correct its error model at runtime.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.handlers import DisorderHandler
+from repro.engine.operator import Operator, WindowResult
+from repro.engine.windows import Window, WindowAssigner
+from repro.errors import ConfigurationError
+from repro.streams.element import StreamElement
+
+
+def relative_error(emitted, truth, eps: float = 1e-9) -> float:
+    """Symmetric-denominator relative error in [0, inf).
+
+    ``nan`` emitted against real truth (a missed window) counts as full
+    loss (1.0); two ``nan`` values agree (0.0).  Non-numeric results
+    (set-valued aggregates like top-k) are scored exact-match: 0.0 when
+    equal, 1.0 otherwise.
+    """
+    emitted_numeric = isinstance(emitted, (int, float)) and not isinstance(emitted, bool)
+    truth_numeric = isinstance(truth, (int, float)) and not isinstance(truth, bool)
+    if not emitted_numeric or not truth_numeric:
+        return 0.0 if emitted == truth else 1.0
+    emitted_nan = isinstance(emitted, float) and math.isnan(emitted)
+    truth_nan = isinstance(truth, float) and math.isnan(truth)
+    if emitted_nan and truth_nan:
+        return 0.0
+    if emitted_nan or truth_nan:
+        return 1.0
+    return abs(emitted - truth) / max(abs(truth), eps)
+
+
+@dataclass
+class _ClosedRecord:
+    """Bookkeeping for a finalized window awaiting late corrections."""
+
+    accumulator: object
+    emitted_value: float
+    emitted_count: int
+    end: float
+    late_updates: int = 0
+
+
+@dataclass
+class OperatorStats:
+    """Counters and samples collected during a run."""
+
+    elements_in: int = 0
+    results_out: int = 0
+    late_dropped: int = 0
+    late_applied_to_feedback: int = 0
+    missed_windows: int = 0
+    observed_errors: list[float] = field(default_factory=list)
+
+
+class WindowAggregateOperator(Operator):
+    """Sliding/tumbling window aggregation under a disorder handler."""
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        aggregate: AggregateFunction,
+        handler: DisorderHandler,
+        feedback_horizon: float | None = None,
+        track_feedback: bool = True,
+    ) -> None:
+        self.assigner = assigner
+        self.aggregate = aggregate
+        self.handler = handler
+        if feedback_horizon is None:
+            size = getattr(assigner, "size", 10.0)
+            feedback_horizon = 5.0 * size
+        if feedback_horizon < 0:
+            raise ConfigurationError(
+                f"feedback_horizon must be non-negative, got {feedback_horizon}"
+            )
+        self.feedback_horizon = feedback_horizon
+        self.track_feedback = track_feedback
+        self.stats = OperatorStats()
+
+        self._open: dict[tuple[object, Window], object] = {}
+        self._open_counts: dict[tuple[object, Window], int] = {}
+        self._open_heap: list[tuple[float, int, object, Window]] = []
+        self._heap_seq = 0
+        self._closed: OrderedDict[tuple[object, Window], _ClosedRecord] = OrderedDict()
+        self._close_frontier = float("-inf")
+        self._last_arrival = 0.0
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+
+    def _ingest(self, element: StreamElement) -> None:
+        for window in self.assigner.assign(element.event_time):
+            slot = (element.key, window)
+            if window.end <= self._close_frontier:
+                self._record_late(slot, element, window)
+                continue
+            accumulator = self._open.get(slot)
+            if accumulator is None:
+                accumulator = self.aggregate.create()
+                self._open[slot] = accumulator
+                self._open_counts[slot] = 0
+                self._heap_seq += 1
+                heapq.heappush(
+                    self._open_heap,
+                    (window.end, self._heap_seq, element.key, window),
+                )
+            self.aggregate.add(accumulator, element.value)
+            self._open_counts[slot] += 1
+
+    def _record_late(
+        self,
+        slot: tuple[object, Window],
+        element: StreamElement,
+        window: Window,
+    ) -> None:
+        self.stats.late_dropped += 1
+        if not self.track_feedback:
+            return
+        record = self._closed.get(slot)
+        if record is None:
+            # Too old to still be retained, or the window never opened
+            # before it closed (every element late).  Retain a phantom
+            # record when still inside the horizon so the miss is scored.
+            if window.end + self.feedback_horizon <= self._close_frontier:
+                return
+            record = _ClosedRecord(
+                accumulator=self.aggregate.create(),
+                emitted_value=math.nan,
+                emitted_count=0,
+                end=window.end,
+            )
+            self._closed[slot] = record
+            self.stats.missed_windows += 1
+        self.aggregate.add(record.accumulator, element.value)
+        record.late_updates += 1
+        self.stats.late_applied_to_feedback += 1
+
+    # ------------------------------------------------------------------ #
+    # window lifecycle
+
+    def _close_windows(
+        self, frontier: float, emit_time: float, flushed: bool = False
+    ) -> list[WindowResult]:
+        results = []
+        while self._open_heap and self._open_heap[0][0] <= frontier:
+            end, __, key, window = heapq.heappop(self._open_heap)
+            slot = (key, window)
+            accumulator = self._open.pop(slot, None)
+            if accumulator is None:
+                continue
+            count = self._open_counts.pop(slot)
+            value = self.aggregate.result(accumulator)
+            results.append(
+                WindowResult(
+                    key=key,
+                    window=window,
+                    value=value,
+                    count=count,
+                    emit_time=emit_time,
+                    latency=emit_time - end,
+                    flushed=flushed,
+                )
+            )
+            if self.track_feedback:
+                self._closed[slot] = _ClosedRecord(
+                    accumulator=accumulator,
+                    emitted_value=value,
+                    emitted_count=count,
+                    end=end,
+                )
+        if frontier > self._close_frontier:
+            self._close_frontier = frontier
+        self.stats.results_out += len(results)
+        return results
+
+    def _retire_records(self, frontier: float) -> None:
+        if not self.track_feedback:
+            return
+        retire_before = frontier - self.feedback_horizon
+        stale = [
+            slot
+            for slot, record in self._closed.items()
+            if record.end <= retire_before
+        ]
+        for slot in stale:
+            record = self._closed.pop(slot)
+            corrected = self.aggregate.result(record.accumulator)
+            error = relative_error(record.emitted_value, corrected)
+            self.stats.observed_errors.append(error)
+            self.handler.observe_error(error)
+
+    # ------------------------------------------------------------------ #
+    # Operator protocol
+
+    def process(self, element: StreamElement) -> list[WindowResult]:
+        self.stats.elements_in += 1
+        if element.arrival_time is not None:
+            self._last_arrival = max(self._last_arrival, element.arrival_time)
+        emit_time = self._last_arrival
+        released = self.handler.offer(element)
+        for out in released:
+            self._ingest(out)
+        frontier = self.handler.frontier
+        results = self._close_windows(frontier, emit_time)
+        self._retire_records(frontier)
+        return results
+
+    def finish(self) -> list[WindowResult]:
+        emit_time = self._last_arrival
+        for out in self.handler.flush():
+            self._ingest(out)
+        results = self._close_windows(float("inf"), emit_time, flushed=True)
+        self._retire_records(float("inf"))
+        return results

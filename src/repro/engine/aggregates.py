@@ -1,0 +1,320 @@
+"""Aggregate function library for windowed queries.
+
+Each aggregate follows the accumulate/result protocol: ``create()`` builds a
+mutable accumulator, ``add`` folds one value in, ``result`` extracts the
+answer.  Accumulators also support ``merge`` (for shared multi-query
+execution) and, where mathematically possible, late values can simply be
+``add``-ed after a snapshot was taken — which is how the engine measures the
+error of early-emitted results against late-corrected truth.
+
+Every aggregate declares an ``error_model_kind`` consumed by
+:mod:`repro.core.estimators`, naming how missing (late) input mass
+translates into result error:
+
+* ``"additive_mass"`` — count/sum: error is proportional to the missing
+  fraction of input mass.
+* ``"mean"`` — mean-like: missing a random fraction p perturbs the result by
+  roughly p * dispersion/|mean|.
+* ``"extremum"`` — min/max: the result is wrong only when an extreme value
+  is among the late elements (probability ~ p per window).
+* ``"rank"`` — median/quantiles: rank statistics move by about p/2 of the
+  value spread.
+* ``"distinct"`` — distinct count: each late element can remove at most one
+  distinct value; error ~ p.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+class AggregateFunction(ABC):
+    """Protocol for incremental window aggregates."""
+
+    name: str = "aggregate"
+    error_model_kind: str = "additive_mass"
+
+    @abstractmethod
+    def create(self) -> Any:
+        """Build an empty accumulator."""
+
+    @abstractmethod
+    def add(self, accumulator: Any, value: float) -> None:
+        """Fold one value into the accumulator in place."""
+
+    @abstractmethod
+    def result(self, accumulator: Any) -> float:
+        """Extract the aggregate value; empty windows return ``nan``."""
+
+    @abstractmethod
+    def merge(self, accumulator: Any, other: Any) -> Any:
+        """Merge ``other`` into ``accumulator`` in place and return it."""
+
+    def describe(self) -> str:
+        """Short label for logs and experiment tables."""
+        return self.name
+
+
+class CountAggregate(AggregateFunction):
+    """Number of elements in the window."""
+
+    name = "count"
+    error_model_kind = "additive_mass"
+
+    def create(self) -> list[int]:
+        return [0]
+
+    def add(self, accumulator: list[int], value: float) -> None:
+        accumulator[0] += 1
+
+    def result(self, accumulator: list[int]) -> float:
+        return float(accumulator[0])
+
+    def merge(self, accumulator: list[int], other: list[int]) -> list[int]:
+        accumulator[0] += other[0]
+        return accumulator
+
+
+class SumAggregate(AggregateFunction):
+    """Sum of values."""
+
+    name = "sum"
+    error_model_kind = "additive_mass"
+
+    def create(self) -> list[float]:
+        return [0.0]
+
+    def add(self, accumulator: list[float], value: float) -> None:
+        accumulator[0] += value
+
+    def result(self, accumulator: list[float]) -> float:
+        return accumulator[0]
+
+    def merge(self, accumulator: list[float], other: list[float]) -> list[float]:
+        accumulator[0] += other[0]
+        return accumulator
+
+
+class MeanAggregate(AggregateFunction):
+    """Arithmetic mean of values."""
+
+    name = "mean"
+    error_model_kind = "mean"
+
+    def create(self) -> list[float]:
+        return [0.0, 0.0]  # [sum, count]
+
+    def add(self, accumulator: list[float], value: float) -> None:
+        accumulator[0] += value
+        accumulator[1] += 1.0
+
+    def result(self, accumulator: list[float]) -> float:
+        if accumulator[1] == 0:
+            return math.nan
+        return accumulator[0] / accumulator[1]
+
+    def merge(self, accumulator: list[float], other: list[float]) -> list[float]:
+        accumulator[0] += other[0]
+        accumulator[1] += other[1]
+        return accumulator
+
+
+class MinAggregate(AggregateFunction):
+    """Minimum value."""
+
+    name = "min"
+    error_model_kind = "extremum"
+
+    def create(self) -> list[float]:
+        return [math.inf]
+
+    def add(self, accumulator: list[float], value: float) -> None:
+        if value < accumulator[0]:
+            accumulator[0] = value
+
+    def result(self, accumulator: list[float]) -> float:
+        return accumulator[0] if accumulator[0] != math.inf else math.nan
+
+    def merge(self, accumulator: list[float], other: list[float]) -> list[float]:
+        if other[0] < accumulator[0]:
+            accumulator[0] = other[0]
+        return accumulator
+
+
+class MaxAggregate(AggregateFunction):
+    """Maximum value."""
+
+    name = "max"
+    error_model_kind = "extremum"
+
+    def create(self) -> list[float]:
+        return [-math.inf]
+
+    def add(self, accumulator: list[float], value: float) -> None:
+        if value > accumulator[0]:
+            accumulator[0] = value
+
+    def result(self, accumulator: list[float]) -> float:
+        return accumulator[0] if accumulator[0] != -math.inf else math.nan
+
+    def merge(self, accumulator: list[float], other: list[float]) -> list[float]:
+        if other[0] > accumulator[0]:
+            accumulator[0] = other[0]
+        return accumulator
+
+
+class StdDevAggregate(AggregateFunction):
+    """Population standard deviation via Welford's online algorithm."""
+
+    name = "stddev"
+    error_model_kind = "mean"
+
+    def create(self) -> list[float]:
+        return [0.0, 0.0, 0.0]  # [count, mean, M2]
+
+    def add(self, accumulator: list[float], value: float) -> None:
+        accumulator[0] += 1.0
+        delta = value - accumulator[1]
+        accumulator[1] += delta / accumulator[0]
+        accumulator[2] += delta * (value - accumulator[1])
+
+    def result(self, accumulator: list[float]) -> float:
+        if accumulator[0] == 0:
+            return math.nan
+        return math.sqrt(accumulator[2] / accumulator[0])
+
+    def merge(self, accumulator: list[float], other: list[float]) -> list[float]:
+        n_a, mean_a, m2_a = accumulator
+        n_b, mean_b, m2_b = other
+        n = n_a + n_b
+        if n == 0:
+            return accumulator
+        delta = mean_b - mean_a
+        accumulator[0] = n
+        accumulator[1] = mean_a + delta * n_b / n
+        accumulator[2] = m2_a + m2_b + delta * delta * n_a * n_b / n
+        return accumulator
+
+
+class QuantileAggregate(AggregateFunction):
+    """Exact quantile via a retained value list (sorted lazily at result)."""
+
+    name = "quantile"
+    error_model_kind = "rank"
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must lie in [0,1], got {q}")
+        self.q = q
+        self.name = f"p{int(round(q * 100))}"
+
+    def create(self) -> list[float]:
+        return []
+
+    def add(self, accumulator: list[float], value: float) -> None:
+        accumulator.append(value)
+
+    def result(self, accumulator: list[float]) -> float:
+        if not accumulator:
+            return math.nan
+        ordered = sorted(accumulator)
+        # Nearest-rank with linear interpolation (numpy 'linear' method).
+        position = self.q * (len(ordered) - 1)
+        lower = int(math.floor(position))
+        upper = int(math.ceil(position))
+        if lower == upper:
+            return ordered[lower]
+        fraction = position - lower
+        return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+    def merge(self, accumulator: list[float], other: list[float]) -> list[float]:
+        accumulator.extend(other)
+        return accumulator
+
+
+class MedianAggregate(QuantileAggregate):
+    """Exact median (p50)."""
+
+    def __init__(self) -> None:
+        super().__init__(0.5)
+        self.name = "median"
+
+
+class DistinctCountAggregate(AggregateFunction):
+    """Exact count of distinct values (values hashed into a set)."""
+
+    name = "distinct"
+    error_model_kind = "distinct"
+
+    def create(self) -> set:
+        return set()
+
+    def add(self, accumulator: set, value: float) -> None:
+        accumulator.add(value)
+
+    def result(self, accumulator: set) -> float:
+        return float(len(accumulator))
+
+    def merge(self, accumulator: set, other: set) -> set:
+        accumulator.update(other)
+        return accumulator
+
+
+class RangeAggregate(AggregateFunction):
+    """Max - min of the window's values (price range, sensor swing)."""
+
+    name = "range"
+    error_model_kind = "extremum"
+
+    def create(self) -> list[float]:
+        return [math.inf, -math.inf]
+
+    def add(self, accumulator: list[float], value: float) -> None:
+        if value < accumulator[0]:
+            accumulator[0] = value
+        if value > accumulator[1]:
+            accumulator[1] = value
+
+    def result(self, accumulator: list[float]) -> float:
+        if accumulator[0] == math.inf:
+            return math.nan
+        return accumulator[1] - accumulator[0]
+
+    def merge(self, accumulator: list[float], other: list[float]) -> list[float]:
+        accumulator[0] = min(accumulator[0], other[0])
+        accumulator[1] = max(accumulator[1], other[1])
+        return accumulator
+
+
+_REGISTRY: dict[str, type[AggregateFunction]] = {
+    "count": CountAggregate,
+    "sum": SumAggregate,
+    "mean": MeanAggregate,
+    "avg": MeanAggregate,
+    "min": MinAggregate,
+    "max": MaxAggregate,
+    "stddev": StdDevAggregate,
+    "median": MedianAggregate,
+    "distinct": DistinctCountAggregate,
+    "range": RangeAggregate,
+}
+
+
+def make_aggregate(name: str, **kwargs) -> AggregateFunction:
+    """Build an aggregate by name (``"mean"``, ``"p95"``, ``"median"``...).
+
+    Quantiles are addressed as ``"p<nn>"``, e.g. ``make_aggregate("p95")``.
+    """
+    if name.startswith("p") and name[1:].isdigit():
+        return QuantileAggregate(int(name[1:]) / 100.0)
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown aggregate {name!r}; known: {sorted(_REGISTRY)} or p<nn>"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,55 @@
+"""Reordering buffers used by buffer-based disorder handling.
+
+A :class:`SortingBuffer` holds elements in a min-heap keyed by event time and
+releases, on demand, every element at or below a threshold — turning an
+arrival-ordered stream back into an event-time-ordered one up to the chosen
+slack.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.streams.element import StreamElement
+
+
+class SortingBuffer:
+    """Min-heap of stream elements ordered by (event_time, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, StreamElement]] = []
+        self._max_size = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def max_size(self) -> int:
+        """High-water mark of buffered elements (memory proxy)."""
+        return self._max_size
+
+    def push(self, element: StreamElement) -> None:
+        """Insert one element (any event time, including below released)."""
+        heapq.heappush(self._heap, (element.event_time, element.seq, element))
+        if len(self._heap) > self._max_size:
+            self._max_size = len(self._heap)
+
+    def peek_event_time(self) -> float | None:
+        """Event time of the oldest buffered element, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def release_until(self, threshold: float) -> list[StreamElement]:
+        """Pop every element with ``event_time <= threshold``, in order."""
+        released = []
+        while self._heap and self._heap[0][0] <= threshold:
+            released.append(heapq.heappop(self._heap)[2])
+        return released
+
+    def drain(self) -> list[StreamElement]:
+        """Pop everything, in event-time order."""
+        released = []
+        while self._heap:
+            released.append(heapq.heappop(self._heap)[2])
+        return released

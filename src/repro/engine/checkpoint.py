@@ -1,0 +1,55 @@
+"""Operator checkpointing: suspend a continuous query and resume it later.
+
+Continuous queries are long-running by definition; restarts (deploys,
+crashes, rebalances) must not lose window state or the adaptive
+controller's learned slack.  Checkpoints capture the *entire* operator —
+open-window accumulators, the disorder handler's buffer, delay samples,
+controller gain — so a resumed query behaves byte-identically to one that
+never stopped (verified by the resume-equivalence tests).
+
+Implementation: the engine's state is plain Python data (dataclasses,
+lists, dicts, heaps, numpy arrays), so the checkpoint format is a pickle of
+the operator object.  Two consequences:
+
+* any callables wired into the operator (side selectors, predicates,
+  ``source_of``) must be module-level functions, not lambdas or closures,
+  or pickling fails;
+* checkpoints are a *trust boundary*: like every pickle, loading one
+  executes code, so only load checkpoints you wrote.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+CHECKPOINT_MAGIC = b"repro-checkpoint-v1\n"
+
+
+def save_checkpoint(operator, path: str | Path) -> int:
+    """Serialize ``operator`` (with all its state) to ``path``.
+
+    Returns the number of bytes written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = CHECKPOINT_MAGIC + pickle.dumps(operator, protocol=pickle.HIGHEST_PROTOCOL)
+    path.write_bytes(payload)
+    return len(payload)
+
+
+def load_checkpoint(path: str | Path):
+    """Restore an operator saved by :func:`save_checkpoint`.
+
+    Raises:
+        ConfigurationError: missing file or unrecognized format.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"checkpoint does not exist: {path}")
+    payload = path.read_bytes()
+    if not payload.startswith(CHECKPOINT_MAGIC):
+        raise ConfigurationError(f"not a repro checkpoint: {path}")
+    return pickle.loads(payload[len(CHECKPOINT_MAGIC):])

@@ -1,0 +1,202 @@
+"""Disorder handlers: the pluggable policies that decide when to trust time.
+
+A :class:`DisorderHandler` sits in front of a windowed operator.  It receives
+the arrival-ordered stream and decides
+
+* which elements to release downstream (possibly reordered), and
+* how far the operator's **event-time frontier** has advanced — windows
+  ending at or before the frontier may be finalized.
+
+The frontier is the single knob that trades latency for quality: a frontier
+that hugs the newest event time closes windows immediately (low latency,
+wrong results under disorder); a frontier lagging by the maximum delay closes
+windows only when they are certainly complete (exact results, worst-case
+latency).
+
+This module provides the baselines; the paper's adaptive, quality-driven
+handler lives in :mod:`repro.core.aqk`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+from repro.streams.element import StreamElement
+from repro.streams.timebase import EventTimeFrontier
+from repro.engine.buffer import SortingBuffer
+
+
+class DisorderHandler(ABC):
+    """Policy controlling element release and frontier advancement."""
+
+    name = "handler"
+
+    @abstractmethod
+    def offer(self, element: StreamElement) -> list[StreamElement]:
+        """Accept one arriving element; return elements released downstream."""
+
+    @abstractmethod
+    def flush(self) -> list[StreamElement]:
+        """Stream ended: release everything still buffered."""
+
+    @property
+    @abstractmethod
+    def frontier(self) -> float:
+        """Monotone event-time frontier; ``-inf`` before any element."""
+
+    @property
+    def current_slack(self) -> float:
+        """Slack (buffering lag, seconds) currently in effect; 0 if none."""
+        return 0.0
+
+    def buffered_count(self) -> int:
+        """Number of elements currently held back."""
+        return 0
+
+    def max_buffered_count(self) -> int:
+        """High-water mark of held-back elements (memory proxy)."""
+        return 0
+
+    def observe_error(self, error: float) -> None:
+        """Feedback hook: observed relative error of a retired window.
+
+        Baselines ignore feedback; the adaptive handler consumes it.
+        """
+
+    def describe(self) -> str:
+        """Short label for logs and experiment tables."""
+        return self.name
+
+
+class NoBufferHandler(DisorderHandler):
+    """Zero-latency baseline: release immediately, frontier = newest event.
+
+    Every out-of-order element whose windows already closed is dropped by the
+    operator downstream — this is the quality floor of the evaluation.
+    """
+
+    name = "no-buffer"
+
+    def __init__(self) -> None:
+        self._frontier = EventTimeFrontier()
+
+    def offer(self, element: StreamElement) -> list[StreamElement]:
+        self._frontier.observe(element.event_time)
+        return [element]
+
+    def flush(self) -> list[StreamElement]:
+        return []
+
+    @property
+    def frontier(self) -> float:
+        return self._frontier.value
+
+
+class KSlackHandler(DisorderHandler):
+    """Classic fixed K-slack buffering.
+
+    Elements are buffered and released in event-time order once the running
+    maximum event time ("clock") exceeds their timestamp by at least ``K``.
+    The frontier is ``clock - K`` (monotone because the clock is monotone).
+    Elements delayed by more than ``K`` are still forwarded, but arrive past
+    the frontier and are counted late downstream.
+    """
+
+    name = "k-slack"
+
+    def __init__(self, k: float) -> None:
+        if k < 0:
+            raise ConfigurationError(f"slack K must be non-negative, got {k}")
+        self.k = k
+        self._clock = EventTimeFrontier()
+        self._buffer = SortingBuffer()
+        self._frontier_value = float("-inf")
+
+    def _advance_frontier(self) -> None:
+        candidate = self._clock.value - self.k
+        if candidate > self._frontier_value:
+            self._frontier_value = candidate
+
+    def offer(self, element: StreamElement) -> list[StreamElement]:
+        self._clock.observe(element.event_time)
+        self._buffer.push(element)
+        self._advance_frontier()
+        return self._buffer.release_until(self._frontier_value)
+
+    def flush(self) -> list[StreamElement]:
+        return self._buffer.drain()
+
+    @property
+    def frontier(self) -> float:
+        return self._frontier_value
+
+    @property
+    def current_slack(self) -> float:
+        return self.k
+
+    def buffered_count(self) -> int:
+        return len(self._buffer)
+
+    def max_buffered_count(self) -> int:
+        return self._buffer.max_size
+
+    def describe(self) -> str:
+        return f"k-slack(K={self.k:g}s)"
+
+
+class MPKSlackHandler(DisorderHandler):
+    """MP-K-slack: conservative adaptive baseline tracking the max delay.
+
+    ``K`` grows to the largest element delay observed so far (optionally
+    padded by ``safety_factor``), so results become exact once the true
+    worst case has been seen — at the price of worst-case latency forever
+    after.  This is the "conservative" comparison point of experiment E3.
+    """
+
+    name = "mp-k-slack"
+
+    def __init__(self, initial_k: float = 0.0, safety_factor: float = 1.0) -> None:
+        if initial_k < 0:
+            raise ConfigurationError(f"initial K must be non-negative, got {initial_k}")
+        if safety_factor < 1.0:
+            raise ConfigurationError(
+                f"safety_factor must be >= 1, got {safety_factor}"
+            )
+        self.k = initial_k
+        self.safety_factor = safety_factor
+        self._clock = EventTimeFrontier()
+        self._buffer = SortingBuffer()
+        self._frontier_value = float("-inf")
+
+    def offer(self, element: StreamElement) -> list[StreamElement]:
+        if element.arrival_time is not None:
+            observed = element.delay * self.safety_factor
+            if observed > self.k:
+                self.k = observed
+        self._clock.observe(element.event_time)
+        self._buffer.push(element)
+        candidate = self._clock.value - self.k
+        if candidate > self._frontier_value:
+            self._frontier_value = candidate
+        return self._buffer.release_until(self._frontier_value)
+
+    def flush(self) -> list[StreamElement]:
+        return self._buffer.drain()
+
+    @property
+    def frontier(self) -> float:
+        return self._frontier_value
+
+    @property
+    def current_slack(self) -> float:
+        return self.k
+
+    def buffered_count(self) -> int:
+        return len(self._buffer)
+
+    def max_buffered_count(self) -> int:
+        return self._buffer.max_size
+
+    def describe(self) -> str:
+        return f"mp-k-slack(K={self.k:g}s)"

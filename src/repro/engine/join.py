@@ -1,0 +1,211 @@
+"""Event-time interval join under disorder handling.
+
+:class:`IntervalJoinOperator` joins two logical streams (distinguished by a
+side selector) on equal join keys and event times within ``bound`` seconds
+of each other.  A disorder handler supplies the frontier; each side's
+released elements are retained until no in-frontier partner can still
+appear, so elements later than the handler's slack lose their matches —
+the join analogue of dropped-late aggregation input, and the quantity the
+quality metrics score (pair recall).
+
+With ``shadow_horizon > 0`` the operator additionally keeps *pruned*
+elements in a bounded shadow store: when a late element arrives it is
+matched against the shadow to count the pairs that were **lost** (partner
+already pruned).  This lost-pair counter is the observed-error signal the
+quality-driven join (:class:`repro.core.join_quality.QualityDrivenIntervalJoin`)
+feeds back into its adaptive slack controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine.handlers import DisorderHandler
+from repro.errors import ConfigurationError
+from repro.streams.element import StreamElement
+
+
+@dataclass(frozen=True, slots=True)
+class JoinResult:
+    """One emitted join pair."""
+
+    key: object
+    left_time: float
+    right_time: float
+    left_value: object
+    right_value: object
+    emit_time: float
+
+    @property
+    def latency(self) -> float:
+        """Delay of the pair past the moment both events had happened."""
+        return self.emit_time - max(self.left_time, self.right_time)
+
+
+class IntervalJoinOperator:
+    """Equi-key interval join: ``|t_left - t_right| <= bound``."""
+
+    def __init__(
+        self,
+        bound: float,
+        handler: DisorderHandler,
+        side_selector: Callable[[StreamElement], str],
+        shadow_horizon: float = 0.0,
+    ) -> None:
+        if bound < 0:
+            raise ConfigurationError(f"bound must be non-negative, got {bound}")
+        if shadow_horizon < 0:
+            raise ConfigurationError(
+                f"shadow_horizon must be non-negative, got {shadow_horizon}"
+            )
+        self.bound = bound
+        self.handler = handler
+        self.side_selector = side_selector
+        self.shadow_horizon = shadow_horizon
+        self._stores: dict[str, dict[object, list[StreamElement]]] = {
+            "left": {},
+            "right": {},
+        }
+        self._shadows: dict[str, dict[object, list[StreamElement]]] = {
+            "left": {},
+            "right": {},
+        }
+        self.late_dropped = 0
+        self.emitted_pairs = 0
+        self.lost_pairs = 0
+        self._prune_frontier = float("-inf")
+        self._last_arrival = 0.0
+
+    def _match(self, element: StreamElement, side: str) -> list[JoinResult]:
+        other_side = "right" if side == "left" else "left"
+        partners = self._stores[other_side].get(element.key, [])
+        results = []
+        for partner in partners:
+            if abs(partner.event_time - element.event_time) <= self.bound:
+                left, right = (element, partner) if side == "left" else (partner, element)
+                results.append(
+                    JoinResult(
+                        key=element.key,
+                        left_time=left.event_time,
+                        right_time=right.event_time,
+                        left_value=left.value,
+                        right_value=right.value,
+                        emit_time=self._last_arrival,
+                    )
+                )
+        return results
+
+    def _count_lost(self, element: StreamElement, side: str) -> None:
+        """Count matches this late element can no longer form."""
+        other_side = "right" if side == "left" else "left"
+        for partner in self._shadows[other_side].get(element.key, []):
+            if abs(partner.event_time - element.event_time) <= self.bound:
+                self.lost_pairs += 1
+
+    def _ingest(self, element: StreamElement) -> list[JoinResult]:
+        side = self.side_selector(element)
+        if side not in ("left", "right"):
+            raise ConfigurationError(f"side selector returned {side!r}")
+        if element.event_time < self._prune_frontier:
+            # Partners below the prune line are gone: matches are lost.
+            self.late_dropped += 1
+        if self.shadow_horizon > 0:
+            # Loss accounting runs for EVERY element, not only flagged-late
+            # ones: an on-time element can still have in-bound partners in
+            # the shadow (partners pruned while this element was in flight).
+            self._count_lost(element, side)
+        results = self._match(element, side)
+        self.emitted_pairs += len(results)
+        self._stores[side].setdefault(element.key, []).append(element)
+        return results
+
+    def _prune(self, frontier: float) -> None:
+        threshold = frontier - self.bound
+        if threshold <= self._prune_frontier:
+            return
+        self._prune_frontier = threshold
+        for side, store in self._stores.items():
+            shadow = self._shadows[side]
+            for key, elements in list(store.items()):
+                kept = [el for el in elements if el.event_time >= threshold]
+                if self.shadow_horizon > 0:
+                    pruned = [el for el in elements if el.event_time < threshold]
+                    if pruned:
+                        shadow.setdefault(key, []).extend(pruned)
+                if kept:
+                    store[key] = kept
+                else:
+                    del store[key]
+        if self.shadow_horizon > 0:
+            expiry = threshold - self.shadow_horizon
+            for shadow in self._shadows.values():
+                for key, elements in list(shadow.items()):
+                    kept = [el for el in elements if el.event_time >= expiry]
+                    if kept:
+                        shadow[key] = kept
+                    else:
+                        del shadow[key]
+
+    def process(self, element: StreamElement) -> list[JoinResult]:
+        """Consume one arriving element; return pairs completed by it."""
+        if element.arrival_time is not None:
+            self._last_arrival = max(self._last_arrival, element.arrival_time)
+        results = []
+        for out in self.handler.offer(element):
+            results.extend(self._ingest(out))
+        self._prune(self.handler.frontier)
+        return results
+
+    def finish(self) -> list[JoinResult]:
+        """Stream ended: flush the handler and emit remaining pairs."""
+        results = []
+        for out in self.handler.flush():
+            results.extend(self._ingest(out))
+        self.emitted_pairs += 0  # counted in _ingest
+        return results
+
+    def stored_count(self) -> int:
+        """Total elements currently retained across both sides."""
+        return sum(
+            len(elements)
+            for store in self._stores.values()
+            for elements in store.values()
+        )
+
+    def shadow_count(self) -> int:
+        """Elements retained in the feedback shadow store."""
+        return sum(
+            len(elements)
+            for shadow in self._shadows.values()
+            for elements in shadow.values()
+        )
+
+    def recall_loss_estimate(self) -> float:
+        """Observed fraction of pairs lost to lateness (lower bound)."""
+        total = self.emitted_pairs + self.lost_pairs
+        if total == 0:
+            return 0.0
+        return self.lost_pairs / total
+
+
+def oracle_join_pairs(
+    elements: list[StreamElement],
+    bound: float,
+    side_selector: Callable[[StreamElement], str],
+) -> set[tuple[object, float, float]]:
+    """All (key, left_time, right_time) pairs a complete join would emit."""
+    by_key: dict[object, tuple[list[StreamElement], list[StreamElement]]] = {}
+    for element in elements:
+        left, right = by_key.setdefault(element.key, ([], []))
+        if side_selector(element) == "left":
+            left.append(element)
+        else:
+            right.append(element)
+    pairs = set()
+    for key, (lefts, rights) in by_key.items():
+        for left in lefts:
+            for right in rights:
+                if abs(left.event_time - right.event_time) <= bound:
+                    pairs.add((key, left.event_time, right.event_time))
+    return pairs

@@ -1,0 +1,63 @@
+"""Run instrumentation: latency summaries, throughput, buffer telemetry."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of per-window result latencies (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @staticmethod
+    def from_values(values: list[float]) -> "LatencySummary":
+        if not values:
+            return LatencySummary(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+        array = np.asarray(values, dtype=float)
+        return LatencySummary(
+            count=len(values),
+            mean=float(array.mean()),
+            p50=float(np.quantile(array, 0.5)),
+            p95=float(np.quantile(array, 0.95)),
+            p99=float(np.quantile(array, 0.99)),
+            maximum=float(array.max()),
+        )
+
+
+@dataclass(frozen=True)
+class SlackSample:
+    """One point of the handler timeline (for adaptation plots)."""
+
+    arrival_time: float
+    slack: float
+    frontier: float
+    buffered: int
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured during one pipeline run."""
+
+    n_elements: int = 0
+    n_results: int = 0
+    wall_time_s: float = 0.0
+    late_dropped: int = 0
+    max_buffered: int = 0
+    slack_timeline: list[SlackSample] = field(default_factory=list)
+
+    @property
+    def throughput_eps(self) -> float:
+        """Elements processed per wall-clock second."""
+        if self.wall_time_s <= 0:
+            return math.nan
+        return self.n_elements / self.wall_time_s

@@ -1,0 +1,47 @@
+"""In-order oracle execution: the ground truth for quality measurement.
+
+The oracle evaluates the same windowed aggregation over the stream sorted by
+event time with no lateness at all, producing the exact value of every
+non-empty window.  Emitted results are scored against this truth by
+:mod:`repro.core.quality`.
+"""
+
+from __future__ import annotations
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.windows import Window, WindowAssigner
+from repro.streams.element import StreamElement
+
+
+def oracle_results(
+    elements: list[StreamElement],
+    assigner: WindowAssigner,
+    aggregate: AggregateFunction,
+) -> dict[tuple[object, Window], tuple[float, int]]:
+    """Exact per-window aggregates of the complete stream.
+
+    Args:
+        elements: The stream in any order; the oracle sorts by event time.
+        assigner: Window assigner matching the query under test.
+        aggregate: Aggregate function matching the query under test.
+
+    Returns:
+        Mapping ``(key, window) -> (exact value, element count)`` for every
+        window that contains at least one element.
+    """
+    accumulators: dict[tuple[object, Window], object] = {}
+    counts: dict[tuple[object, Window], int] = {}
+    for element in sorted(elements, key=StreamElement.event_sort_key):
+        for window in assigner.assign(element.event_time):
+            slot = (element.key, window)
+            accumulator = accumulators.get(slot)
+            if accumulator is None:
+                accumulator = aggregate.create()
+                accumulators[slot] = accumulator
+                counts[slot] = 0
+            aggregate.add(accumulator, element.value)
+            counts[slot] += 1
+    return {
+        slot: (aggregate.result(accumulator), counts[slot])
+        for slot, accumulator in accumulators.items()
+    }

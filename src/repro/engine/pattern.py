@@ -1,0 +1,221 @@
+"""Sequence-pattern matching (CEP) under disorder handling.
+
+:class:`SequencePatternOperator` detects the canonical two-stage pattern
+*"A followed by B within t seconds"* per key, in **event time**: a match is
+a pair (a, b) with ``first_predicate(a)``, ``second_predicate(b)``,
+``a.key == b.key`` and ``a.event_time < b.event_time <= a.event_time + within``.
+
+Sequence patterns are the most disorder-sensitive query shape: unlike
+windows (where a late element shifts an aggregate slightly) a late A or B
+makes an entire match appear or disappear.  The operator therefore consumes
+its input through a :class:`~repro.engine.handlers.DisorderHandler`, stores
+candidate A's and B's until the frontier proves no partner can still
+arrive, and counts matches lost to pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine.handlers import DisorderHandler
+from repro.errors import ConfigurationError
+from repro.streams.element import StreamElement
+
+
+@dataclass(frozen=True, slots=True)
+class PatternMatch:
+    """One detected A-then-B occurrence."""
+
+    key: object
+    first_time: float
+    second_time: float
+    first_value: object
+    second_value: object
+    emit_time: float
+
+    @property
+    def latency(self) -> float:
+        """Delay of the detection past the pattern's completion time."""
+        return self.emit_time - self.second_time
+
+
+class SequencePatternOperator:
+    """Detects ``A -> B within t`` per key over a disordered stream."""
+
+    def __init__(
+        self,
+        first_predicate: Callable[[StreamElement], bool],
+        second_predicate: Callable[[StreamElement], bool],
+        within: float,
+        handler: DisorderHandler,
+        shadow_horizon: float = 0.0,
+    ) -> None:
+        if within <= 0:
+            raise ConfigurationError(f"within must be positive, got {within}")
+        if shadow_horizon < 0:
+            raise ConfigurationError(
+                f"shadow_horizon must be non-negative, got {shadow_horizon}"
+            )
+        self.first_predicate = first_predicate
+        self.second_predicate = second_predicate
+        self.within = within
+        self.handler = handler
+        self.shadow_horizon = shadow_horizon
+        # key -> list of candidate elements per role.
+        self._firsts: dict[object, list[StreamElement]] = {}
+        self._seconds: dict[object, list[StreamElement]] = {}
+        # Pruned candidates retained for loss measurement (feedback).
+        self._shadow_firsts: dict[object, list[StreamElement]] = {}
+        self._shadow_seconds: dict[object, list[StreamElement]] = {}
+        self.matches_emitted = 0
+        self.matches_lost = 0
+        self.late_dropped = 0
+        self._prune_frontier = float("-inf")
+        self._last_arrival = 0.0
+
+    def _is_match(self, first: StreamElement, second: StreamElement) -> bool:
+        gap = second.event_time - first.event_time
+        return 0.0 < gap <= self.within
+
+    def _emit(self, first: StreamElement, second: StreamElement) -> PatternMatch:
+        self.matches_emitted += 1
+        return PatternMatch(
+            key=first.key,
+            first_time=first.event_time,
+            second_time=second.event_time,
+            first_value=first.value,
+            second_value=second.value,
+            emit_time=self._last_arrival,
+        )
+
+    def _count_lost(self, element: StreamElement, is_first: bool, is_second: bool) -> None:
+        """Count matches this element can no longer form: partners pruned."""
+        if is_second:
+            for first in self._shadow_firsts.get(element.key, []):
+                if self._is_match(first, element):
+                    self.matches_lost += 1
+        if is_first:
+            for second in self._shadow_seconds.get(element.key, []):
+                if self._is_match(element, second):
+                    self.matches_lost += 1
+
+    def _ingest(self, element: StreamElement) -> list[PatternMatch]:
+        if element.event_time < self._prune_frontier:
+            self.late_dropped += 1
+        matches = []
+        is_first = self.first_predicate(element)
+        is_second = self.second_predicate(element)
+        if self.shadow_horizon > 0:
+            self._count_lost(element, is_first, is_second)
+        if is_second:
+            for first in self._firsts.get(element.key, []):
+                if self._is_match(first, element):
+                    matches.append(self._emit(first, element))
+        if is_first:
+            # Out-of-order release (watermark handlers) can deliver the B
+            # before its A: match stored seconds as well.
+            for second in self._seconds.get(element.key, []):
+                if self._is_match(element, second):
+                    matches.append(self._emit(element, second))
+        if is_first:
+            self._firsts.setdefault(element.key, []).append(element)
+        if is_second:
+            self._seconds.setdefault(element.key, []).append(element)
+        return matches
+
+    def _prune(self, frontier: float) -> None:
+        threshold = frontier - self.within
+        if threshold <= self._prune_frontier:
+            return
+        self._prune_frontier = threshold
+        for store, shadow in (
+            (self._firsts, self._shadow_firsts),
+            (self._seconds, self._shadow_seconds),
+        ):
+            for key, elements in list(store.items()):
+                kept = [el for el in elements if el.event_time >= threshold]
+                if self.shadow_horizon > 0:
+                    pruned = [el for el in elements if el.event_time < threshold]
+                    if pruned:
+                        shadow.setdefault(key, []).extend(pruned)
+                if kept:
+                    store[key] = kept
+                else:
+                    del store[key]
+        if self.shadow_horizon > 0:
+            expiry = threshold - self.shadow_horizon
+            for shadow in (self._shadow_firsts, self._shadow_seconds):
+                for key, elements in list(shadow.items()):
+                    kept = [el for el in elements if el.event_time >= expiry]
+                    if kept:
+                        shadow[key] = kept
+                    else:
+                        del shadow[key]
+
+    def process(self, element: StreamElement) -> list[PatternMatch]:
+        """Consume one arriving element; return matches completed by it."""
+        if element.arrival_time is not None:
+            self._last_arrival = max(self._last_arrival, element.arrival_time)
+        matches = []
+        for out in self.handler.offer(element):
+            matches.extend(self._ingest(out))
+        self._prune(self.handler.frontier)
+        return matches
+
+    def finish(self) -> list[PatternMatch]:
+        """Stream ended: flush the handler and emit remaining matches."""
+        matches = []
+        for out in self.handler.flush():
+            matches.extend(self._ingest(out))
+        return matches
+
+    def stored_count(self) -> int:
+        """Candidate elements currently retained."""
+        return sum(
+            len(elements)
+            for store in (self._firsts, self._seconds)
+            for elements in store.values()
+        )
+
+    def recall_loss_estimate(self) -> float:
+        """Observed fraction of matches lost to lateness (lower bound)."""
+        total = self.matches_emitted + self.matches_lost
+        if total == 0:
+            return 0.0
+        return self.matches_lost / total
+
+
+def oracle_pattern_matches(
+    elements: list[StreamElement],
+    first_predicate: Callable[[StreamElement], bool],
+    second_predicate: Callable[[StreamElement], bool],
+    within: float,
+) -> set[tuple[object, float, float]]:
+    """All (key, first_time, second_time) matches of the complete stream."""
+    firsts: dict[object, list[StreamElement]] = {}
+    seconds: dict[object, list[StreamElement]] = {}
+    for element in elements:
+        if first_predicate(element):
+            firsts.setdefault(element.key, []).append(element)
+        if second_predicate(element):
+            seconds.setdefault(element.key, []).append(element)
+    matches = set()
+    for key, candidates in firsts.items():
+        for first in candidates:
+            for second in seconds.get(key, []):
+                gap = second.event_time - first.event_time
+                if 0.0 < gap <= within:
+                    matches.add((key, first.event_time, second.event_time))
+    return matches
+
+
+def pattern_recall(
+    matches: list[PatternMatch],
+    oracle: set[tuple[object, float, float]],
+) -> float:
+    """Fraction of true matches actually detected."""
+    if not oracle:
+        return float("nan")
+    emitted = {(m.key, m.first_time, m.second_time) for m in matches}
+    return len(emitted & oracle) / len(oracle)

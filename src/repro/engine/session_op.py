@@ -1,0 +1,100 @@
+"""Session-window aggregation under disorder handling.
+
+Sessions group events per key that are separated by less than ``gap``
+seconds; a session closes when the frontier passes ``last_event + gap``.
+Late elements may *split-brain* sessions (an event that would have bridged
+two sessions arrives after both closed) — session queries are therefore
+particularly sensitive to disorder, which is why they appear in the extended
+evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.handlers import DisorderHandler
+from repro.engine.operator import Operator, WindowResult
+from repro.engine.windows import SessionWindowMerger, Window
+from repro.errors import ConfigurationError
+from repro.streams.element import StreamElement
+
+
+class SessionAggregateOperator(Operator):
+    """Aggregates per-key session windows with a pluggable handler."""
+
+    def __init__(
+        self,
+        gap: float,
+        aggregate: AggregateFunction,
+        handler: DisorderHandler,
+    ) -> None:
+        if gap <= 0:
+            raise ConfigurationError(f"gap must be positive, got {gap}")
+        self.gap = gap
+        self.aggregate = aggregate
+        self.handler = handler
+        self._merger = SessionWindowMerger(gap)
+        # key -> {session_start: [accumulator, count, last_event]}
+        self._state: dict[object, dict[float, list]] = {}
+        self._last_arrival = 0.0
+        self._close_frontier = float("-inf")
+        self.late_dropped = 0
+
+    def _ingest(self, element: StreamElement) -> None:
+        # Late means: the session this event could belong to was already
+        # closed in a previous round (lateness is judged against the
+        # frontier at the last close, not the one that released the batch).
+        if element.event_time + self.gap <= self._close_frontier:
+            # The session this event belongs to (if any) already closed.
+            self.late_dropped += 1
+            return
+        key_state = self._state.setdefault(element.key, {})
+        before = set(key_state)
+        start, last = self._merger.add(element.key, element.event_time)
+        merged_starts = [s for s in before if start <= s <= last and s in key_state]
+        accumulator = self.aggregate.create()
+        count = 0
+        for old_start in merged_starts:
+            old_acc, old_count, __ = key_state.pop(old_start)
+            self.aggregate.merge(accumulator, old_acc)
+            count += old_count
+        self.aggregate.add(accumulator, element.value)
+        key_state[start] = [accumulator, count + 1, last]
+
+    def _close(self, frontier: float, flushed: bool = False) -> list[WindowResult]:
+        results = []
+        for key in list(self._state):
+            for start, last in self._merger.closable(key, frontier):
+                entry = self._state[key].pop(start, None)
+                if entry is None:
+                    continue
+                accumulator, count, __ = entry
+                window = Window(start, last + self.gap)
+                results.append(
+                    WindowResult(
+                        key=key,
+                        window=window,
+                        value=self.aggregate.result(accumulator),
+                        count=count,
+                        emit_time=self._last_arrival,
+                        latency=self._last_arrival - window.end,
+                        flushed=flushed,
+                    )
+                )
+            if not self._state[key]:
+                del self._state[key]
+        if frontier > self._close_frontier:
+            self._close_frontier = frontier
+        results.sort(key=lambda r: (r.window.end, str(r.key)))
+        return results
+
+    def process(self, element: StreamElement) -> list[WindowResult]:
+        if element.arrival_time is not None:
+            self._last_arrival = max(self._last_arrival, element.arrival_time)
+        for out in self.handler.offer(element):
+            self._ingest(out)
+        return self._close(self.handler.frontier)
+
+    def finish(self) -> list[WindowResult]:
+        for out in self.handler.flush():
+            self._ingest(out)
+        return self._close(float("inf"), flushed=True)

@@ -1,0 +1,290 @@
+"""Constant-memory sketches for streaming state.
+
+The exact aggregates in :mod:`repro.engine.aggregates` retain values
+(quantiles) or value sets (distinct count), which is fine for the window
+sizes the evaluation uses but not for unbounded keys/windows.  This module
+provides the sketch counterparts a production engine ships:
+
+* :class:`P2Quantile` — the Jain/Chlamtac P² algorithm: an O(1)-memory
+  streaming quantile estimate using five markers and parabolic
+  interpolation.  Also usable as a delay tracker
+  (:class:`~repro.core.sampling` offers an adapter).
+* :class:`HyperLogLog` — approximate distinct counting with
+  ``1.04/sqrt(2^p)`` relative standard error.
+* :class:`SpaceSaving` — heavy hitters / top-k with bounded counters.
+
+plus window-aggregate adapters (:class:`ApproxQuantileAggregate`,
+:class:`ApproxDistinctAggregate`) so queries can opt into bounded state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+from repro.engine.aggregates import AggregateFunction
+from repro.errors import ConfigurationError
+
+
+class P2Quantile:
+    """Streaming quantile estimation via the P-squared algorithm.
+
+    Keeps five markers whose heights approximate the q-quantile without
+    storing observations.  Exact while fewer than five values have been
+    seen (falls back to sorting them).
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ConfigurationError(f"q must lie in (0, 1), got {q}")
+        self.q = q
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments: list[float] = []
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def _initialize(self) -> None:
+        self._initial.sort()
+        self._heights = list(self._initial)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        q = self.q
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the marker state."""
+        self._count += 1
+        if self._count <= 5:
+            self._initial.append(value)
+            if self._count == 5:
+                self._initialize()
+            return
+
+        heights = self._heights
+        positions = self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._increments[index]
+
+        for index in (1, 2, 3):
+            delta = self._desired[index] - positions[index]
+            step = 1.0 if delta >= 1.0 else -1.0 if delta <= -1.0 else 0.0
+            if step == 0.0:
+                continue
+            gap_next = positions[index + 1] - positions[index]
+            gap_prev = positions[index - 1] - positions[index]
+            if (step == 1.0 and gap_next > 1.0) or (step == -1.0 and gap_prev < -1.0):
+                candidate = self._parabolic(index, step)
+                if not heights[index - 1] < candidate < heights[index + 1]:
+                    candidate = self._linear(index, step)
+                heights[index] = candidate
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        numerator_left = positions[index] - positions[index - 1] + step
+        numerator_right = positions[index + 1] - positions[index] - step
+        slope_right = (heights[index + 1] - heights[index]) / (
+            positions[index + 1] - positions[index]
+        )
+        slope_left = (heights[index] - heights[index - 1]) / (
+            positions[index] - positions[index - 1]
+        )
+        return heights[index] + (step / (positions[index + 1] - positions[index - 1])) * (
+            numerator_left * slope_right + numerator_right * slope_left
+        )
+
+    def _linear(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        other = index + int(step)
+        return heights[index] + step * (heights[other] - heights[index]) / (
+            positions[other] - positions[index]
+        )
+
+    def value(self) -> float:
+        """Current quantile estimate (``nan`` before any observation)."""
+        if self._count == 0:
+            return math.nan
+        if self._count <= 5:
+            ordered = sorted(self._initial)
+            rank = min(len(ordered) - 1, int(math.ceil(self.q * len(ordered))) - 1)
+            return ordered[max(rank, 0)]
+        return self._heights[2]
+
+
+def _hash64(value) -> int:
+    digest = hashlib.blake2b(repr(value).encode(), digest_size=8).digest()
+    return struct.unpack(">Q", digest)[0]
+
+
+class HyperLogLog:
+    """Approximate distinct counting (Flajolet et al., with small-range
+    linear counting correction)."""
+
+    def __init__(self, precision: int = 12) -> None:
+        if not 4 <= precision <= 18:
+            raise ConfigurationError(
+                f"precision must lie in [4, 18], got {precision}"
+            )
+        self.precision = precision
+        self.m = 1 << precision
+        self._registers = bytearray(self.m)
+        if self.m >= 128:
+            self._alpha = 0.7213 / (1.0 + 1.079 / self.m)
+        elif self.m == 64:
+            self._alpha = 0.709
+        elif self.m == 32:
+            self._alpha = 0.697
+        else:
+            self._alpha = 0.673
+
+    def add(self, value) -> None:
+        """Fold one value in (hashed by repr; duplicates are free)."""
+        hashed = _hash64(value)
+        register = hashed >> (64 - self.precision)
+        remainder = hashed << self.precision & ((1 << 64) - 1)
+        # Rank: position of the leftmost 1-bit in the remaining 64-p bits.
+        rank = 1
+        probe = 1 << 63
+        while rank <= 64 - self.precision and not remainder & probe:
+            rank += 1
+            probe >>= 1
+        if rank > self._registers[register]:
+            self._registers[register] = rank
+
+    def estimate(self) -> float:
+        """Approximate number of distinct values added so far."""
+        total = sum(2.0 ** -register for register in self._registers)
+        raw = self._alpha * self.m * self.m / total
+        if raw <= 2.5 * self.m:
+            zeros = self._registers.count(0)
+            if zeros:
+                return self.m * math.log(self.m / zeros)
+        return raw
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        """Union in place: register-wise max with ``other``; returns self."""
+        if other.precision != self.precision:
+            raise ConfigurationError("cannot merge HLLs of different precision")
+        for index, register in enumerate(other._registers):
+            if register > self._registers[index]:
+                self._registers[index] = register
+        return self
+
+    @property
+    def relative_error(self) -> float:
+        """Expected relative standard error of the estimate."""
+        return 1.04 / math.sqrt(self.m)
+
+
+class SpaceSaving:
+    """Heavy-hitter tracking with at most ``capacity`` counters
+    (Metwally et al.).  Guarantees ``count_true <= count_est <=
+    count_true + min_counter``."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._counts: dict[object, int] = {}
+        self._errors: dict[object, int] = {}
+
+    def add(self, item, weight: int = 1) -> None:
+        """Count ``item``, evicting the smallest counter when full."""
+        if weight <= 0:
+            raise ConfigurationError(f"weight must be positive, got {weight}")
+        if item in self._counts:
+            self._counts[item] += weight
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[item] = weight
+            self._errors[item] = 0
+            return
+        victim = min(self._counts, key=self._counts.__getitem__)
+        victim_count = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[item] = victim_count + weight
+        self._errors[item] = victim_count
+
+    def top(self, k: int) -> list[tuple[object, int]]:
+        """The k largest estimated counts, descending."""
+        ordered = sorted(self._counts.items(), key=lambda kv: -kv[1])
+        return ordered[:k]
+
+    def guaranteed(self, k: int) -> list[tuple[object, int]]:
+        """Top-k entries whose estimated count is provably above the
+        possible true count of anything evicted."""
+        return [
+            (item, count)
+            for item, count in self.top(k)
+            if count - self._errors[item] > 0
+        ]
+
+
+class ApproxQuantileAggregate(AggregateFunction):
+    """Window quantile via P² — O(1) state per window."""
+
+    error_model_kind = "rank"
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ConfigurationError(f"q must lie in (0, 1), got {q}")
+        self.q = q
+        self.name = f"~p{int(round(q * 100))}"
+
+    def create(self) -> P2Quantile:
+        return P2Quantile(self.q)
+
+    def add(self, accumulator: P2Quantile, value: float) -> None:
+        accumulator.observe(value)
+
+    def result(self, accumulator: P2Quantile) -> float:
+        return accumulator.value()
+
+    def merge(self, accumulator: P2Quantile, other: P2Quantile) -> P2Quantile:
+        raise ConfigurationError(
+            "P2 sketches cannot be merged; use the exact QuantileAggregate "
+            "for shared/merging execution"
+        )
+
+
+class ApproxDistinctAggregate(AggregateFunction):
+    """Window distinct count via HyperLogLog — bounded state, mergeable."""
+
+    error_model_kind = "distinct"
+
+    def __init__(self, precision: int = 12) -> None:
+        self.precision = precision
+        self.name = "~distinct"
+
+    def create(self) -> HyperLogLog:
+        return HyperLogLog(self.precision)
+
+    def add(self, accumulator: HyperLogLog, value) -> None:
+        accumulator.add(value)
+
+    def result(self, accumulator: HyperLogLog) -> float:
+        return accumulator.estimate()
+
+    def merge(self, accumulator: HyperLogLog, other: HyperLogLog) -> HyperLogLog:
+        return accumulator.merge(other)

@@ -1,0 +1,83 @@
+"""Top-k window aggregates: exact and sketch-backed.
+
+``result`` returns a tuple of ``(value, count)`` pairs ordered by
+descending count (ties broken by value), so results are hashable and
+quality scoring degrades gracefully to exact-match (a top-k list is either
+the right list or it is not — see
+:func:`repro.engine.aggregate_op.relative_error`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.sketches import SpaceSaving
+from repro.errors import ConfigurationError
+
+
+def _ranked(counts: dict, k: int) -> tuple:
+    ordered = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+    return tuple(ordered[:k])
+
+
+class TopKCountAggregate(AggregateFunction):
+    """Exact k most frequent values in the window."""
+
+    error_model_kind = "distinct"
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        self.k = k
+        self.name = f"top{k}"
+
+    def create(self) -> Counter:
+        return Counter()
+
+    def add(self, accumulator: Counter, value) -> None:
+        accumulator[value] += 1
+
+    def result(self, accumulator: Counter) -> tuple:
+        return _ranked(accumulator, self.k)
+
+    def merge(self, accumulator: Counter, other: Counter) -> Counter:
+        accumulator.update(other)
+        return accumulator
+
+
+class ApproxTopKAggregate(AggregateFunction):
+    """Top-k via SpaceSaving: at most ``capacity`` counters per window.
+
+    Counts can overestimate by at most the smallest tracked counter; with
+    ``capacity`` comfortably above the number of genuinely frequent values
+    the ranking matches the exact aggregate.
+    """
+
+    error_model_kind = "distinct"
+
+    def __init__(self, k: int, capacity: int | None = None) -> None:
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        self.k = k
+        self.capacity = capacity if capacity is not None else 10 * k
+        if self.capacity < k:
+            raise ConfigurationError(
+                f"capacity must be >= k, got {self.capacity} < {k}"
+            )
+        self.name = f"~top{k}"
+
+    def create(self) -> SpaceSaving:
+        return SpaceSaving(self.capacity)
+
+    def add(self, accumulator: SpaceSaving, value) -> None:
+        accumulator.add(value)
+
+    def result(self, accumulator: SpaceSaving) -> tuple:
+        return tuple(accumulator.top(self.k))
+
+    def merge(self, accumulator: SpaceSaving, other: SpaceSaving) -> SpaceSaving:
+        raise ConfigurationError(
+            "SpaceSaving sketches cannot be merged losslessly; use the "
+            "exact TopKCountAggregate for shared/merging execution"
+        )

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class StreamOrderError(ReproError):
+    """A stream violated an ordering invariant it promised to uphold."""
+
+
+class QueryError(ReproError):
+    """A query definition is incomplete or inconsistent."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run failed."""

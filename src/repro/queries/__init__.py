@@ -1,0 +1,6 @@
+"""Fluent and SQL-dialect public query APIs."""
+
+from repro.queries.language import ContinuousQuery, QueryRun
+from repro.queries.sql import parse_query
+
+__all__ = ["ContinuousQuery", "QueryRun", "parse_query"]

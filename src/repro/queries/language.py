@@ -1,0 +1,253 @@
+"""Fluent query builder: the primary public API of the library.
+
+Example
+-------
+
+>>> import numpy as np
+>>> from repro import ContinuousQuery, sliding
+>>> from repro.streams import generate_stream, inject_disorder, ExponentialDelay
+>>> rng = np.random.default_rng(0)
+>>> stream = inject_disorder(
+...     generate_stream(duration=60, rate=50, rng=rng), ExponentialDelay(0.5), rng
+... )
+>>> run = (
+...     ContinuousQuery()
+...     .from_elements(stream)
+...     .window(sliding(10, 2))
+...     .aggregate("mean")
+...     .with_quality(0.05)
+...     .run(assess=True)
+... )
+>>> run.report.mean_error <= 0.2
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aqk import AQKSlackHandler
+from repro.core.quality import QualityReport, assess_quality
+from repro.core.spec import BoundedQualityTarget, LatencyBudget, QualityTarget
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import AggregateFunction, make_aggregate
+from repro.engine.handlers import (
+    DisorderHandler,
+    KSlackHandler,
+    MPKSlackHandler,
+    NoBufferHandler,
+)
+from repro.engine.metrics import LatencySummary
+from repro.engine.oracle import oracle_results
+from repro.engine.pipeline import RunOutput, run_pipeline
+from repro.engine.watermarks import FixedLagWatermarkHandler
+from repro.engine.windows import WindowAssigner
+from repro.errors import QueryError
+from repro.streams.element import StreamElement
+
+
+@dataclass
+class QueryRun:
+    """Outcome of one executed continuous query."""
+
+    output: RunOutput
+    report: QualityReport | None
+    handler: DisorderHandler
+    operator: object  # WindowAggregateOperator or SlicedWindowAggregateOperator
+
+    @property
+    def results(self):
+        return self.output.results
+
+    @property
+    def latency(self) -> LatencySummary:
+        return self.output.latency_summary()
+
+
+class ContinuousQuery:
+    """Builder for windowed aggregation queries over out-of-order streams.
+
+    Chain ``from_elements`` / ``window`` / ``aggregate`` and exactly one
+    disorder-handling clause (``with_quality``, ``with_latency_budget``,
+    ``with_slack``, ``with_watermark``, ``with_max_delay_slack``,
+    ``without_buffering``, or ``with_handler``), then call :meth:`run`.
+    """
+
+    def __init__(self) -> None:
+        self._elements: list[StreamElement] | None = None
+        self._assigner: WindowAssigner | None = None
+        self._aggregate: AggregateFunction | None = None
+        self._handler_factory = None
+        self._handler_label: str | None = None
+        self._sample_every = 0
+        self._sliced = False
+
+    # ------------------------------------------------------------------ #
+    # inputs
+
+    def from_elements(self, elements: list[StreamElement]) -> "ContinuousQuery":
+        """Use an arrival-ordered stream as the source."""
+        self._elements = elements
+        return self
+
+    def window(self, assigner: WindowAssigner) -> "ContinuousQuery":
+        """Set the window assigner (see ``sliding``/``tumbling``)."""
+        self._assigner = assigner
+        return self
+
+    def aggregate(self, aggregate: AggregateFunction | str) -> "ContinuousQuery":
+        """Set the aggregate: an instance or a name like ``"mean"``/``"p95"``."""
+        if isinstance(aggregate, str):
+            aggregate = make_aggregate(aggregate)
+        self._aggregate = aggregate
+        return self
+
+    # ------------------------------------------------------------------ #
+    # disorder handling clauses
+
+    def _set_handler(self, label: str, factory) -> "ContinuousQuery":
+        if self._handler_factory is not None:
+            raise QueryError(
+                f"disorder handling already set ({self._handler_label}); "
+                f"cannot also set {label}"
+            )
+        self._handler_factory = factory
+        self._handler_label = label
+        return self
+
+    def with_quality(self, threshold: float, **aqk_kwargs) -> "ContinuousQuery":
+        """Quality-driven adaptive buffering: mean error <= threshold."""
+
+        def factory(query: "ContinuousQuery") -> DisorderHandler:
+            return AQKSlackHandler(
+                target=QualityTarget(threshold),
+                aggregate=query._require_aggregate(),
+                window_size=getattr(query._assigner, "size", None),
+                **aqk_kwargs,
+            )
+
+        return self._set_handler(f"quality<={threshold:g}", factory)
+
+    def with_bounded_quality(
+        self, threshold: float, budget: float, **aqk_kwargs
+    ) -> "ContinuousQuery":
+        """Quality target clamped by a hard latency ceiling."""
+
+        def factory(query: "ContinuousQuery") -> DisorderHandler:
+            return AQKSlackHandler(
+                target=BoundedQualityTarget(threshold, budget),
+                aggregate=query._require_aggregate(),
+                window_size=getattr(query._assigner, "size", None),
+                **aqk_kwargs,
+            )
+
+        return self._set_handler(
+            f"quality<={threshold:g}&latency<={budget:g}s", factory
+        )
+
+    def with_latency_budget(self, seconds: float, **aqk_kwargs) -> "ContinuousQuery":
+        """Latency-bounded adaptive buffering: slack <= budget."""
+
+        def factory(query: "ContinuousQuery") -> DisorderHandler:
+            return AQKSlackHandler(
+                target=LatencyBudget(seconds),
+                aggregate=query._require_aggregate(),
+                window_size=getattr(query._assigner, "size", None),
+                **aqk_kwargs,
+            )
+
+        return self._set_handler(f"latency<={seconds:g}s", factory)
+
+    def with_slack(self, k: float) -> "ContinuousQuery":
+        """Fixed K-slack buffering."""
+        return self._set_handler(f"K={k:g}s", lambda query: KSlackHandler(k))
+
+    def with_max_delay_slack(self, safety_factor: float = 1.0) -> "ContinuousQuery":
+        """Conservative adaptive baseline: K tracks the max observed delay."""
+        return self._set_handler(
+            "mp-k-slack",
+            lambda query: MPKSlackHandler(safety_factor=safety_factor),
+        )
+
+    def with_watermark(self, lag: float, period: float = 0.0) -> "ContinuousQuery":
+        """Fixed-lag periodic watermarks (Flink-style)."""
+        return self._set_handler(
+            f"watermark(lag={lag:g})",
+            lambda query: FixedLagWatermarkHandler(lag, period),
+        )
+
+    def without_buffering(self) -> "ContinuousQuery":
+        """Zero-latency baseline: late elements are dropped."""
+        return self._set_handler("no-buffer", lambda query: NoBufferHandler())
+
+    def with_handler(self, handler: DisorderHandler) -> "ContinuousQuery":
+        """Use an externally constructed handler."""
+        return self._set_handler(handler.describe(), lambda query: handler)
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def sampling_timeline(self, every: int) -> "ContinuousQuery":
+        """Record a slack/frontier sample every N elements (for plots)."""
+        self._sample_every = every
+        return self
+
+    def sliced(self, enabled: bool = True) -> "ContinuousQuery":
+        """Use slice-based execution (one accumulator add per element).
+
+        Requires the slide to divide the window size and a mergeable
+        aggregate; semantics are identical to the default execution path.
+        """
+        self._sliced = enabled
+        return self
+
+    def _require_aggregate(self) -> AggregateFunction:
+        if self._aggregate is None:
+            raise QueryError("query has no aggregate; call .aggregate(...)")
+        return self._aggregate
+
+    def build_operator(self) -> WindowAggregateOperator:
+        """Materialize the operator without running (for custom drivers)."""
+        if self._assigner is None:
+            raise QueryError("query has no window; call .window(...)")
+        aggregate = self._require_aggregate()
+        if self._handler_factory is None:
+            raise QueryError(
+                "query has no disorder handling; call .with_quality(...), "
+                ".with_slack(...), .without_buffering(), ..."
+            )
+        handler = self._handler_factory(self)
+        if self._sliced:
+            from repro.engine.sliced_op import SlicedWindowAggregateOperator
+
+            return SlicedWindowAggregateOperator(
+                assigner=self._assigner, aggregate=aggregate, handler=handler
+            )
+        return WindowAggregateOperator(
+            assigner=self._assigner, aggregate=aggregate, handler=handler
+        )
+
+    def run(self, assess: bool = False, threshold: float | None = None) -> QueryRun:
+        """Execute the query over the configured stream.
+
+        Args:
+            assess: Also run the in-order oracle and attach a
+                :class:`~repro.core.quality.QualityReport`.
+            threshold: Violation threshold for the report; defaults to the
+                quality target when one was configured.
+        """
+        if self._elements is None:
+            raise QueryError("query has no source; call .from_elements(...)")
+        operator = self.build_operator()
+        output = run_pipeline(self._elements, operator, self._sample_every)
+        report = None
+        if assess:
+            if threshold is None and isinstance(
+                getattr(operator.handler, "target", None), QualityTarget
+            ):
+                threshold = operator.handler.target.threshold
+            truth = oracle_results(self._elements, self._assigner, self._aggregate)
+            report = assess_quality(output.results, truth, threshold=threshold)
+        return QueryRun(
+            output=output, report=report, handler=operator.handler, operator=operator
+        )

@@ -1,0 +1,240 @@
+"""A tiny SQL-like dialect for continuous queries.
+
+Continuous-query systems expose a declarative surface; this module parses
+a minimal dialect onto the fluent builder::
+
+    SELECT mean(value) FROM stream
+    GROUP BY HOP(10, 2)
+    WITH QUALITY 0.05
+
+Grammar (keywords case-insensitive)::
+
+    query   := SELECT aggspec FROM ident GROUP BY window [WITH handler]
+    aggspec := name [ "(" ("value" | "*") ")" ]
+    window  := HOP "(" number "," number ")"     -- sliding(size, slide)
+             | TUMBLE "(" number ")"             -- tumbling(size)
+    handler := QUALITY number
+             | LATENCY BUDGET number
+             | SLACK number
+             | MAX DELAY SLACK
+             | WATERMARK LAG number
+             | NO BUFFERING
+
+Aggregate names are everything :func:`repro.engine.aggregates.make_aggregate`
+accepts (``count``, ``sum``, ``mean``/``avg``, ``min``, ``max``,
+``stddev``, ``median``, ``distinct``, ``range``, ``p<nn>``).
+:func:`parse_query` returns a :class:`~repro.queries.language.ContinuousQuery`
+still needing ``.from_elements(stream)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.engine.aggregates import make_aggregate
+from repro.engine.windows import sliding, tumbling
+from repro.errors import ConfigurationError, QueryError
+from repro.queries.language import ContinuousQuery
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<number>\d+\.?\d*|\.\d+)|(?P<word>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<punct>[(),*]))"
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "word" | "punct" | "end"
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QueryError(
+                f"unexpected character {remainder[0]!r} at position {position}"
+            )
+        for kind in ("number", "word", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value, match.start(kind)))
+                break
+        position = match.end()
+    tokens.append(_Token("end", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -------------------------------------------------------------- #
+    # primitives
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def fail(self, expected: str) -> QueryError:
+        token = self.peek()
+        got = repr(token.text) if token.kind != "end" else "end of query"
+        return QueryError(
+            f"expected {expected}, got {got} at position {token.position} "
+            f"in {self.text!r}"
+        )
+
+    def expect_keyword(self, *keywords: str) -> str:
+        token = self.peek()
+        if token.kind == "word" and token.text.upper() in keywords:
+            self.advance()
+            return token.text.upper()
+        raise self.fail(" or ".join(keywords))
+
+    def accept_keyword(self, *keywords: str) -> str | None:
+        token = self.peek()
+        if token.kind == "word" and token.text.upper() in keywords:
+            self.advance()
+            return token.text.upper()
+        return None
+
+    def expect_punct(self, char: str) -> None:
+        token = self.peek()
+        if token.kind == "punct" and token.text == char:
+            self.advance()
+            return
+        raise self.fail(repr(char))
+
+    def expect_number(self) -> float:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return float(token.text)
+        raise self.fail("a number")
+
+    # -------------------------------------------------------------- #
+    # grammar
+
+    def parse(self) -> ContinuousQuery:
+        query = ContinuousQuery()
+        self.expect_keyword("SELECT")
+        query.aggregate(self._parse_aggregate())
+        self.expect_keyword("FROM")
+        token = self.peek()
+        if token.kind != "word":
+            raise self.fail("a stream name")
+        self.advance()
+        self.expect_keyword("GROUP")
+        self.expect_keyword("BY")
+        query.window(self._parse_window())
+        if self.accept_keyword("WITH"):
+            self._parse_handler(query)
+        elif self.accept_keyword("WITHOUT"):
+            self.expect_keyword("BUFFERING")
+            query.without_buffering()
+        if self.peek().kind != "end":
+            raise self.fail("end of query")
+        return query
+
+    _RESERVED = {
+        "SELECT", "FROM", "GROUP", "BY", "WITH", "WITHOUT",
+        "HOP", "TUMBLE", "QUALITY", "LATENCY", "SLACK", "WATERMARK", "NO",
+    }
+
+    def _parse_aggregate(self):
+        token = self.peek()
+        if token.kind != "word" or token.text.upper() in self._RESERVED:
+            raise self.fail("an aggregate name")
+        self.advance()
+        name = token.text.lower()
+        if self.peek().kind == "punct" and self.peek().text == "(":
+            self.advance()
+            argument = self.peek()
+            if argument.kind == "word" and argument.text.lower() == "value":
+                self.advance()
+            elif argument.kind == "punct" and argument.text == "*":
+                self.advance()
+            else:
+                raise self.fail("'value' or '*'")
+            self.expect_punct(")")
+        try:
+            return make_aggregate(name)
+        except ConfigurationError as error:
+            raise QueryError(str(error)) from error
+
+    def _parse_window(self):
+        kind = self.expect_keyword("HOP", "TUMBLE")
+        self.expect_punct("(")
+        size = self.expect_number()
+        if kind == "HOP":
+            self.expect_punct(",")
+            slide = self.expect_number()
+            self.expect_punct(")")
+            try:
+                return sliding(size, slide)
+            except ConfigurationError as error:
+                raise QueryError(str(error)) from error
+        self.expect_punct(")")
+        try:
+            return tumbling(size)
+        except ConfigurationError as error:
+            raise QueryError(str(error)) from error
+
+    def _parse_handler(self, query: ContinuousQuery) -> None:
+        keyword = self.expect_keyword(
+            "QUALITY", "LATENCY", "SLACK", "MAX", "WATERMARK", "NO"
+        )
+        # Validate spec parameters eagerly so bad queries fail at parse
+        # time, not when the deferred handler factory finally runs.
+        from repro.core.spec import LatencyBudget, QualityTarget
+
+        try:
+            if keyword == "QUALITY":
+                threshold = self.expect_number()
+                QualityTarget(threshold)
+                query.with_quality(threshold)
+            elif keyword == "LATENCY":
+                self.expect_keyword("BUDGET")
+                budget = self.expect_number()
+                LatencyBudget(budget)
+                query.with_latency_budget(budget)
+            elif keyword == "SLACK":
+                query.with_slack(self.expect_number())
+            elif keyword == "MAX":
+                self.expect_keyword("DELAY")
+                self.expect_keyword("SLACK")
+                query.with_max_delay_slack()
+            elif keyword == "WATERMARK":
+                self.expect_keyword("LAG")
+                query.with_watermark(self.expect_number())
+            else:  # NO
+                self.expect_keyword("BUFFERING")
+                query.without_buffering()
+        except ConfigurationError as error:
+            raise QueryError(str(error)) from error
+
+
+def parse_query(text: str) -> ContinuousQuery:
+    """Parse the SQL-like dialect into a :class:`ContinuousQuery`.
+
+    The returned query still needs a source
+    (``parse_query(...).from_elements(stream).run()``).  Queries without a
+    WITH clause default to no disorder handling configured — call one of
+    the handler clauses before running, or include a ``WITH``/``WITHOUT``
+    clause.
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,304 @@
+"""Delay models: the stochastic processes that create stream disorder.
+
+A delay model maps each event to the latency it experiences between source
+and processor.  Disorder arises because delays differ between events: an
+event with a large delay arrives after later-born events with small delays.
+
+The models here cover the distributions used throughout the evaluation:
+
+* light-tailed (:class:`ExponentialDelay`, :class:`UniformDelay`,
+  :class:`GaussianDelay`),
+* heavy-tailed (:class:`ParetoDelay`, :class:`LognormalDelay`) — the regime
+  where quality-driven buffering pays off most, because sizing a buffer for
+  the tail costs enormous latency,
+* composite (:class:`MixtureDelay`, :class:`ShiftedDelay`), and
+* non-stationary (:class:`BurstyDelay`, :class:`RegimeSwitchingDelay`) for
+  the adaptation experiments.
+
+All models are driven by an explicit ``numpy.random.Generator`` so every
+experiment is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class DelayModel(ABC):
+    """Distribution of per-event delays (seconds, non-negative)."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, event_time: float) -> float:
+        """Draw the delay of one event born at ``event_time``."""
+
+    def mean(self) -> float:
+        """Analytic mean delay; models without one raise."""
+        raise NotImplementedError(f"{type(self).__name__} has no analytic mean")
+
+    def describe(self) -> str:
+        """Short human-readable description for experiment reports."""
+        return type(self).__name__
+
+
+class ConstantDelay(DelayModel):
+    """Every event is delayed by the same amount: no disorder at all."""
+
+    def __init__(self, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"delay must be non-negative, got {delay}")
+        self.delay = delay
+
+    def sample(self, rng: np.random.Generator, event_time: float) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+    def describe(self) -> str:
+        return f"constant({self.delay:g}s)"
+
+
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly from ``[low, high)``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ConfigurationError(f"need 0 <= low <= high, got [{low}, {high})")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: np.random.Generator, event_time: float) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def describe(self) -> str:
+        return f"uniform[{self.low:g},{self.high:g})"
+
+
+class ExponentialDelay(DelayModel):
+    """Memoryless delays with the given mean — classic queueing latency."""
+
+    def __init__(self, mean_delay: float) -> None:
+        if mean_delay <= 0:
+            raise ConfigurationError(f"mean_delay must be positive, got {mean_delay}")
+        self.mean_delay = mean_delay
+
+    def sample(self, rng: np.random.Generator, event_time: float) -> float:
+        return float(rng.exponential(self.mean_delay))
+
+    def mean(self) -> float:
+        return self.mean_delay
+
+    def describe(self) -> str:
+        return f"exp(mean={self.mean_delay:g}s)"
+
+
+class ParetoDelay(DelayModel):
+    """Heavy-tailed (Lomax) delays: ``scale * (Pareto(shape) - 1)``.
+
+    Smaller ``shape`` means a heavier tail; for ``shape <= 1`` the mean is
+    infinite, which is exactly the regime where max-delay buffering degrades
+    without bound.
+    """
+
+    def __init__(self, shape: float, scale: float) -> None:
+        if shape <= 0 or scale <= 0:
+            raise ConfigurationError(
+                f"shape and scale must be positive, got shape={shape}, scale={scale}"
+            )
+        self.shape = shape
+        self.scale = scale
+
+    def sample(self, rng: np.random.Generator, event_time: float) -> float:
+        return float(self.scale * rng.pareto(self.shape))
+
+    def mean(self) -> float:
+        if self.shape <= 1:
+            return math.inf
+        return self.scale / (self.shape - 1)
+
+    def describe(self) -> str:
+        return f"pareto(shape={self.shape:g},scale={self.scale:g})"
+
+
+class LognormalDelay(DelayModel):
+    """Lognormal delays, a common fit for wide-area network latency."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be non-negative, got {sigma}")
+        self.mu = mu
+        self.sigma = sigma
+
+    def sample(self, rng: np.random.Generator, event_time: float) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def describe(self) -> str:
+        return f"lognormal(mu={self.mu:g},sigma={self.sigma:g})"
+
+
+class GaussianDelay(DelayModel):
+    """Gaussian delays truncated at zero (jitter around a base latency)."""
+
+    def __init__(self, mean_delay: float, std: float) -> None:
+        if mean_delay < 0 or std < 0:
+            raise ConfigurationError(
+                f"mean and std must be non-negative, got {mean_delay}, {std}"
+            )
+        self.mean_delay = mean_delay
+        self.std = std
+
+    def sample(self, rng: np.random.Generator, event_time: float) -> float:
+        return max(0.0, float(rng.normal(self.mean_delay, self.std)))
+
+    def mean(self) -> float:
+        # Truncation bias is ignored: callers use this as a nominal value.
+        return self.mean_delay
+
+    def describe(self) -> str:
+        return f"gaussian(mean={self.mean_delay:g},std={self.std:g})"
+
+
+class ShiftedDelay(DelayModel):
+    """A base propagation delay plus jitter from an inner model."""
+
+    def __init__(self, base: float, jitter: DelayModel) -> None:
+        if base < 0:
+            raise ConfigurationError(f"base delay must be non-negative, got {base}")
+        self.base = base
+        self.jitter = jitter
+
+    def sample(self, rng: np.random.Generator, event_time: float) -> float:
+        return self.base + self.jitter.sample(rng, event_time)
+
+    def mean(self) -> float:
+        return self.base + self.jitter.mean()
+
+    def describe(self) -> str:
+        return f"{self.base:g}s+{self.jitter.describe()}"
+
+
+class MixtureDelay(DelayModel):
+    """Mixture of delay models: e.g. 95% fast-path, 5% heavy-tailed retries."""
+
+    def __init__(self, components: list[tuple[float, DelayModel]]) -> None:
+        if not components:
+            raise ConfigurationError("mixture needs at least one component")
+        total = sum(weight for weight, _ in components)
+        if total <= 0 or any(weight < 0 for weight, _ in components):
+            raise ConfigurationError("mixture weights must be non-negative, sum > 0")
+        self.components = [(weight / total, model) for weight, model in components]
+        self._weights = np.array([weight for weight, _ in self.components])
+
+    def sample(self, rng: np.random.Generator, event_time: float) -> float:
+        index = int(rng.choice(len(self.components), p=self._weights))
+        return self.components[index][1].sample(rng, event_time)
+
+    def mean(self) -> float:
+        return sum(weight * model.mean() for weight, model in self.components)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{weight:.2f}*{model.describe()}" for weight, model in self.components
+        )
+        return f"mixture({parts})"
+
+
+class RegimeSwitchingDelay(DelayModel):
+    """Deterministic schedule of delay regimes over event time.
+
+    ``schedule`` maps event-time breakpoints to models: the model whose
+    interval contains the event's birth time generates its delay.  Used for
+    the burst-adaptation experiment (calm -> burst -> calm).
+    """
+
+    def __init__(self, schedule: list[tuple[float, DelayModel]]) -> None:
+        if not schedule:
+            raise ConfigurationError("schedule must contain at least one regime")
+        starts = [start for start, _ in schedule]
+        if starts != sorted(starts):
+            raise ConfigurationError("schedule breakpoints must be ascending")
+        if starts[0] != 0.0:
+            raise ConfigurationError("first regime must start at event time 0")
+        self.schedule = list(schedule)
+
+    def _model_for(self, event_time: float) -> DelayModel:
+        active = self.schedule[0][1]
+        for start, model in self.schedule:
+            if event_time >= start:
+                active = model
+            else:
+                break
+        return active
+
+    def sample(self, rng: np.random.Generator, event_time: float) -> float:
+        return self._model_for(event_time).sample(rng, event_time)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"t>={start:g}: {model.describe()}" for start, model in self.schedule
+        )
+        return f"regimes({parts})"
+
+
+class BurstyDelay(DelayModel):
+    """Calm delays with a single burst window of much larger delays.
+
+    A convenience wrapper over :class:`RegimeSwitchingDelay` for the common
+    calm -> burst -> calm shape of experiment E4.
+    """
+
+    def __init__(
+        self,
+        calm: DelayModel,
+        burst: DelayModel,
+        burst_start: float,
+        burst_end: float,
+    ) -> None:
+        if not 0 <= burst_start < burst_end:
+            raise ConfigurationError(
+                f"need 0 <= burst_start < burst_end, got [{burst_start}, {burst_end})"
+            )
+        self.calm = calm
+        self.burst = burst
+        self.burst_start = burst_start
+        self.burst_end = burst_end
+        self._regimes = RegimeSwitchingDelay(
+            [(0.0, calm), (burst_start, burst), (burst_end, calm)]
+        )
+
+    def sample(self, rng: np.random.Generator, event_time: float) -> float:
+        return self._regimes.sample(rng, event_time)
+
+    def describe(self) -> str:
+        return (
+            f"bursty(calm={self.calm.describe()}, burst={self.burst.describe()} "
+            f"in [{self.burst_start:g},{self.burst_end:g}))"
+        )
+
+
+def empirical_quantile(
+    model: DelayModel,
+    q: float,
+    rng: np.random.Generator,
+    n_samples: int = 20000,
+) -> float:
+    """Estimate the ``q``-quantile of a delay model by Monte Carlo sampling.
+
+    Useful for sizing fixed K-slack baselines in experiments where the model
+    has no closed-form quantile.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must lie in [0, 1], got {q}")
+    samples = np.array([model.sample(rng, 0.0) for __ in range(n_samples)])
+    return float(np.quantile(samples, q))

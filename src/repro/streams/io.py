@@ -1,0 +1,65 @@
+"""Trace persistence: write and read streams as CSV files.
+
+Traces are stored with one element per row (``event_time, arrival_time,
+key, value, seq``) so experiments can be replayed byte-identically and
+traces can be inspected with standard tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.streams.element import StreamElement
+
+_FIELDS = ("event_time", "arrival_time", "key", "value", "seq")
+
+
+def write_trace(path: str | Path, elements: list[StreamElement]) -> int:
+    """Write elements to ``path`` as CSV; returns the number of rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELDS)
+        for element in elements:
+            writer.writerow(
+                [
+                    repr(element.event_time),
+                    "" if element.arrival_time is None else repr(element.arrival_time),
+                    "" if element.key is None else str(element.key),
+                    repr(element.value),
+                    element.seq,
+                ]
+            )
+    return len(elements)
+
+
+def read_trace(path: str | Path) -> list[StreamElement]:
+    """Read a trace written by :func:`write_trace`.
+
+    Keys are restored as strings (or ``None``); values as floats.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"trace file does not exist: {path}")
+    elements = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or tuple(reader.fieldnames) != _FIELDS:
+            raise ConfigurationError(
+                f"unexpected trace header in {path}: {reader.fieldnames}"
+            )
+        for row in reader:
+            arrival = row["arrival_time"]
+            elements.append(
+                StreamElement(
+                    event_time=float(row["event_time"]),
+                    value=float(row["value"]),
+                    key=row["key"] or None,
+                    arrival_time=float(arrival) if arrival else None,
+                    seq=int(row["seq"]),
+                )
+            )
+    return elements

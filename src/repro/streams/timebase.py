@@ -1,0 +1,74 @@
+"""Simulated clocks and time-domain helpers.
+
+The engine runs on *simulated time*: the processing clock of a pipeline is
+the arrival timestamp of the element currently being processed, which makes
+every experiment deterministic and independent of host speed.  Wall-clock
+time is measured separately (see :mod:`repro.engine.metrics`) only for
+throughput/overhead experiments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class SimulatedClock:
+    """A monotone simulated clock driven by observed timestamps.
+
+    The clock never moves backwards; feeding it an older timestamp leaves it
+    unchanged.  This mirrors how stream processors derive their event-time
+    frontier from the maximum timestamp seen so far.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ConfigurationError(f"clock start must be non-negative, got {start}")
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to ``timestamp`` if it is ahead; return now."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def advance_by(self, delta: float) -> float:
+        """Advance the clock by a non-negative delta; return now."""
+        if delta < 0:
+            raise ConfigurationError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+
+class EventTimeFrontier:
+    """Tracks the maximum event time observed on a stream.
+
+    ``frontier - K`` is the release threshold of a K-slack buffer; the
+    frontier itself is the most aggressive (zero-slack) watermark available
+    without future knowledge.
+    """
+
+    def __init__(self) -> None:
+        self._max_event_time = float("-inf")
+        self._count = 0
+
+    @property
+    def value(self) -> float:
+        """Maximum event time seen, or ``-inf`` before any observation."""
+        return self._max_event_time
+
+    @property
+    def count(self) -> int:
+        """Number of observations folded into the frontier."""
+        return self._count
+
+    def observe(self, event_time: float) -> float:
+        """Fold one event timestamp into the frontier; return the frontier."""
+        self._count += 1
+        if event_time > self._max_event_time:
+            self._max_event_time = event_time
+        return self._max_event_time

@@ -1,0 +1,26 @@
+"""Synthetic domain workloads (simulated substitutes for real traces)."""
+
+from repro.workloads.financial import (
+    DEFAULT_SYMBOLS,
+    financial_delay_model,
+    financial_ticks,
+)
+from repro.workloads.sensors import sensor_delay_model, sensor_readings
+from repro.workloads.soccer import (
+    PlayerSpeedValues,
+    distance_covered,
+    soccer_delay_model,
+    soccer_positions,
+)
+
+__all__ = [
+    "DEFAULT_SYMBOLS",
+    "PlayerSpeedValues",
+    "distance_covered",
+    "financial_delay_model",
+    "financial_ticks",
+    "sensor_delay_model",
+    "sensor_readings",
+    "soccer_delay_model",
+    "soccer_positions",
+]

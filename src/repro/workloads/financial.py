@@ -1,0 +1,63 @@
+"""Financial tick workload: random-walk prices with heavy-tailed delays.
+
+Simulated stand-in for the market-data traces such papers evaluate on:
+per-symbol tick streams whose prices follow a random walk and whose
+transport delays mix a fast path with a heavy-tailed retry path (the
+regime where conservative buffering is most expensive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.delay import DelayModel, ExponentialDelay, MixtureDelay, ParetoDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.element import StreamElement
+from repro.streams.generators import RandomWalkValues, generate_stream
+
+DEFAULT_SYMBOLS = ("SAP", "IBM", "ORCL", "MSFT")
+
+
+def financial_delay_model(
+    fast_mean: float = 0.05,
+    slow_scale: float = 1.0,
+    slow_shape: float = 1.5,
+    slow_weight: float = 0.05,
+) -> DelayModel:
+    """95/5 mixture of a fast exponential path and a Pareto retry path."""
+    return MixtureDelay(
+        [
+            (1.0 - slow_weight, ExponentialDelay(fast_mean)),
+            (slow_weight, ParetoDelay(shape=slow_shape, scale=slow_scale)),
+        ]
+    )
+
+
+def financial_ticks(
+    duration: float,
+    rate: float,
+    rng: np.random.Generator,
+    symbols: tuple[str, ...] = DEFAULT_SYMBOLS,
+    volatility: float = 0.05,
+    delay_model: DelayModel | None = None,
+) -> list[StreamElement]:
+    """Arrival-ordered tick stream over ``symbols``.
+
+    Args:
+        duration: Event-time span in seconds.
+        rate: Total ticks per second across symbols.
+        rng: Seeded generator.
+        symbols: Key universe.
+        volatility: Per-tick price step standard deviation.
+        delay_model: Transport delays; defaults to
+            :func:`financial_delay_model`.
+    """
+    in_order = generate_stream(
+        duration=duration,
+        rate=rate,
+        rng=rng,
+        value_process=RandomWalkValues(start=100.0, volatility=volatility),
+        keys=symbols,
+    )
+    model = delay_model if delay_model is not None else financial_delay_model()
+    return inject_disorder(in_order, model, rng)

@@ -1,0 +1,60 @@
+"""Sensor-grid workload: diurnal readings with lognormal + burst delays.
+
+Simulated stand-in for machine/environment monitoring traces: a grid of
+sensors reporting a sinusoidal signal plus noise, shipped over links with
+lognormal latency, optionally hit by a delay burst (gateway outage) for
+the adaptation experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.delay import BurstyDelay, DelayModel, LognormalDelay, ShiftedDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.element import StreamElement
+from repro.streams.generators import SinusoidValues, generate_stream
+
+
+def sensor_delay_model(
+    base: float = 0.02,
+    mu: float = -2.0,
+    sigma: float = 1.0,
+    burst_start: float | None = None,
+    burst_end: float | None = None,
+    burst_mu: float = 1.0,
+) -> DelayModel:
+    """Lognormal link latency, optionally with a burst regime."""
+    calm = ShiftedDelay(base, LognormalDelay(mu, sigma))
+    if burst_start is None:
+        return calm
+    burst = ShiftedDelay(base, LognormalDelay(burst_mu, sigma))
+    return BurstyDelay(calm, burst, burst_start, float(burst_end))
+
+
+def sensor_readings(
+    duration: float,
+    rate: float,
+    rng: np.random.Generator,
+    n_sensors: int = 16,
+    period: float = 600.0,
+    noise_std: float = 0.5,
+    delay_model: DelayModel | None = None,
+) -> list[StreamElement]:
+    """Arrival-ordered sensor stream keyed by ``sensor-<i>``."""
+    keys = tuple(f"sensor-{index}" for index in range(n_sensors))
+    in_order = generate_stream(
+        duration=duration,
+        rate=rate,
+        rng=rng,
+        value_process=SinusoidValues(
+            base=20.0,
+            amplitude=5.0,
+            period=period,
+            noise_std=noise_std,
+            phase_per_key=0.4,
+        ),
+        keys=keys,
+    )
+    model = delay_model if delay_model is not None else sensor_delay_model()
+    return inject_disorder(in_order, model, rng)

@@ -1,0 +1,104 @@
+"""Soccer position workload (DEBS-grand-challenge style, simulated).
+
+Player-worn sensors at high rate report speeds; transport is mostly tight
+Gaussian jitter, with occasional short radio dropouts that release queued
+packets in bulk — a distinct disorder texture from the other workloads
+(many moderately-late elements instead of a long smooth tail).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.streams.delay import (
+    DelayModel,
+    GaussianDelay,
+    MixtureDelay,
+    UniformDelay,
+)
+from repro.streams.disorder import inject_disorder
+from repro.streams.element import StreamElement
+from repro.streams.generators import ValueProcess, generate_stream
+
+
+class PlayerSpeedValues(ValueProcess):
+    """Piecewise-smooth player speed: sprints and recoveries.
+
+    Each player's speed follows a mean-reverting process toward a target
+    that re-randomizes occasionally (walk / run / sprint phases).
+    """
+
+    def __init__(
+        self,
+        max_speed: float = 9.0,
+        reversion: float = 0.1,
+        retarget_probability: float = 0.02,
+    ) -> None:
+        self.max_speed = max_speed
+        self.reversion = reversion
+        self.retarget_probability = retarget_probability
+        self._speed: dict[object, float] = {}
+        self._target: dict[object, float] = {}
+
+    def sample(self, rng: np.random.Generator, event_time: float, key: object) -> float:
+        speed = self._speed.get(key, 1.0)
+        target = self._target.get(key, 2.0)
+        if rng.random() < self.retarget_probability:
+            target = float(rng.uniform(0.0, self.max_speed))
+        speed += self.reversion * (target - speed) + float(rng.normal(0.0, 0.2))
+        speed = min(self.max_speed, max(0.0, speed))
+        self._speed[key] = speed
+        self._target[key] = target
+        return speed
+
+    def reset(self) -> None:
+        self._speed.clear()
+        self._target.clear()
+
+
+def soccer_delay_model(
+    jitter_std: float = 0.01,
+    dropout_weight: float = 0.03,
+    dropout_max: float = 2.0,
+) -> DelayModel:
+    """Tight jitter with occasional bounded dropout-queue delays."""
+    return MixtureDelay(
+        [
+            (1.0 - dropout_weight, GaussianDelay(0.02, jitter_std)),
+            (dropout_weight, UniformDelay(0.1, dropout_max)),
+        ]
+    )
+
+
+def soccer_positions(
+    duration: float,
+    rate: float,
+    rng: np.random.Generator,
+    n_players: int = 22,
+    delay_model: DelayModel | None = None,
+) -> list[StreamElement]:
+    """Arrival-ordered player-speed stream keyed by ``player-<i>``."""
+    keys = tuple(f"player-{index}" for index in range(n_players))
+    in_order = generate_stream(
+        duration=duration,
+        rate=rate,
+        rng=rng,
+        value_process=PlayerSpeedValues(),
+        keys=keys,
+    )
+    model = delay_model if delay_model is not None else soccer_delay_model()
+    return inject_disorder(in_order, model, rng)
+
+
+def distance_covered(elements: list[StreamElement], dt: float | None = None) -> float:
+    """Rough total distance proxy: sum of speed * mean gap (sanity checks)."""
+    if not elements:
+        return 0.0
+    if dt is None:
+        span = max(el.event_time for el in elements) - min(
+            el.event_time for el in elements
+        )
+        dt = span / max(len(elements) - 1, 1)
+    return float(sum(el.value for el in elements) * dt)

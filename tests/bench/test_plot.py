@@ -1,0 +1,90 @@
+"""Tests for the ASCII plotting helpers."""
+
+import math
+
+import pytest
+
+from repro.bench.plot import hbar, render_comparison, render_series, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_extremes_use_extreme_levels(self):
+        line = sparkline([0.0, 10.0])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+    def test_monotone_series_is_monotone(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        levels = ["▁▂▃▄▅▆▇█".index(c) for c in line]
+        assert levels == sorted(levels)
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0]) == "▁▁"
+
+    def test_nan_renders_as_space(self):
+        assert sparkline([1.0, math.nan, 2.0])[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([math.nan, math.nan]) == "  "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestHbar:
+    def test_full_bar(self):
+        assert hbar(10.0, 10.0, width=5) == "#####"
+
+    def test_half_bar(self):
+        assert hbar(5.0, 10.0, width=10) == "#####"
+
+    def test_clamps_above_max(self):
+        assert hbar(20.0, 10.0, width=4) == "####"
+
+    def test_zero_max(self):
+        assert hbar(1.0, 0.0) == ""
+
+    def test_nan(self):
+        assert hbar(math.nan, 10.0) == ""
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            hbar(1.0, 1.0, width=0)
+
+
+class TestRenderSeries:
+    def test_rows_per_point(self):
+        text = render_series([(0.0, 1.0), (30.0, 2.0)], label="errors")
+        lines = text.splitlines()
+        assert lines[0] == "errors"
+        assert len(lines) == 3
+        assert "t=     0.0" in lines[1]
+
+    def test_largest_value_fills_bar(self):
+        text = render_series([(0.0, 1.0), (1.0, 4.0)], width=8)
+        assert "#" * 8 in text
+
+    def test_empty(self):
+        assert "empty series" in render_series([], label="x")
+
+    def test_nan_handled(self):
+        text = render_series([(0.0, math.nan), (1.0, 1.0)])
+        assert "nan" in text
+
+
+class TestRenderComparison:
+    def test_aligned_labels(self):
+        text = render_comparison([("short", 1.0), ("a much longer name", 2.0)])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_largest_fills(self):
+        text = render_comparison([("a", 1.0), ("b", 2.0)], width=6)
+        assert "#" * 6 in text
+
+    def test_empty(self):
+        assert "empty comparison" in render_comparison([])

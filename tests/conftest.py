@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.element import StreamElement
+from repro.streams.generators import generate_stream
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_inorder_stream(rng) -> list[StreamElement]:
+    """~600 elements over 30s of event time, in event order."""
+    return generate_stream(duration=30.0, rate=20.0, rng=rng)
+
+
+@pytest.fixture
+def small_disordered_stream(rng, small_inorder_stream) -> list[StreamElement]:
+    """The small stream with exponential(0.5s) delays, arrival-ordered."""
+    return inject_disorder(small_inorder_stream, ExponentialDelay(0.5), rng)
+
+
+def make_elements(spec: list[tuple[float, float]]) -> list[StreamElement]:
+    """Build elements from (event_time, value) pairs, in the given order."""
+    return [
+        StreamElement(event_time=ts, value=val, seq=i)
+        for i, (ts, val) in enumerate(spec)
+    ]
+
+
+def make_arrived(spec: list[tuple[float, float, float]]) -> list[StreamElement]:
+    """Build elements from (event_time, arrival_time, value), arrival order."""
+    elements = [
+        StreamElement(event_time=ts, value=val, arrival_time=at, seq=i)
+        for i, (ts, at, val) in enumerate(spec)
+    ]
+    return sorted(elements, key=StreamElement.arrival_sort_key)

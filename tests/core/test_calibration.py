@@ -1,0 +1,128 @@
+"""Tests for offline error-model calibration."""
+
+import pytest
+
+from repro.core.aqk import AQKSlackHandler
+from repro.core.calibration import (
+    CalibratedErrorModel,
+    calibrate_error_model,
+)
+from repro.core.controller import NoFeedbackController
+from repro.core.estimators import StreamContext
+from repro.core.quality import assess_quality
+from repro.core.spec import QualityTarget
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import CountAggregate
+from repro.engine.oracle import oracle_results
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import SlidingWindowAssigner
+from repro.errors import ConfigurationError
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.generators import generate_stream
+
+ASSIGNER = SlidingWindowAssigner(10, 2)
+
+
+def make_stream(rng, duration=120):
+    return inject_disorder(
+        generate_stream(duration=duration, rate=80, rng=rng),
+        ExponentialDelay(0.5),
+        rng,
+    )
+
+
+class TestCalibratedErrorModel:
+    def test_linear_map(self):
+        model = CalibratedErrorModel(scale=0.5)
+        context = StreamContext.unknown()
+        assert model.error_from_late_fraction(0.1, context) == pytest.approx(0.05)
+        assert model.late_fraction_for_error(0.05, context) == pytest.approx(0.1)
+
+    def test_inverse_clipped_at_one(self):
+        model = CalibratedErrorModel(scale=0.01)
+        assert model.late_fraction_for_error(0.5, StreamContext.unknown()) == 1.0
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CalibratedErrorModel(scale=0.0)
+
+    def test_describe_mentions_scale(self):
+        assert "0.25" in CalibratedErrorModel(0.25).describe()
+
+
+class TestCalibration:
+    def test_count_model_is_conservative(self, rng):
+        """The fitted scale for count is well below the nominal 1.0 — a
+        late element only misses windows closing before its arrival."""
+        stream = make_stream(rng)
+        result = calibrate_error_model(stream, ASSIGNER, CountAggregate())
+        assert 0.0 < result.scale < 0.6
+
+    def test_points_recorded_monotone(self, rng):
+        stream = make_stream(rng)
+        result = calibrate_error_model(stream, ASSIGNER, CountAggregate())
+        assert len(result.points) >= 5
+        fractions = [point.late_fraction for point in result.points]
+        errors = [point.mean_error for point in result.points]
+        # Larger K -> less late mass and less error.
+        assert fractions == sorted(fractions, reverse=True)
+        assert errors[0] >= errors[-1]
+
+    def test_calibrated_model_cuts_latency_without_feedback(self, rng):
+        """With feedback disabled, calibration replaces what the controller
+        would have learned: lower latency at comparable quality."""
+        profile = make_stream(rng)
+        live = make_stream(rng, duration=120)
+        calibrated = calibrate_error_model(profile, ASSIGNER, CountAggregate())
+        truth = oracle_results(live, ASSIGNER, CountAggregate())
+        theta = 0.02
+
+        def run_with(model_source):
+            handler = AQKSlackHandler(
+                target=QualityTarget(theta),
+                aggregate=model_source,
+                window_size=10.0,
+                controller=NoFeedbackController(),
+            )
+            operator = WindowAggregateOperator(ASSIGNER, CountAggregate(), handler)
+            output = run_pipeline(live, operator)
+            report = assess_quality(output.results, truth, threshold=theta)
+            return output.latency_summary().mean, report.mean_error
+
+        naive_latency, naive_error = run_with(CountAggregate())
+        calibrated_latency, calibrated_error = run_with(calibrated.model)
+
+        assert calibrated_latency < naive_latency
+        assert calibrated_error <= theta * 1.5
+        assert naive_error <= theta  # conservative model over-delivers
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_error_model([], ASSIGNER, CountAggregate())
+
+    def test_custom_grid(self, rng):
+        stream = make_stream(rng, duration=60)
+        result = calibrate_error_model(
+            stream, ASSIGNER, CountAggregate(), k_grid=[0.0, 1.0]
+        )
+        assert [point.k for point in result.points] == [0.0, 1.0]
+
+    def test_negative_grid_rejected(self, rng):
+        stream = make_stream(rng, duration=30)
+        with pytest.raises(ConfigurationError):
+            calibrate_error_model(
+                stream, ASSIGNER, CountAggregate(), k_grid=[-1.0]
+            )
+
+    def test_ordered_trace_unfittable(self, rng):
+        """A trace with no lateness at any K has nothing to fit."""
+        from repro.streams.delay import ConstantDelay
+
+        stream = inject_disorder(
+            generate_stream(duration=30, rate=20, rng=rng), ConstantDelay(0.1), rng
+        )
+        with pytest.raises(ConfigurationError):
+            calibrate_error_model(
+                stream, ASSIGNER, CountAggregate(), k_grid=[5.0]
+            )

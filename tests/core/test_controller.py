@@ -1,0 +1,159 @@
+"""Tests for the feedback controllers."""
+
+import pytest
+
+from repro.core.controller import (
+    AIMDController,
+    NoFeedbackController,
+    PIController,
+    PureFeedbackController,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNoFeedbackController:
+    def test_identity(self):
+        controller = NoFeedbackController()
+        controller.observe_error(0.5)
+        assert controller.adjust(1.25) == 1.25
+
+
+class TestPIController:
+    def test_no_feedback_passthrough(self):
+        controller = PIController(target=0.05)
+        assert controller.adjust(1.0) == pytest.approx(1.0)
+
+    def test_error_above_target_raises_slack(self):
+        controller = PIController(target=0.05)
+        for __ in range(20):
+            controller.observe_error(0.5)
+        adjusted = [controller.adjust(1.0) for __ in range(5)]
+        assert adjusted[-1] > 1.0
+        assert adjusted == sorted(adjusted)  # integral keeps pushing up
+
+    def test_error_below_target_lowers_slack(self):
+        controller = PIController(target=0.05)
+        for __ in range(20):
+            controller.observe_error(0.0)
+        adjusted = [controller.adjust(1.0) for __ in range(5)]
+        assert adjusted[-1] < 1.0
+        assert adjusted == sorted(adjusted, reverse=True)
+
+    def test_gain_clamped(self):
+        controller = PIController(target=0.01, gain_max=5.0)
+        for __ in range(100):
+            controller.observe_error(1.0)
+            controller.adjust(1.0)
+        assert controller.gain <= 5.0
+
+    def test_gain_floor(self):
+        controller = PIController(target=0.5, gain_min=0.2)
+        for __ in range(200):
+            controller.observe_error(0.0)
+            controller.adjust(1.0)
+        assert controller.gain >= 0.2
+
+    def test_state_snapshot(self):
+        controller = PIController(target=0.05)
+        controller.observe_error(0.1)
+        state = controller.state()
+        assert state["samples"] == 1
+        assert state["error_ewma"] == pytest.approx(0.1)
+        assert "gain" in state
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PIController(target=0.05).observe_error(-0.1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target": 0.0},
+            {"target": 0.05, "ewma_alpha": 0.0},
+            {"target": 0.05, "kp": -1.0},
+            {"target": 0.05, "gain_min": 2.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PIController(**kwargs)
+
+    def test_never_returns_negative(self):
+        controller = PIController(target=0.05)
+        for __ in range(10):
+            controller.observe_error(0.0)
+        assert controller.adjust(-5.0) == 0.0
+
+
+class TestAIMDController:
+    def test_additive_increase_on_violation(self):
+        controller = AIMDController(target=0.05, increase=0.5)
+        controller.observe_error(1.0)
+        first = controller.adjust(1.0)
+        second = controller.adjust(1.0)
+        assert second > first > 1.0
+
+    def test_decay_toward_one_when_ok(self):
+        controller = AIMDController(target=0.05)
+        controller.observe_error(1.0)
+        for __ in range(5):
+            controller.adjust(1.0)
+        inflated = controller.gain
+        # Error fixed: now consistently below target.
+        for __ in range(200):
+            controller.observe_error(0.0)
+        for __ in range(200):
+            controller.adjust(1.0)
+        assert controller.gain < inflated
+        assert controller.gain == pytest.approx(1.0, abs=0.05)
+
+    def test_gain_capped(self):
+        controller = AIMDController(target=0.01, increase=1.0, gain_max=4.0)
+        controller.observe_error(1.0)
+        for __ in range(20):
+            controller.adjust(1.0)
+        assert controller.gain <= 4.0
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AIMDController(target=0.0)
+
+
+class TestPureFeedbackController:
+    def test_walks_up_under_violation(self):
+        controller = PureFeedbackController(target=0.05, initial_k=1.0)
+        controller.observe_error(1.0)
+        ks = [controller.adjust(0.0) for __ in range(5)]
+        assert ks == sorted(ks)
+        assert ks[-1] > 1.0
+
+    def test_walks_down_when_ok(self):
+        controller = PureFeedbackController(target=0.05, initial_k=1.0)
+        controller.observe_error(0.0)
+        ks = [controller.adjust(0.0) for __ in range(5)]
+        assert ks == sorted(ks, reverse=True)
+
+    def test_ignores_estimate(self):
+        controller = PureFeedbackController(target=0.05, initial_k=1.0)
+        controller.observe_error(0.0)
+        assert controller.adjust(100.0) == controller.k
+
+    def test_k_capped(self):
+        controller = PureFeedbackController(target=0.01, initial_k=1.0, k_max=10.0)
+        controller.observe_error(1.0)
+        for __ in range(100):
+            controller.adjust(0.0)
+        assert controller.k <= 10.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target": 0.0},
+            {"target": 0.05, "initial_k": -1.0},
+            {"target": 0.05, "up": 0.9},
+            {"target": 0.05, "down": 1.1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PureFeedbackController(**kwargs)

@@ -1,0 +1,140 @@
+"""Tests for the per-aggregate error models."""
+
+import math
+
+import pytest
+
+from repro.core.estimators import (
+    AdditiveMassModel,
+    DistinctModel,
+    ExtremumModel,
+    MeanModel,
+    NaiveModel,
+    RankModel,
+    StreamContext,
+    make_error_model,
+)
+from repro.engine.aggregates import (
+    CountAggregate,
+    MaxAggregate,
+    MeanAggregate,
+    MedianAggregate,
+)
+from repro.errors import ConfigurationError
+
+ALL_MODELS = [
+    AdditiveMassModel(),
+    MeanModel(),
+    ExtremumModel(),
+    RankModel(),
+    DistinctModel(),
+    NaiveModel(),
+]
+
+CONTEXTS = [
+    StreamContext(dispersion=1.0, expected_window_count=100.0),
+    StreamContext(dispersion=0.1, expected_window_count=10.0),
+    StreamContext(dispersion=2.0, expected_window_count=math.nan),
+    StreamContext.unknown(),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.kind)
+@pytest.mark.parametrize("context", CONTEXTS, ids=["c100", "c10", "cnan", "cunk"])
+class TestModelInvariants:
+    def test_monotone_in_late_fraction(self, model, context):
+        errors = [
+            model.error_from_late_fraction(p, context)
+            for p in (0.0, 0.01, 0.1, 0.5, 1.0)
+        ]
+        assert errors == sorted(errors)
+
+    def test_zero_late_fraction_zero_error(self, model, context):
+        assert model.error_from_late_fraction(0.0, context) == 0.0
+
+    def test_inverse_is_consistent(self, model, context):
+        """error(invert(theta)) <= theta (up to clipping at p=1)."""
+        for theta in (0.001, 0.01, 0.05, 0.2):
+            p = model.late_fraction_for_error(theta, context)
+            assert 0.0 <= p <= 1.0
+            if p < 1.0:
+                assert model.error_from_late_fraction(p, context) <= theta * 1.0001
+
+    def test_inverse_monotone_in_theta(self, model, context):
+        fractions = [
+            model.late_fraction_for_error(theta, context)
+            for theta in (0.001, 0.01, 0.1, 0.5)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_invalid_late_fraction_rejected(self, model, context):
+        with pytest.raises(ConfigurationError):
+            model.error_from_late_fraction(1.5, context)
+
+    def test_negative_theta_rejected(self, model, context):
+        with pytest.raises(ConfigurationError):
+            model.late_fraction_for_error(-0.1, context)
+
+
+class TestModelSpecifics:
+    def test_additive_error_equals_fraction(self):
+        context = StreamContext.unknown()
+        assert AdditiveMassModel().error_from_late_fraction(0.07, context) == 0.07
+
+    def test_mean_model_shrinks_with_window_count(self):
+        small = StreamContext(dispersion=1.0, expected_window_count=10.0)
+        large = StreamContext(dispersion=1.0, expected_window_count=1000.0)
+        model = MeanModel()
+        assert model.error_from_late_fraction(0.1, large) < model.error_from_late_fraction(
+            0.1, small
+        )
+
+    def test_mean_model_allows_more_lateness_for_large_windows(self):
+        small = StreamContext(dispersion=1.0, expected_window_count=10.0)
+        large = StreamContext(dispersion=1.0, expected_window_count=1000.0)
+        model = MeanModel()
+        assert model.late_fraction_for_error(
+            0.01, large
+        ) > model.late_fraction_for_error(0.01, small)
+
+    def test_mean_model_zero_dispersion_allows_everything(self):
+        context = StreamContext(dispersion=0.0, expected_window_count=100.0)
+        assert MeanModel().late_fraction_for_error(0.01, context) == 1.0
+
+    def test_extremum_scales_with_dispersion(self):
+        calm = StreamContext(dispersion=0.1, expected_window_count=100.0)
+        wild = StreamContext(dispersion=2.0, expected_window_count=100.0)
+        model = ExtremumModel()
+        assert model.error_from_late_fraction(0.1, wild) > model.error_from_late_fraction(
+            0.1, calm
+        )
+
+    def test_rank_is_half_of_extremum(self):
+        context = StreamContext(dispersion=1.0, expected_window_count=100.0)
+        assert RankModel().error_from_late_fraction(
+            0.2, context
+        ) == pytest.approx(0.5 * ExtremumModel().error_from_late_fraction(0.2, context))
+
+
+class TestMakeErrorModel:
+    @pytest.mark.parametrize(
+        "aggregate,model_cls",
+        [
+            (CountAggregate(), AdditiveMassModel),
+            (MeanAggregate(), MeanModel),
+            (MaxAggregate(), ExtremumModel),
+            (MedianAggregate(), RankModel),
+        ],
+    )
+    def test_from_aggregate(self, aggregate, model_cls):
+        assert isinstance(make_error_model(aggregate), model_cls)
+
+    def test_from_kind_name(self):
+        assert isinstance(make_error_model("naive"), NaiveModel)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_error_model("bogus")
+
+    def test_describe(self):
+        assert make_error_model("mean").describe() == "mean"

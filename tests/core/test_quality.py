@@ -1,0 +1,139 @@
+"""Tests for quality assessment against the oracle."""
+
+import math
+
+import pytest
+
+from repro.core.quality import assess_quality, error_timeline
+from repro.engine.operator import WindowResult
+from repro.engine.windows import Window
+from repro.errors import ConfigurationError
+
+
+def result(window, value, key=None, latency=0.5, revision=0):
+    return WindowResult(
+        key=key,
+        window=window,
+        value=value,
+        count=1,
+        emit_time=window.end + latency,
+        latency=latency,
+        revision=revision,
+    )
+
+
+W1 = Window(0, 10)
+W2 = Window(10, 20)
+W3 = Window(20, 30)
+
+
+class TestAssessQuality:
+    def test_perfect_match(self):
+        oracle = {(None, W1): (10.0, 5), (None, W2): (20.0, 5)}
+        results = [result(W1, 10.0), result(W2, 20.0)]
+        report = assess_quality(results, oracle, threshold=0.05)
+        assert report.mean_error == 0.0
+        assert report.max_error == 0.0
+        assert report.window_recall == 1.0
+        assert report.violation_fraction == 0.0
+        assert report.meets()
+
+    def test_known_errors(self):
+        oracle = {(None, W1): (10.0, 5), (None, W2): (20.0, 5)}
+        results = [result(W1, 9.0), result(W2, 20.0)]  # 10% error on W1
+        report = assess_quality(results, oracle, threshold=0.05)
+        assert report.mean_error == pytest.approx(0.05)
+        assert report.max_error == pytest.approx(0.1)
+        assert report.violation_fraction == pytest.approx(0.5)
+
+    def test_missed_window_counts_as_full_loss(self):
+        oracle = {(None, W1): (10.0, 5), (None, W2): (20.0, 5)}
+        results = [result(W1, 10.0)]
+        report = assess_quality(results, oracle, threshold=0.5)
+        assert report.window_recall == 0.5
+        assert report.mean_error == pytest.approx(0.5)  # (0 + 1) / 2
+        assert report.max_error == 1.0
+
+    def test_revision_last_value_wins(self):
+        oracle = {(None, W1): (10.0, 5)}
+        results = [
+            result(W1, 7.0, revision=0, latency=0.1),
+            result(W1, 10.0, revision=1, latency=3.0),
+        ]
+        report = assess_quality(results, oracle)
+        assert report.mean_error == 0.0
+
+    def test_no_threshold_means_nan_violations(self):
+        oracle = {(None, W1): (10.0, 5)}
+        report = assess_quality([result(W1, 10.0)], oracle)
+        assert math.isnan(report.violation_fraction)
+        with pytest.raises(ConfigurationError):
+            report.meets()
+
+    def test_meets_with_explicit_threshold(self):
+        oracle = {(None, W1): (10.0, 5)}
+        report = assess_quality([result(W1, 9.5)], oracle)
+        assert report.meets(0.1)
+        assert not report.meets(0.01)
+
+    def test_empty_oracle(self):
+        report = assess_quality([result(W1, 1.0)], {})
+        assert report.n_oracle_windows == 0
+        assert math.isnan(report.mean_error)
+
+    def test_keyed_windows(self):
+        oracle = {("a", W1): (10.0, 5), ("b", W1): (30.0, 5)}
+        results = [result(W1, 10.0, key="a"), result(W1, 33.0, key="b")]
+        report = assess_quality(results, oracle)
+        assert report.mean_error == pytest.approx(0.05)
+
+    def test_scores_kept_on_request(self):
+        oracle = {(None, W1): (10.0, 5), (None, W2): (20.0, 5)}
+        results = [result(W1, 9.0), result(W2, 20.0)]
+        report = assess_quality(results, oracle, keep_scores=True)
+        assert len(report.scores) == 2
+        assert report.scores[0].window == W1
+        assert report.scores[0].error == pytest.approx(0.1)
+
+    def test_scores_empty_by_default(self):
+        oracle = {(None, W1): (10.0, 5)}
+        report = assess_quality([result(W1, 10.0)], oracle)
+        assert report.scores == []
+
+    def test_error_statistics_ordered(self):
+        oracle = {
+            (None, W1): (10.0, 5),
+            (None, W2): (20.0, 5),
+            (None, W3): (30.0, 5),
+        }
+        results = [result(W1, 9.0), result(W2, 15.0), result(W3, 30.0)]
+        report = assess_quality(results, oracle)
+        assert report.p50_error <= report.p95_error <= report.max_error
+
+
+class TestErrorTimeline:
+    def test_buckets_by_window_end(self):
+        oracle = {
+            (None, W1): (10.0, 5),
+            (None, W2): (20.0, 5),
+            (None, W3): (30.0, 5),
+        }
+        results = [result(W1, 9.0), result(W2, 20.0), result(W3, 30.0)]
+        report = assess_quality(results, oracle, keep_scores=True)
+        timeline = error_timeline(report, bucket=20.0)
+        assert len(timeline) == 2
+        # W1 (end 10) and W2 (end 20) fall in different buckets of size 20:
+        # bucket 0 covers ends [0,20), bucket 1 covers [20,40).
+        assert timeline[0] == (0.0, pytest.approx(0.1))
+        assert timeline[1] == (20.0, pytest.approx(0.0))
+
+    def test_requires_scores(self):
+        oracle = {(None, W1): (10.0, 5)}
+        report = assess_quality([result(W1, 10.0)], oracle)
+        assert error_timeline(report, bucket=10.0) == []
+
+    def test_bad_bucket_rejected(self):
+        oracle = {(None, W1): (10.0, 5)}
+        report = assess_quality([result(W1, 10.0)], oracle, keep_scores=True)
+        with pytest.raises(ConfigurationError):
+            error_timeline(report, bucket=0.0)

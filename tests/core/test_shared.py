@@ -1,0 +1,145 @@
+"""Tests for shared multi-query disorder handling."""
+
+import pytest
+
+from repro.core.quality import assess_quality
+from repro.core.shared import SharedAQKBuffer, run_shared
+from repro.core.spec import LatencyBudget, QualityTarget
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import CountAggregate
+from repro.engine.handlers import KSlackHandler
+from repro.engine.oracle import oracle_results
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import SlidingWindowAssigner
+from repro.errors import ConfigurationError
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.generators import generate_stream
+
+
+def make_stream(rng, duration=90, rate=60):
+    return inject_disorder(
+        generate_stream(duration=duration, rate=rate, rng=rng),
+        ExponentialDelay(0.5),
+        rng,
+    )
+
+
+def build_shared(queries):
+    """queries: list of (query_id, threshold). Returns (buffer, operators)."""
+    buffer = SharedAQKBuffer()
+    operators = {}
+    for query_id, threshold in queries:
+        handler = buffer.register(
+            query_id,
+            target=QualityTarget(threshold),
+            aggregate=CountAggregate(),
+            window_size=10.0,
+        )
+        operators[query_id] = WindowAggregateOperator(
+            SlidingWindowAssigner(10, 2), CountAggregate(), handler
+        )
+    return buffer, operators
+
+
+class TestSharedAQKBuffer:
+    def test_all_queries_receive_all_elements(self, rng):
+        stream = make_stream(rng)
+        buffer, operators = build_shared([("strict", 0.01), ("loose", 0.2)])
+        results = run_shared(stream, buffer, operators)
+        for query_id, operator in operators.items():
+            assert operator.stats.elements_in == len(stream)
+            total = operator.stats.results_out
+            assert total == len(results[query_id])
+            assert total > 0
+
+    def test_strict_query_gets_larger_slack(self, rng):
+        stream = make_stream(rng)
+        buffer, operators = build_shared([("strict", 0.01), ("loose", 0.2)])
+        run_shared(stream, buffer, operators)
+        assert buffer.slack_of("strict") >= buffer.slack_of("loose")
+
+    def test_loose_query_gets_lower_latency(self, rng):
+        stream = make_stream(rng)
+        buffer, operators = build_shared([("strict", 0.01), ("loose", 0.2)])
+        results = run_shared(stream, buffer, operators)
+        lat = {
+            qid: sum(r.latency for r in rs if not r.flushed)
+            / max(1, sum(1 for r in rs if not r.flushed))
+            for qid, rs in results.items()
+        }
+        assert lat["loose"] <= lat["strict"]
+
+    def test_quality_close_to_private_run(self, rng):
+        """Shared execution quality matches a private AQ-K run's ballpark."""
+        stream = make_stream(rng)
+        buffer, operators = build_shared([("q", 0.05)])
+        results = run_shared(stream, buffer, operators)
+        truth = oracle_results(
+            stream, SlidingWindowAssigner(10, 2), CountAggregate()
+        )
+        report = assess_quality(results["q"], truth, threshold=0.05)
+        assert report.mean_error <= 0.1
+
+    def test_memory_below_sum_of_private_buffers(self, rng):
+        """One shared copy beats one buffer per query at equal targets."""
+        from repro.core.aqk import AQKSlackHandler
+
+        stream = make_stream(rng)
+        thresholds = [("q1", 0.01), ("q2", 0.05), ("q3", 0.2)]
+        buffer, operators = build_shared(thresholds)
+        run_shared(stream, buffer, operators)
+        shared_peak = buffer.max_buffered
+
+        private_peak = 0
+        for __, threshold in thresholds:
+            handler = AQKSlackHandler(
+                target=QualityTarget(threshold),
+                aggregate=CountAggregate(),
+                window_size=10.0,
+            )
+            operator = WindowAggregateOperator(
+                SlidingWindowAssigner(10, 2), CountAggregate(), handler
+            )
+            run_pipeline(stream, operator)
+            private_peak += handler.max_buffered_count()
+        assert shared_peak <= private_peak
+
+    def test_duplicate_registration_rejected(self):
+        buffer = SharedAQKBuffer()
+        buffer.register("q", QualityTarget(0.05), CountAggregate())
+        with pytest.raises(ConfigurationError):
+            buffer.register("q", QualityTarget(0.01), CountAggregate())
+
+    def test_registration_after_start_rejected(self, rng):
+        stream = make_stream(rng, duration=5)
+        buffer, operators = build_shared([("q", 0.05)])
+        buffer.offer(stream[0])
+        with pytest.raises(ConfigurationError):
+            buffer.register("late", QualityTarget(0.05), CountAggregate())
+
+    def test_offer_without_queries_rejected(self, rng):
+        stream = make_stream(rng, duration=5)
+        with pytest.raises(ConfigurationError):
+            SharedAQKBuffer().offer(stream[0])
+
+    def test_latency_budget_queries_supported(self, rng):
+        stream = make_stream(rng, duration=30)
+        buffer = SharedAQKBuffer()
+        handler = buffer.register(
+            "budget", target=LatencyBudget(1.0), aggregate=CountAggregate()
+        )
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(10, 2), CountAggregate(), handler
+        )
+        results = run_shared(stream, buffer, {"budget": operator})
+        assert results["budget"]
+        assert buffer.slack_of("budget") <= 1.0
+
+    def test_late_counters_tracked(self, rng):
+        stream = make_stream(rng)
+        buffer, operators = build_shared([("loose", 0.2)])
+        run_shared(stream, buffer, operators)
+        # With a loose target and exponential delays some elements arrive
+        # after the query's cursor passed them.
+        assert buffer.late_for_query["loose"] >= 0

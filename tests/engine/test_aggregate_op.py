@@ -1,0 +1,246 @@
+"""Tests for the windowed aggregation operator."""
+
+import math
+
+import pytest
+
+from repro.engine.aggregate_op import WindowAggregateOperator, relative_error
+from repro.engine.aggregates import CountAggregate, MeanAggregate, SumAggregate
+from repro.engine.handlers import KSlackHandler, MPKSlackHandler, NoBufferHandler
+from repro.engine.oracle import oracle_results
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import SlidingWindowAssigner, TumblingWindowAssigner
+from repro.errors import ConfigurationError
+from repro.streams.delay import ConstantDelay, ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.element import StreamElement
+from repro.streams.generators import generate_stream
+
+from tests.conftest import make_arrived
+
+
+class TestRelativeError:
+    def test_exact_match(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_simple_ratio(self):
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_truth_uses_epsilon(self):
+        assert relative_error(1.0, 0.0) > 1.0
+
+    def test_nan_vs_value_is_full_loss(self):
+        assert relative_error(math.nan, 5.0) == 1.0
+        assert relative_error(5.0, math.nan) == 1.0
+
+    def test_nan_vs_nan_agrees(self):
+        assert relative_error(math.nan, math.nan) == 0.0
+
+    def test_symmetric_in_sign(self):
+        assert relative_error(-9.0, -10.0) == pytest.approx(0.1)
+
+
+class TestInOrderExactness:
+    """With in-order input every handler reproduces the oracle exactly."""
+
+    @pytest.mark.parametrize(
+        "make_handler",
+        [NoBufferHandler, lambda: KSlackHandler(1.0), MPKSlackHandler],
+        ids=["no-buffer", "k-slack", "mp-k-slack"],
+    )
+    def test_matches_oracle(self, rng, make_handler):
+        stream = inject_disorder(
+            generate_stream(duration=30, rate=40, rng=rng), ConstantDelay(0.1), rng
+        )
+        assigner = SlidingWindowAssigner(size=5, slide=2)
+        aggregate = MeanAggregate()
+        operator = WindowAggregateOperator(assigner, aggregate, make_handler())
+        output = run_pipeline(stream, operator)
+        truth = oracle_results(stream, assigner, aggregate)
+        emitted = {(r.key, r.window): r.value for r in output.results}
+        assert set(emitted) == set(truth)
+        for slot, (exact, __) in truth.items():
+            assert emitted[slot] == pytest.approx(exact)
+        assert operator.stats.late_dropped == 0
+
+
+class TestSmallDeterministicScenario:
+    """Hand-checked tumbling count over a tiny crafted disordered stream."""
+
+    def make_stream(self):
+        # (event_time, arrival_time, value); window size 10.
+        return make_arrived(
+            [
+                (1.0, 1.0, 1.0),
+                (4.0, 4.5, 1.0),
+                (9.0, 9.0, 1.0),
+                (12.0, 12.0, 1.0),  # clock passes 10: [0,10) closes (no-buffer)
+                (8.0, 13.0, 1.0),  # late for [0,10)
+                (15.0, 15.0, 1.0),
+                (22.0, 22.0, 1.0),  # closes [10,20)
+            ]
+        )
+
+    def test_no_buffer_drops_late(self):
+        operator = WindowAggregateOperator(
+            TumblingWindowAssigner(10.0), CountAggregate(), NoBufferHandler()
+        )
+        output = run_pipeline(self.make_stream(), operator)
+        values = {r.window.start: r.value for r in output.results}
+        assert values[0.0] == 3.0  # late element dropped
+        assert values[10.0] == 2.0
+        assert operator.stats.late_dropped == 1
+
+    def test_sufficient_slack_includes_late(self):
+        operator = WindowAggregateOperator(
+            TumblingWindowAssigner(10.0), CountAggregate(), KSlackHandler(5.0)
+        )
+        output = run_pipeline(self.make_stream(), operator)
+        values = {r.window.start: r.value for r in output.results}
+        assert values[0.0] == 4.0  # late element recovered by the buffer
+        assert operator.stats.late_dropped == 0
+
+    def test_latency_reflects_slack(self):
+        fast = WindowAggregateOperator(
+            TumblingWindowAssigner(10.0), CountAggregate(), NoBufferHandler()
+        )
+        slow = WindowAggregateOperator(
+            TumblingWindowAssigner(10.0), CountAggregate(), KSlackHandler(5.0)
+        )
+        fast_out = run_pipeline(self.make_stream(), fast)
+        slow_out = run_pipeline(self.make_stream(), slow)
+        fast_lat = {
+            r.window.start: r.latency for r in fast_out.results if not r.flushed
+        }
+        slow_lat = {
+            r.window.start: r.latency for r in slow_out.results if not r.flushed
+        }
+        assert slow_lat[0.0] > fast_lat[0.0]
+
+
+class TestLatencyProperties:
+    def test_non_flushed_latencies_non_negative(self, rng, small_disordered_stream):
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(5, 1), MeanAggregate(), KSlackHandler(0.5)
+        )
+        output = run_pipeline(small_disordered_stream, operator)
+        for result in output.results:
+            if not result.flushed:
+                assert result.latency >= 0.0
+
+    def test_flushed_windows_marked(self, rng, small_disordered_stream):
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(5, 1), MeanAggregate(), KSlackHandler(3.0)
+        )
+        output = run_pipeline(small_disordered_stream, operator)
+        assert any(result.flushed for result in output.results)
+
+    def test_results_emitted_in_window_end_order_per_round(
+        self, rng, small_disordered_stream
+    ):
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(5, 1), MeanAggregate(), KSlackHandler(0.5)
+        )
+        output = run_pipeline(small_disordered_stream, operator)
+        ends = [r.window.end for r in output.results]
+        assert ends == sorted(ends)
+
+
+class TestFeedback:
+    def test_observed_errors_collected(self, rng):
+        stream = inject_disorder(
+            generate_stream(duration=60, rate=50, rng=rng), ExponentialDelay(0.5), rng
+        )
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(5, 1),
+            CountAggregate(),
+            NoBufferHandler(),
+            feedback_horizon=10.0,
+        )
+        output = run_pipeline(stream, operator)
+        assert len(output.observed_errors) > 0
+
+    def test_observed_errors_reflect_true_error(self, rng):
+        """Observed (feedback) error agrees with oracle error in aggregate."""
+        stream = inject_disorder(
+            generate_stream(duration=120, rate=50, rng=rng), ExponentialDelay(0.5), rng
+        )
+        assigner = SlidingWindowAssigner(5, 1)
+        aggregate = CountAggregate()
+        operator = WindowAggregateOperator(
+            assigner, aggregate, NoBufferHandler(), feedback_horizon=30.0
+        )
+        output = run_pipeline(stream, operator)
+        truth = oracle_results(stream, assigner, aggregate)
+        emitted = {(r.key, r.window): r.value for r in output.results}
+        true_errors = [
+            relative_error(emitted[slot], exact)
+            for slot, (exact, __) in truth.items()
+            if slot in emitted
+        ]
+        observed_mean = sum(output.observed_errors) / len(output.observed_errors)
+        true_mean = sum(true_errors) / len(true_errors)
+        assert observed_mean == pytest.approx(true_mean, abs=0.01)
+
+    def test_no_feedback_when_disabled(self, rng, small_disordered_stream):
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(5, 1),
+            CountAggregate(),
+            NoBufferHandler(),
+            track_feedback=False,
+        )
+        output = run_pipeline(small_disordered_stream, operator)
+        assert output.observed_errors == []
+
+    def test_exact_run_observes_zero_errors(self, rng):
+        stream = inject_disorder(
+            generate_stream(duration=30, rate=40, rng=rng), ConstantDelay(0.1), rng
+        )
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(5, 1), SumAggregate(), MPKSlackHandler()
+        )
+        output = run_pipeline(stream, operator)
+        assert all(error == 0.0 for error in output.observed_errors)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WindowAggregateOperator(
+                SlidingWindowAssigner(5, 1),
+                CountAggregate(),
+                NoBufferHandler(),
+                feedback_horizon=-1.0,
+            )
+
+
+class TestKeyedStreams:
+    def test_keys_aggregated_independently(self, rng):
+        stream = generate_stream(duration=30, rate=60, rng=rng, keys=("a", "b"))
+        arrived = inject_disorder(stream, ConstantDelay(0.0), rng)
+        assigner = TumblingWindowAssigner(10.0)
+        aggregate = CountAggregate()
+        operator = WindowAggregateOperator(assigner, aggregate, NoBufferHandler())
+        output = run_pipeline(arrived, operator)
+        truth = oracle_results(arrived, assigner, aggregate)
+        emitted = {(r.key, r.window): r.value for r in output.results}
+        assert emitted == {slot: exact for slot, (exact, __) in truth.items()}
+        keys = {r.key for r in output.results}
+        assert keys == {"a", "b"}
+
+    def test_missed_window_recorded(self):
+        """A window whose only element is late is counted as missed."""
+        stream = make_arrived(
+            [
+                (25.0, 25.0, 1.0),  # advances clock way past [0,10)
+                (5.0, 26.0, 1.0),  # the only element of [0,10): late
+                (40.0, 40.0, 1.0),
+            ]
+        )
+        operator = WindowAggregateOperator(
+            TumblingWindowAssigner(10.0),
+            CountAggregate(),
+            NoBufferHandler(),
+            feedback_horizon=100.0,
+        )
+        output = run_pipeline(stream, operator)
+        assert operator.stats.missed_windows == 1
+        assert 1.0 in output.observed_errors  # full loss for the missed window

@@ -1,0 +1,169 @@
+"""Tests for the aggregate function library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import (
+    CountAggregate,
+    DistinctCountAggregate,
+    MaxAggregate,
+    MeanAggregate,
+    MedianAggregate,
+    MinAggregate,
+    QuantileAggregate,
+    RangeAggregate,
+    StdDevAggregate,
+    SumAggregate,
+    make_aggregate,
+)
+from repro.errors import ConfigurationError
+
+DATA = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+
+CASES = [
+    (CountAggregate(), 8.0),
+    (SumAggregate(), 31.0),
+    (MeanAggregate(), 31.0 / 8.0),
+    (MinAggregate(), 1.0),
+    (MaxAggregate(), 9.0),
+    (StdDevAggregate(), float(np.std(DATA))),
+    (MedianAggregate(), float(np.median(DATA))),
+    (QuantileAggregate(0.25), float(np.quantile(DATA, 0.25))),
+    (DistinctCountAggregate(), 7.0),
+    (RangeAggregate(), 8.0),
+]
+
+
+def fold(aggregate, values):
+    acc = aggregate.create()
+    for value in values:
+        aggregate.add(acc, value)
+    return acc
+
+
+@pytest.mark.parametrize("aggregate,expected", CASES, ids=lambda c: getattr(c, "name", str(c)))
+def test_known_values(aggregate, expected):
+    acc = fold(aggregate, DATA)
+    assert aggregate.result(acc) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("aggregate,expected", CASES, ids=lambda c: getattr(c, "name", str(c)))
+def test_merge_equals_batch(aggregate, expected):
+    left = fold(aggregate, DATA[:3])
+    right = fold(aggregate, DATA[3:])
+    merged = aggregate.merge(left, right)
+    assert aggregate.result(merged) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize(
+    "aggregate", [c[0] for c in CASES], ids=lambda a: a.name
+)
+def test_empty_window_result(aggregate):
+    acc = aggregate.create()
+    result = aggregate.result(acc)
+    if aggregate.name == "count" or aggregate.name == "sum":
+        assert result == 0.0
+    elif aggregate.name == "distinct":
+        assert result == 0.0
+    else:
+        assert math.isnan(result)
+
+
+@pytest.mark.parametrize(
+    "aggregate", [c[0] for c in CASES], ids=lambda a: a.name
+)
+def test_late_add_after_snapshot(aggregate):
+    """The feedback loop adds values to an accumulator after reading it."""
+    acc = fold(aggregate, DATA[:5])
+    __ = aggregate.result(acc)
+    aggregate.add(acc, DATA[5])
+    aggregate.add(acc, DATA[6])
+    aggregate.add(acc, DATA[7])
+    full = fold(aggregate, DATA)
+    assert aggregate.result(acc) == pytest.approx(aggregate.result(full))
+
+
+class TestStdDev:
+    def test_single_value_is_zero(self):
+        aggregate = StdDevAggregate()
+        acc = fold(aggregate, [5.0])
+        assert aggregate.result(acc) == 0.0
+
+    def test_matches_numpy_on_random(self, rng):
+        values = list(rng.normal(10, 3, size=500))
+        aggregate = StdDevAggregate()
+        acc = fold(aggregate, values)
+        assert aggregate.result(acc) == pytest.approx(float(np.std(values)))
+
+    def test_merge_with_empty(self):
+        aggregate = StdDevAggregate()
+        acc = fold(aggregate, DATA)
+        merged = aggregate.merge(acc, aggregate.create())
+        assert aggregate.result(merged) == pytest.approx(float(np.std(DATA)))
+
+
+class TestQuantile:
+    def test_interpolation_matches_numpy(self, rng):
+        values = list(rng.random(101))
+        for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+            aggregate = QuantileAggregate(q)
+            acc = fold(aggregate, values)
+            assert aggregate.result(acc) == pytest.approx(float(np.quantile(values, q)))
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuantileAggregate(1.5)
+
+    def test_name(self):
+        assert QuantileAggregate(0.95).name == "p95"
+        assert MedianAggregate().name == "median"
+
+
+class TestMakeAggregate:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("count", CountAggregate),
+            ("sum", SumAggregate),
+            ("mean", MeanAggregate),
+            ("avg", MeanAggregate),
+            ("min", MinAggregate),
+            ("max", MaxAggregate),
+            ("stddev", StdDevAggregate),
+            ("median", MedianAggregate),
+            ("distinct", DistinctCountAggregate),
+            ("range", RangeAggregate),
+        ],
+    )
+    def test_registry(self, name, cls):
+        assert isinstance(make_aggregate(name), cls)
+
+    def test_quantile_names(self):
+        aggregate = make_aggregate("p95")
+        assert isinstance(aggregate, QuantileAggregate)
+        assert aggregate.q == pytest.approx(0.95)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_aggregate("bogus")
+
+
+class TestErrorModelKinds:
+    @pytest.mark.parametrize(
+        "aggregate,kind",
+        [
+            (CountAggregate(), "additive_mass"),
+            (SumAggregate(), "additive_mass"),
+            (MeanAggregate(), "mean"),
+            (MinAggregate(), "extremum"),
+            (MaxAggregate(), "extremum"),
+            (StdDevAggregate(), "mean"),
+            (MedianAggregate(), "rank"),
+            (DistinctCountAggregate(), "distinct"),
+            (RangeAggregate(), "extremum"),
+        ],
+    )
+    def test_declared_kind(self, aggregate, kind):
+        assert aggregate.error_model_kind == kind

@@ -1,0 +1,68 @@
+"""Tests for the sorting buffer."""
+
+from repro.engine.buffer import SortingBuffer
+from repro.streams.element import StreamElement
+
+
+def el(ts: float, seq: int = 0) -> StreamElement:
+    return StreamElement(event_time=ts, value=ts, seq=seq)
+
+
+class TestSortingBuffer:
+    def test_empty(self):
+        buffer = SortingBuffer()
+        assert len(buffer) == 0
+        assert buffer.peek_event_time() is None
+        assert buffer.release_until(100.0) == []
+        assert buffer.drain() == []
+
+    def test_release_until_threshold_inclusive(self):
+        buffer = SortingBuffer()
+        for ts in (3.0, 1.0, 2.0):
+            buffer.push(el(ts))
+        released = buffer.release_until(2.0)
+        assert [e.event_time for e in released] == [1.0, 2.0]
+        assert len(buffer) == 1
+
+    def test_release_in_event_time_order(self):
+        buffer = SortingBuffer()
+        for ts in (5.0, 1.0, 4.0, 2.0, 3.0):
+            buffer.push(el(ts))
+        released = buffer.release_until(10.0)
+        assert [e.event_time for e in released] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_ties_broken_by_seq(self):
+        buffer = SortingBuffer()
+        buffer.push(el(1.0, seq=2))
+        buffer.push(el(1.0, seq=1))
+        released = buffer.release_until(1.0)
+        assert [e.seq for e in released] == [1, 2]
+
+    def test_peek(self):
+        buffer = SortingBuffer()
+        buffer.push(el(5.0))
+        buffer.push(el(2.0))
+        assert buffer.peek_event_time() == 2.0
+
+    def test_drain(self):
+        buffer = SortingBuffer()
+        for ts in (3.0, 1.0, 2.0):
+            buffer.push(el(ts))
+        assert [e.event_time for e in buffer.drain()] == [1.0, 2.0, 3.0]
+        assert len(buffer) == 0
+
+    def test_max_size_high_water_mark(self):
+        buffer = SortingBuffer()
+        for ts in (1.0, 2.0, 3.0):
+            buffer.push(el(ts))
+        buffer.release_until(10.0)
+        buffer.push(el(4.0))
+        assert buffer.max_size == 3
+
+    def test_interleaved_push_release(self):
+        buffer = SortingBuffer()
+        buffer.push(el(1.0))
+        buffer.push(el(3.0))
+        assert [e.event_time for e in buffer.release_until(1.5)] == [1.0]
+        buffer.push(el(2.0))  # late insert below current content
+        assert [e.event_time for e in buffer.release_until(3.0)] == [2.0, 3.0]

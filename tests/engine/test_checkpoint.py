@@ -1,0 +1,129 @@
+"""Tests for checkpoint/restore: resume equivalence."""
+
+import pytest
+
+from repro.core.aqk import AQKSlackHandler
+from repro.core.spec import QualityTarget
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import CountAggregate, MeanAggregate
+from repro.engine.checkpoint import load_checkpoint, save_checkpoint
+from repro.engine.handlers import KSlackHandler
+from repro.engine.windows import SlidingWindowAssigner
+from repro.errors import ConfigurationError
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.generators import generate_stream
+
+
+def make_stream(rng, duration=60):
+    return inject_disorder(
+        generate_stream(duration=duration, rate=40, rng=rng),
+        ExponentialDelay(0.5),
+        rng,
+    )
+
+
+def drive(operator, elements, finish=True):
+    results = []
+    for element in elements:
+        results.extend(operator.process(element))
+    if finish:
+        results.extend(operator.finish())
+    return results
+
+
+class TestResumeEquivalence:
+    def _assert_resume_equivalent(self, make_operator, stream, tmp_path):
+        # Reference: one uninterrupted run.
+        reference = drive(make_operator(), list(stream))
+
+        # Checkpointed: run half, save, load, run the rest.
+        half = len(stream) // 2
+        first_half = make_operator()
+        results = drive(first_half, stream[:half], finish=False)
+        path = tmp_path / "op.ckpt"
+        save_checkpoint(first_half, path)
+        resumed = load_checkpoint(path)
+        results += drive(resumed, stream[half:])
+
+        assert len(results) == len(reference)
+        for a, b in zip(results, reference):
+            assert a.key == b.key
+            assert a.window == b.window
+            assert a.value == pytest.approx(b.value, nan_ok=True)
+            assert a.count == b.count
+            assert a.latency == pytest.approx(b.latency)
+
+    def test_kslack_operator(self, rng, tmp_path):
+        stream = make_stream(rng)
+
+        def make_operator():
+            return WindowAggregateOperator(
+                SlidingWindowAssigner(5, 1), MeanAggregate(), KSlackHandler(1.0)
+            )
+
+        self._assert_resume_equivalent(make_operator, stream, tmp_path)
+
+    def test_adaptive_operator(self, rng, tmp_path):
+        """Resume restores the controller gain and delay sample too."""
+        stream = make_stream(rng)
+
+        def make_operator():
+            return WindowAggregateOperator(
+                SlidingWindowAssigner(5, 1),
+                CountAggregate(),
+                AQKSlackHandler(
+                    target=QualityTarget(0.05),
+                    aggregate=CountAggregate(),
+                    window_size=5.0,
+                ),
+            )
+
+        self._assert_resume_equivalent(make_operator, stream, tmp_path)
+
+    def test_adaptive_state_survives(self, rng, tmp_path):
+        stream = make_stream(rng)
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(5, 1),
+            CountAggregate(),
+            AQKSlackHandler(
+                target=QualityTarget(0.05),
+                aggregate=CountAggregate(),
+                window_size=5.0,
+            ),
+        )
+        drive(operator, stream, finish=False)
+        path = tmp_path / "op.ckpt"
+        save_checkpoint(operator, path)
+        resumed = load_checkpoint(path)
+        assert resumed.handler.k == operator.handler.k
+        assert len(resumed.handler.adaptations) == len(operator.handler.adaptations)
+        assert resumed.stats.elements_in == operator.stats.elements_in
+
+
+class TestCheckpointFormat:
+    def test_bytes_written_reported(self, rng, tmp_path):
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(5, 1), MeanAggregate(), KSlackHandler(1.0)
+        )
+        path = tmp_path / "op.ckpt"
+        n = save_checkpoint(operator, path)
+        assert n == path.stat().st_size
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "bogus.ckpt"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(path)
+
+    def test_creates_parent_directories(self, rng, tmp_path):
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(5, 1), MeanAggregate(), KSlackHandler(1.0)
+        )
+        path = tmp_path / "deep" / "nested" / "op.ckpt"
+        save_checkpoint(operator, path)
+        assert path.exists()

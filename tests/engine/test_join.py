@@ -1,0 +1,134 @@
+"""Tests for the interval join operator."""
+
+import pytest
+
+from repro.engine.handlers import KSlackHandler, NoBufferHandler
+from repro.engine.join import IntervalJoinOperator, oracle_join_pairs
+from repro.errors import ConfigurationError
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.element import StreamElement
+from repro.streams.generators import generate_stream
+
+
+def side_by_value_sign(element: StreamElement) -> str:
+    return "left" if element.value >= 0 else "right"
+
+
+def make_two_sided(rng, duration=30, rate=60):
+    """Keyed stream where positive values are 'left', negative 'right'."""
+    base = generate_stream(duration=duration, rate=rate, rng=rng, keys=("a", "b"))
+    signed = [
+        StreamElement(
+            event_time=el.event_time,
+            value=(1.0 if i % 2 == 0 else -1.0),
+            key=el.key,
+            seq=el.seq,
+        )
+        for i, el in enumerate(base)
+    ]
+    return signed
+
+
+def drive_join(operator, elements):
+    results = []
+    for element in elements:
+        results.extend(operator.process(element))
+    results.extend(operator.finish())
+    return results
+
+
+class TestIntervalJoin:
+    def test_small_deterministic(self):
+        elements = [
+            StreamElement(event_time=1.0, value=1.0, key="k", arrival_time=1.0, seq=0),
+            StreamElement(event_time=1.5, value=-1.0, key="k", arrival_time=1.5, seq=1),
+            StreamElement(event_time=5.0, value=-1.0, key="k", arrival_time=5.0, seq=2),
+        ]
+        operator = IntervalJoinOperator(
+            bound=1.0, handler=NoBufferHandler(), side_selector=side_by_value_sign
+        )
+        results = drive_join(operator, elements)
+        assert len(results) == 1
+        assert results[0].left_time == 1.0
+        assert results[0].right_time == 1.5
+
+    def test_key_isolation(self):
+        elements = [
+            StreamElement(event_time=1.0, value=1.0, key="a", arrival_time=1.0, seq=0),
+            StreamElement(event_time=1.2, value=-1.0, key="b", arrival_time=1.2, seq=1),
+        ]
+        operator = IntervalJoinOperator(
+            bound=1.0, handler=NoBufferHandler(), side_selector=side_by_value_sign
+        )
+        assert drive_join(operator, elements) == []
+
+    def test_in_order_join_is_complete(self, rng):
+        elements = make_two_sided(rng)
+        arrived = [el.with_arrival(el.event_time) for el in elements]
+        operator = IntervalJoinOperator(
+            bound=0.5, handler=NoBufferHandler(), side_selector=side_by_value_sign
+        )
+        results = drive_join(operator, arrived)
+        expected = oracle_join_pairs(arrived, 0.5, side_by_value_sign)
+        emitted = {(r.key, r.left_time, r.right_time) for r in results}
+        assert emitted == expected
+
+    def test_pairs_emitted_exactly_once(self, rng):
+        elements = make_two_sided(rng)
+        arrived = [el.with_arrival(el.event_time) for el in elements]
+        operator = IntervalJoinOperator(
+            bound=0.5, handler=NoBufferHandler(), side_selector=side_by_value_sign
+        )
+        results = drive_join(operator, arrived)
+        emitted = [(r.key, r.left_time, r.right_time) for r in results]
+        assert len(emitted) == len(set(emitted))
+
+    def test_disorder_loses_pairs_without_buffering(self, rng):
+        elements = make_two_sided(rng, duration=60, rate=80)
+        arrived = inject_disorder(elements, ExponentialDelay(1.0), rng)
+        expected = oracle_join_pairs(arrived, 0.5, side_by_value_sign)
+
+        no_buffer = IntervalJoinOperator(
+            bound=0.5, handler=NoBufferHandler(), side_selector=side_by_value_sign
+        )
+        lossy = {
+            (r.key, r.left_time, r.right_time)
+            for r in drive_join(no_buffer, arrived)
+        }
+        buffered = IntervalJoinOperator(
+            bound=0.5, handler=KSlackHandler(8.0), side_selector=side_by_value_sign
+        )
+        recovered = {
+            (r.key, r.left_time, r.right_time)
+            for r in drive_join(buffered, arrived)
+        }
+        assert lossy <= expected
+        assert recovered <= expected
+        assert len(recovered) > len(lossy)
+
+    def test_store_is_pruned(self, rng):
+        elements = make_two_sided(rng, duration=120, rate=40)
+        arrived = [el.with_arrival(el.event_time) for el in elements]
+        operator = IntervalJoinOperator(
+            bound=1.0, handler=NoBufferHandler(), side_selector=side_by_value_sign
+        )
+        for element in arrived:
+            operator.process(element)
+        # Retention is bounded by the join bound, not the stream length.
+        assert operator.stored_count() < len(arrived) / 4
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IntervalJoinOperator(
+                bound=-1.0, handler=NoBufferHandler(), side_selector=side_by_value_sign
+            )
+
+    def test_bad_side_rejected(self):
+        operator = IntervalJoinOperator(
+            bound=1.0, handler=NoBufferHandler(), side_selector=lambda el: "middle"
+        )
+        with pytest.raises(ConfigurationError):
+            operator.process(
+                StreamElement(event_time=1.0, value=0, key="k", arrival_time=1.0)
+            )

@@ -1,0 +1,54 @@
+"""Tests for the in-order oracle."""
+
+import pytest
+
+from repro.engine.aggregates import CountAggregate, MeanAggregate
+from repro.engine.oracle import oracle_results
+from repro.engine.windows import SlidingWindowAssigner, TumblingWindowAssigner, Window
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.generators import generate_stream
+
+from tests.conftest import make_elements
+
+
+class TestOracleResults:
+    def test_small_tumbling_count(self):
+        elements = make_elements([(1.0, 5.0), (2.0, 7.0), (11.0, 1.0), (12.0, 3.0)])
+        truth = oracle_results(elements, TumblingWindowAssigner(10.0), CountAggregate())
+        assert truth[(None, Window(0, 10))] == (2.0, 2)
+        assert truth[(None, Window(10, 20))] == (2.0, 2)
+
+    def test_small_sliding_mean(self):
+        elements = make_elements([(1.0, 4.0), (6.0, 8.0)])
+        truth = oracle_results(
+            elements, SlidingWindowAssigner(size=10, slide=5), MeanAggregate()
+        )
+        # t=1 is in [0,10); t=6 is in [0,10) and [5,15).
+        assert truth[(None, Window(0, 10))][0] == pytest.approx(6.0)
+        assert truth[(None, Window(5, 15))][0] == pytest.approx(8.0)
+
+    def test_only_nonempty_windows(self):
+        elements = make_elements([(1.0, 1.0), (55.0, 1.0)])
+        truth = oracle_results(elements, TumblingWindowAssigner(10.0), CountAggregate())
+        assert set(truth) == {(None, Window(0, 10)), (None, Window(50, 60))}
+
+    def test_input_order_irrelevant(self, rng):
+        stream = generate_stream(duration=30, rate=40, rng=rng)
+        disordered = inject_disorder(stream, ExponentialDelay(1.0), rng)
+        assigner = SlidingWindowAssigner(5, 1)
+        aggregate = MeanAggregate()
+        assert oracle_results(stream, assigner, aggregate) == oracle_results(
+            disordered, assigner, aggregate
+        )
+
+    def test_keyed_streams(self, rng):
+        stream = generate_stream(duration=20, rate=40, rng=rng, keys=("a", "b"))
+        truth = oracle_results(stream, TumblingWindowAssigner(5.0), CountAggregate())
+        keys = {slot[0] for slot in truth}
+        assert keys == {"a", "b"}
+        total = sum(count for __, count in truth.values())
+        assert total == len(stream)
+
+    def test_empty_stream(self):
+        assert oracle_results([], TumblingWindowAssigner(10.0), CountAggregate()) == {}

@@ -1,0 +1,110 @@
+"""Tests for the session-window aggregation operator."""
+
+import pytest
+
+from repro.engine.aggregates import CountAggregate, SumAggregate
+from repro.engine.handlers import KSlackHandler, NoBufferHandler
+from repro.engine.pipeline import run_pipeline
+from repro.engine.session_op import SessionAggregateOperator
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_arrived
+
+
+class TestSessionAggregateOperator:
+    def test_single_session(self):
+        stream = make_arrived(
+            [(1.0, 1.0, 1.0), (2.0, 2.0, 1.0), (3.0, 3.0, 1.0), (20.0, 20.0, 1.0)]
+        )
+        operator = SessionAggregateOperator(
+            gap=5.0, aggregate=CountAggregate(), handler=NoBufferHandler()
+        )
+        output = run_pipeline(stream, operator)
+        sessions = {(r.window.start, r.window.end): r.value for r in output.results}
+        assert sessions[(1.0, 8.0)] == 3.0  # session [1,3] closed with end 3+gap
+        assert sessions[(20.0, 25.0)] == 1.0
+
+    def test_sessions_split_by_gap(self):
+        stream = make_arrived([(0.0, 0.0, 1.0), (10.0, 10.0, 1.0), (30.0, 30.0, 1.0)])
+        operator = SessionAggregateOperator(
+            gap=2.0, aggregate=CountAggregate(), handler=NoBufferHandler()
+        )
+        output = run_pipeline(stream, operator)
+        assert len(output.results) == 3
+
+    def test_out_of_order_event_extends_session_with_buffering(self):
+        # Events 0 and 4 belong to one session (gap 5); event 4 arrives late.
+        stream = make_arrived(
+            [
+                (0.0, 0.0, 1.0),
+                (8.0, 8.0, 1.0),  # separate session start (distance 8 > 5)
+                (4.0, 8.5, 1.0),  # late bridger: merges 0 and 8 into one
+                (30.0, 30.0, 1.0),
+            ]
+        )
+        operator = SessionAggregateOperator(
+            gap=5.0, aggregate=CountAggregate(), handler=KSlackHandler(10.0)
+        )
+        output = run_pipeline(stream, operator)
+        sessions = {(r.window.start, r.window.end): r.value for r in output.results}
+        assert sessions[(0.0, 13.0)] == 3.0  # one merged session covering 0..8
+
+    def test_late_event_dropped_without_buffering(self):
+        stream = make_arrived(
+            [
+                (0.0, 0.0, 1.0),
+                (20.0, 20.0, 1.0),  # frontier jumps: session at 0 closes
+                (1.0, 21.0, 1.0),  # belongs to the closed session: dropped
+                (40.0, 40.0, 1.0),
+            ]
+        )
+        operator = SessionAggregateOperator(
+            gap=3.0, aggregate=CountAggregate(), handler=NoBufferHandler()
+        )
+        output = run_pipeline(stream, operator)
+        assert operator.late_dropped == 1
+        first = [r for r in output.results if r.window.start == 0.0][0]
+        assert first.value == 1.0
+
+    def test_sum_aggregation(self):
+        stream = make_arrived([(1.0, 1.0, 2.5), (2.0, 2.0, 3.5), (30.0, 30.0, 1.0)])
+        operator = SessionAggregateOperator(
+            gap=5.0, aggregate=SumAggregate(), handler=NoBufferHandler()
+        )
+        output = run_pipeline(stream, operator)
+        first = [r for r in output.results if r.window.start == 1.0][0]
+        assert first.value == pytest.approx(6.0)
+
+    def test_keys_isolated(self):
+        stream = make_arrived([(1.0, 1.0, 1.0), (1.5, 1.5, 1.0), (30.0, 30.0, 1.0)])
+        keyed = [
+            s.__class__(
+                event_time=s.event_time,
+                value=s.value,
+                key=("a" if i == 0 else "b"),
+                arrival_time=s.arrival_time,
+                seq=s.seq,
+            )
+            for i, s in enumerate(stream)
+        ]
+        operator = SessionAggregateOperator(
+            gap=5.0, aggregate=CountAggregate(), handler=NoBufferHandler()
+        )
+        output = run_pipeline(keyed, operator)
+        early = [r for r in output.results if r.window.start < 10]
+        assert {r.key for r in early} == {"a", "b"}
+
+    def test_bad_gap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SessionAggregateOperator(
+                gap=0.0, aggregate=CountAggregate(), handler=NoBufferHandler()
+            )
+
+    def test_flushed_sessions_marked(self):
+        stream = make_arrived([(1.0, 1.0, 1.0)])
+        operator = SessionAggregateOperator(
+            gap=5.0, aggregate=CountAggregate(), handler=NoBufferHandler()
+        )
+        output = run_pipeline(stream, operator)
+        assert len(output.results) == 1
+        assert output.results[0].flushed

@@ -1,0 +1,219 @@
+"""Tests for the constant-memory sketches."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.sketches import (
+    ApproxDistinctAggregate,
+    ApproxQuantileAggregate,
+    HyperLogLog,
+    P2Quantile,
+    SpaceSaving,
+)
+from repro.errors import ConfigurationError
+
+
+class TestP2Quantile:
+    def test_exact_below_five_values(self):
+        sketch = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            sketch.observe(value)
+        assert sketch.value() == 3.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value())
+
+    @pytest.mark.parametrize("q", [0.1, 0.5, 0.9, 0.99])
+    def test_uniform_accuracy(self, q, rng):
+        sketch = P2Quantile(q)
+        data = rng.random(20000)
+        for value in data:
+            sketch.observe(float(value))
+        assert sketch.value() == pytest.approx(q, abs=0.03)
+
+    @pytest.mark.parametrize("q", [0.5, 0.95])
+    def test_gaussian_accuracy(self, q, rng):
+        sketch = P2Quantile(q)
+        data = rng.normal(10.0, 2.0, size=20000)
+        for value in data:
+            sketch.observe(float(value))
+        assert sketch.value() == pytest.approx(float(np.quantile(data, q)), abs=0.2)
+
+    def test_exponential_tail_accuracy(self, rng):
+        sketch = P2Quantile(0.95)
+        data = rng.exponential(1.0, size=30000)
+        for value in data:
+            sketch.observe(float(value))
+        exact = float(np.quantile(data, 0.95))
+        assert sketch.value() == pytest.approx(exact, rel=0.1)
+
+    def test_monotone_input(self):
+        sketch = P2Quantile(0.5)
+        for value in range(1000):
+            sketch.observe(float(value))
+        assert sketch.value() == pytest.approx(500.0, abs=30.0)
+
+    def test_count_tracked(self):
+        sketch = P2Quantile(0.5)
+        for value in range(10):
+            sketch.observe(float(value))
+        assert sketch.count == 10
+
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.5, 1.5])
+    def test_bad_q_rejected(self, q):
+        with pytest.raises(ConfigurationError):
+            P2Quantile(q)
+
+    def test_estimate_within_observed_range(self, rng):
+        sketch = P2Quantile(0.5)
+        data = rng.random(500) * 100
+        for value in data:
+            sketch.observe(float(value))
+        assert data.min() <= sketch.value() <= data.max()
+
+
+class TestHyperLogLog:
+    def test_small_cardinality_near_exact(self):
+        sketch = HyperLogLog(precision=12)
+        for i in range(100):
+            sketch.add(i)
+        assert sketch.estimate() == pytest.approx(100, abs=3)
+
+    def test_large_cardinality_within_error_bound(self):
+        sketch = HyperLogLog(precision=12)
+        n = 50000
+        for i in range(n):
+            sketch.add(f"item-{i}")
+        assert sketch.estimate() == pytest.approx(n, rel=4 * sketch.relative_error)
+
+    def test_duplicates_ignored(self):
+        sketch = HyperLogLog(precision=12)
+        for __ in range(1000):
+            sketch.add("same")
+        assert sketch.estimate() == pytest.approx(1, abs=0.5)
+
+    def test_merge_equals_union(self):
+        left = HyperLogLog(precision=10)
+        right = HyperLogLog(precision=10)
+        for i in range(2000):
+            left.add(f"a-{i}")
+            right.add(f"b-{i}")
+        for i in range(500):  # overlap
+            left.add(f"c-{i}")
+            right.add(f"c-{i}")
+        union = HyperLogLog(precision=10)
+        for i in range(2000):
+            union.add(f"a-{i}")
+            union.add(f"b-{i}")
+        for i in range(500):
+            union.add(f"c-{i}")
+        left.merge(right)
+        assert left.estimate() == pytest.approx(union.estimate(), rel=1e-9)
+
+    def test_merge_precision_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HyperLogLog(10).merge(HyperLogLog(12))
+
+    def test_bad_precision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HyperLogLog(precision=3)
+        with pytest.raises(ConfigurationError):
+            HyperLogLog(precision=19)
+
+    def test_relative_error_decreases_with_precision(self):
+        assert HyperLogLog(14).relative_error < HyperLogLog(10).relative_error
+
+
+class TestSpaceSaving:
+    def test_exact_when_under_capacity(self):
+        sketch = SpaceSaving(capacity=10)
+        for item, count in [("a", 5), ("b", 3), ("c", 1)]:
+            for __ in range(count):
+                sketch.add(item)
+        assert sketch.top(3) == [("a", 5), ("b", 3), ("c", 1)]
+
+    def test_heavy_hitters_survive_eviction(self, rng):
+        sketch = SpaceSaving(capacity=20)
+        # One heavy item among a long tail of singletons.
+        items = ["heavy"] * 500 + [f"tail-{i}" for i in range(2000)]
+        rng.shuffle(items)
+        for item in items:
+            sketch.add(item)
+        top = sketch.top(1)
+        assert top[0][0] == "heavy"
+        # Overestimate bounded: est <= true + min_counter.
+        assert top[0][1] >= 500
+
+    def test_guaranteed_filters_uncertain(self):
+        sketch = SpaceSaving(capacity=2)
+        for item in ("a", "a", "a", "b", "c", "d"):
+            sketch.add(item)
+        guaranteed = dict(sketch.guaranteed(2))
+        assert "a" in guaranteed
+
+    def test_weighted_add(self):
+        sketch = SpaceSaving(capacity=4)
+        sketch.add("a", weight=10)
+        sketch.add("b")
+        assert sketch.top(1) == [("a", 10)]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(0)
+        sketch = SpaceSaving(2)
+        with pytest.raises(ConfigurationError):
+            sketch.add("a", weight=0)
+
+
+class TestApproxAggregates:
+    def test_approx_quantile_close_to_exact(self, rng):
+        aggregate = ApproxQuantileAggregate(0.95)
+        accumulator = aggregate.create()
+        data = rng.random(5000)
+        for value in data:
+            aggregate.add(accumulator, float(value))
+        assert aggregate.result(accumulator) == pytest.approx(
+            float(np.quantile(data, 0.95)), abs=0.05
+        )
+
+    def test_approx_quantile_merge_rejected(self):
+        aggregate = ApproxQuantileAggregate(0.5)
+        with pytest.raises(ConfigurationError):
+            aggregate.merge(aggregate.create(), aggregate.create())
+
+    def test_approx_distinct_close_to_exact(self):
+        aggregate = ApproxDistinctAggregate(precision=12)
+        accumulator = aggregate.create()
+        for i in range(3000):
+            aggregate.add(accumulator, i % 1000)
+        assert aggregate.result(accumulator) == pytest.approx(1000, rel=0.1)
+
+    def test_approx_distinct_merge(self):
+        aggregate = ApproxDistinctAggregate(precision=12)
+        left, right = aggregate.create(), aggregate.create()
+        for i in range(500):
+            aggregate.add(left, i)
+            aggregate.add(right, i + 250)
+        merged = aggregate.merge(left, right)
+        assert aggregate.result(merged) == pytest.approx(750, rel=0.1)
+
+    def test_usable_in_windowed_query(self, small_disordered_stream):
+        from repro.queries.language import ContinuousQuery
+        from repro.engine.windows import sliding
+
+        run = (
+            ContinuousQuery()
+            .from_elements(small_disordered_stream)
+            .window(sliding(5, 1))
+            .aggregate(ApproxDistinctAggregate())
+            .with_quality(0.1)
+            .run(assess=True)
+        )
+        assert run.results
+        assert run.report.mean_error < 0.2
+
+    def test_error_model_kinds(self):
+        assert ApproxQuantileAggregate(0.5).error_model_kind == "rank"
+        assert ApproxDistinctAggregate().error_model_kind == "distinct"

@@ -1,0 +1,128 @@
+"""Tests for exact and approximate top-k aggregates."""
+
+import pytest
+
+from repro.engine.topk import ApproxTopKAggregate, TopKCountAggregate
+from repro.errors import ConfigurationError
+
+
+def fold(aggregate, values):
+    accumulator = aggregate.create()
+    for value in values:
+        aggregate.add(accumulator, value)
+    return accumulator
+
+
+DATA = ["a"] * 5 + ["b"] * 3 + ["c"] * 2 + ["d"]
+
+
+class TestTopKCountAggregate:
+    def test_ranking(self):
+        aggregate = TopKCountAggregate(k=2)
+        accumulator = fold(aggregate, DATA)
+        assert aggregate.result(accumulator) == (("a", 5), ("b", 3))
+
+    def test_ties_broken_by_value(self):
+        aggregate = TopKCountAggregate(k=2)
+        accumulator = fold(aggregate, ["x", "y"])
+        assert aggregate.result(accumulator) == (("x", 1), ("y", 1))
+
+    def test_fewer_values_than_k(self):
+        aggregate = TopKCountAggregate(k=10)
+        accumulator = fold(aggregate, ["a", "a"])
+        assert aggregate.result(accumulator) == (("a", 2),)
+
+    def test_empty(self):
+        aggregate = TopKCountAggregate(k=3)
+        assert aggregate.result(aggregate.create()) == ()
+
+    def test_merge(self):
+        aggregate = TopKCountAggregate(k=1)
+        left = fold(aggregate, ["a", "b"])
+        right = fold(aggregate, ["a", "a"])
+        merged = aggregate.merge(left, right)
+        assert aggregate.result(merged) == (("a", 3),)
+
+    def test_result_is_hashable(self):
+        aggregate = TopKCountAggregate(k=2)
+        accumulator = fold(aggregate, DATA)
+        hash(aggregate.result(accumulator))
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopKCountAggregate(k=0)
+
+    def test_late_add_after_snapshot(self):
+        aggregate = TopKCountAggregate(k=1)
+        accumulator = fold(aggregate, ["a", "b", "b"])
+        __ = aggregate.result(accumulator)
+        aggregate.add(accumulator, "a")
+        aggregate.add(accumulator, "a")
+        assert aggregate.result(accumulator) == (("a", 3),)
+
+
+class TestApproxTopKAggregate:
+    def test_matches_exact_when_capacity_suffices(self, rng):
+        values = list(rng.choice(["a", "b", "c", "d", "e"], p=[0.4, 0.3, 0.15, 0.1, 0.05], size=2000))
+        exact = TopKCountAggregate(k=3)
+        approx = ApproxTopKAggregate(k=3, capacity=50)
+        exact_top = exact.result(fold(exact, values))
+        approx_top = approx.result(fold(approx, values))
+        assert [item for item, __ in exact_top] == [item for item, __ in approx_top]
+        for (__, exact_count), (__, approx_count) in zip(exact_top, approx_top):
+            assert approx_count >= exact_count  # overestimate only
+
+    def test_heavy_hitter_survives_tiny_capacity(self, rng):
+        values = ["heavy"] * 400 + [f"tail-{i}" for i in range(1000)]
+        rng.shuffle(values)
+        aggregate = ApproxTopKAggregate(k=1, capacity=10)
+        top = aggregate.result(fold(aggregate, values))
+        assert top[0][0] == "heavy"
+
+    def test_merge_rejected(self):
+        aggregate = ApproxTopKAggregate(k=2)
+        with pytest.raises(ConfigurationError):
+            aggregate.merge(aggregate.create(), aggregate.create())
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ApproxTopKAggregate(k=5, capacity=2)
+        with pytest.raises(ConfigurationError):
+            ApproxTopKAggregate(k=0)
+
+    def test_default_capacity(self):
+        assert ApproxTopKAggregate(k=3).capacity == 30
+
+
+class TestTopKInWindowedQuery:
+    def test_end_to_end(self, rng):
+        """Top-k over windows; disorder handled; exact-match quality."""
+        from repro.core.quality import assess_quality
+        from repro.engine.aggregate_op import WindowAggregateOperator
+        from repro.engine.handlers import MPKSlackHandler
+        from repro.engine.oracle import oracle_results
+        from repro.engine.pipeline import run_pipeline
+        from repro.engine.windows import TumblingWindowAssigner
+        from repro.streams.delay import ExponentialDelay
+        from repro.streams.disorder import inject_disorder
+        from repro.streams.element import StreamElement
+        from repro.streams.generators import generate_stream
+
+        base = generate_stream(duration=40, rate=50, rng=rng)
+        categorized = [
+            StreamElement(
+                event_time=el.event_time,
+                value=("hot" if i % 3 else "cold"),
+                seq=el.seq,
+            )
+            for i, el in enumerate(base)
+        ]
+        stream = inject_disorder(categorized, ExponentialDelay(0.3), rng)
+        assigner = TumblingWindowAssigner(5.0)
+        aggregate = TopKCountAggregate(k=1)
+        operator = WindowAggregateOperator(assigner, aggregate, MPKSlackHandler())
+        output = run_pipeline(stream, operator)
+        truth = oracle_results(stream, assigner, aggregate)
+        report = assess_quality(output.results, truth, threshold=0.5)
+        # Conservative buffering: every window's top-1 list matches exactly.
+        assert report.mean_error == 0.0

@@ -1,0 +1,173 @@
+"""Failure injection: adversarial streams must not break invariants.
+
+These streams are deliberately pathological — fully reversed arrival,
+duplicate timestamps, giant event-time gaps, all-late singletons, constant
+values, extreme rates.  The assertions are the engine's safety net:
+no exceptions, exactly-once release, monotone frontiers, sane reports.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.aqk import AQKSlackHandler
+from repro.core.quality import assess_quality
+from repro.core.spec import QualityTarget
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import CountAggregate, MeanAggregate
+from repro.engine.handlers import KSlackHandler, MPKSlackHandler, NoBufferHandler
+from repro.engine.oracle import oracle_results
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import SlidingWindowAssigner
+from repro.streams.element import StreamElement
+
+ASSIGNER = SlidingWindowAssigner(10, 2)
+
+
+def handlers():
+    return [
+        NoBufferHandler(),
+        KSlackHandler(1.0),
+        MPKSlackHandler(),
+        AQKSlackHandler(target=QualityTarget(0.05), aggregate=CountAggregate()),
+    ]
+
+
+def run_all_handlers(stream):
+    outputs = []
+    for handler in handlers():
+        operator = WindowAggregateOperator(ASSIGNER, MeanAggregate(), handler)
+        outputs.append((handler, run_pipeline(stream, operator)))
+    return outputs
+
+
+def check_sanity(stream, outputs):
+    truth = oracle_results(stream, ASSIGNER, MeanAggregate())
+    for handler, output in outputs:
+        # Results are a subset of oracle windows with sane counts.
+        for result in output.results:
+            assert (result.key, result.window) in truth
+            assert result.count >= 1
+            if not result.flushed:
+                assert result.latency >= -1e-9
+        # Quality report computes without blowing up.
+        report = assess_quality(output.results, truth, threshold=0.5)
+        assert 0.0 <= report.window_recall <= 1.0
+
+
+class TestAdversarialStreams:
+    def test_fully_reversed_arrival(self):
+        """Events arrive in exactly reversed event-time order."""
+        n = 200
+        stream = [
+            StreamElement(
+                event_time=float(n - i),
+                value=1.0,
+                arrival_time=float(n + i),
+                seq=n - i,
+            )
+            for i in range(n)
+        ]
+        outputs = run_all_handlers(stream)
+        check_sanity(stream, outputs)
+        # The first-arriving element has the largest event time, so for
+        # zero-slack handling everything else is late.
+        no_buffer_output = outputs[0][1]
+        assert no_buffer_output.metrics.late_dropped > n / 2
+
+    def test_all_elements_share_one_timestamp(self):
+        stream = [
+            StreamElement(event_time=5.0, value=float(i), arrival_time=5.0 + i * 0.01, seq=i)
+            for i in range(100)
+        ]
+        outputs = run_all_handlers(stream)
+        check_sanity(stream, outputs)
+
+    def test_giant_event_time_gap(self):
+        """An hour of silence between two busy patches."""
+        early = [
+            StreamElement(event_time=i * 0.1, value=1.0, arrival_time=i * 0.1, seq=i)
+            for i in range(100)
+        ]
+        late = [
+            StreamElement(
+                event_time=3600.0 + i * 0.1,
+                value=1.0,
+                arrival_time=3600.0 + i * 0.1,
+                seq=100 + i,
+            )
+            for i in range(100)
+        ]
+        stream = early + late
+        outputs = run_all_handlers(stream)
+        check_sanity(stream, outputs)
+        # The gap must not create phantom windows: every emitted window is
+        # in one of the two busy patches.
+        for __, output in outputs:
+            for result in output.results:
+                assert result.window.start < 20 or result.window.start > 3500
+
+    def test_single_element_stream(self):
+        stream = [StreamElement(event_time=1.0, value=7.0, arrival_time=1.5, seq=0)]
+        for handler in handlers():
+            operator = WindowAggregateOperator(ASSIGNER, MeanAggregate(), handler)
+            output = run_pipeline(stream, operator)
+            assert len(output.results) >= 1
+            assert all(r.flushed for r in output.results)
+            assert all(r.value == 7.0 for r in output.results)
+
+    def test_two_elements_hours_of_delay_apart(self):
+        stream = [
+            StreamElement(event_time=100.0, value=1.0, arrival_time=100.0, seq=1),
+            StreamElement(event_time=0.0, value=1.0, arrival_time=7200.0, seq=0),
+        ]
+        outputs = run_all_handlers(stream)
+        check_sanity(stream, outputs)
+
+    def test_constant_zero_values(self):
+        """Zero mean stresses the relative-error denominators."""
+        stream = [
+            StreamElement(event_time=i * 0.1, value=0.0, arrival_time=i * 0.1 + 0.05, seq=i)
+            for i in range(300)
+        ]
+        outputs = run_all_handlers(stream)
+        truth = oracle_results(stream, ASSIGNER, MeanAggregate())
+        for __, output in outputs:
+            report = assess_quality(output.results, truth, threshold=0.05)
+            assert not math.isnan(report.mean_error)
+
+    def test_extreme_value_magnitudes(self):
+        rng = np.random.default_rng(0)
+        stream = [
+            StreamElement(
+                event_time=i * 0.05,
+                value=float(rng.choice([1e-12, 1e12, -1e12])),
+                arrival_time=i * 0.05 + float(rng.exponential(0.3)),
+                seq=i,
+            )
+            for i in range(400)
+        ]
+        stream.sort(key=StreamElement.arrival_sort_key)
+        outputs = run_all_handlers(stream)
+        check_sanity(stream, outputs)
+
+    def test_empty_stream_all_handlers(self):
+        for handler in handlers():
+            operator = WindowAggregateOperator(ASSIGNER, MeanAggregate(), handler)
+            output = run_pipeline([], operator)
+            assert output.results == []
+
+    def test_aqk_survives_burst_of_identical_delays(self):
+        """Degenerate delay distribution: every quantile is the same."""
+        stream = [
+            StreamElement(event_time=i * 0.1, value=1.0, arrival_time=i * 0.1 + 2.0, seq=i)
+            for i in range(500)
+        ]
+        handler = AQKSlackHandler(target=QualityTarget(0.05), aggregate=CountAggregate())
+        operator = WindowAggregateOperator(ASSIGNER, CountAggregate(), handler)
+        output = run_pipeline(stream, operator)
+        truth = oracle_results(stream, ASSIGNER, CountAggregate())
+        report = assess_quality(output.results, truth, threshold=0.05)
+        # Constant delays create zero disorder: results must be exact.
+        assert report.mean_error == 0.0

@@ -1,0 +1,160 @@
+"""Integration tests: the paper's headline claims as executable assertions.
+
+These are slower, whole-system tests that exercise the public API end to
+end and check the *shape* of the reproduced results:
+
+1. without disorder every policy is exact;
+2. quality-driven adaptation meets its target at a fraction of the
+   conservative baseline's latency;
+3. the latency-budget mode respects its bound and beats fixed conservative
+   buffering on latency;
+4. adaptation follows a delay burst up and back down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.quality import assess_quality
+from repro.engine.aggregates import CountAggregate
+from repro.engine.oracle import oracle_results
+from repro.engine.retraction import SpeculativeAggregateOperator, final_values
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import SlidingWindowAssigner, sliding
+from repro.queries.language import ContinuousQuery
+from repro.streams.delay import (
+    BurstyDelay,
+    ConstantDelay,
+    ExponentialDelay,
+    MixtureDelay,
+    ParetoDelay,
+)
+from repro.streams.disorder import inject_disorder
+from repro.streams.generators import generate_stream
+
+
+@pytest.fixture(scope="module")
+def heavy_stream():
+    rng = np.random.default_rng(99)
+    model = MixtureDelay(
+        [(0.9, ExponentialDelay(0.2)), (0.1, ParetoDelay(shape=1.8, scale=1.0))]
+    )
+    return inject_disorder(
+        generate_stream(duration=240, rate=100, rng=rng), model, rng
+    )
+
+
+def run_with(stream, clause, **kwargs):
+    query = (
+        ContinuousQuery()
+        .from_elements(stream)
+        .window(sliding(10, 2))
+        .aggregate("count")
+    )
+    query = getattr(query, clause)(**kwargs)
+    return query.run(assess=True, threshold=0.05)
+
+
+class TestExactnessWithoutDisorder:
+    @pytest.mark.parametrize(
+        "clause,kwargs",
+        [
+            ("without_buffering", {}),
+            ("with_slack", {"k": 1.0}),
+            ("with_max_delay_slack", {}),
+            ("with_watermark", {"lag": 0.5}),
+        ],
+    )
+    def test_every_policy_exact_in_order(self, clause, kwargs):
+        rng = np.random.default_rng(3)
+        stream = inject_disorder(
+            generate_stream(duration=60, rate=50, rng=rng), ConstantDelay(0.05), rng
+        )
+        run = run_with(stream, clause, **kwargs)
+        assert run.report.mean_error == 0.0
+        assert run.report.window_recall == 1.0
+
+
+class TestHeadlineTradeoff:
+    def test_quality_met_at_fraction_of_conservative_latency(self, heavy_stream):
+        adaptive = run_with(heavy_stream, "with_quality", threshold=0.05)
+        conservative = run_with(heavy_stream, "with_max_delay_slack")
+
+        # The adaptive run meets the quality target...
+        assert adaptive.report.mean_error <= 0.05
+        # ...at a small fraction of the conservative latency.
+        assert adaptive.latency.mean < conservative.latency.mean / 3
+        # The conservative baseline is (as designed) near-exact.
+        assert conservative.report.mean_error <= 0.001
+
+    def test_no_buffer_is_fast_but_violates_strict_targets(self, heavy_stream):
+        eager = run_with(heavy_stream, "without_buffering")
+        adaptive = run_with(heavy_stream, "with_quality", threshold=0.01)
+        assert eager.latency.mean < adaptive.latency.mean
+        assert eager.report.mean_error > 0.01
+        assert adaptive.report.mean_error <= 0.015  # small tolerance
+
+    def test_latency_monotone_in_quality_strictness(self, heavy_stream):
+        strict = run_with(heavy_stream, "with_quality", threshold=0.01)
+        loose = run_with(heavy_stream, "with_quality", threshold=0.2)
+        assert loose.latency.mean <= strict.latency.mean
+
+
+class TestLatencyBudgetMode:
+    def test_budget_respected(self, heavy_stream):
+        run = run_with(heavy_stream, "with_latency_budget", seconds=1.0)
+        assert run.handler.current_slack <= 1.0
+        for record in run.handler.adaptations:
+            assert record.k_applied <= 1.0
+
+    def test_larger_budget_means_better_quality(self, heavy_stream):
+        small = run_with(heavy_stream, "with_latency_budget", seconds=0.1)
+        large = run_with(heavy_stream, "with_latency_budget", seconds=8.0)
+        assert large.report.mean_error <= small.report.mean_error
+
+
+class TestBurstAdaptation:
+    def test_slack_follows_burst_up_and_down(self):
+        rng = np.random.default_rng(17)
+        model = BurstyDelay(
+            calm=ExponentialDelay(0.1),
+            burst=ExponentialDelay(3.0),
+            burst_start=100.0,
+            burst_end=200.0,
+        )
+        stream = inject_disorder(
+            generate_stream(duration=300, rate=100, rng=rng), model, rng
+        )
+        run = (
+            ContinuousQuery()
+            .from_elements(stream)
+            .window(sliding(10, 2))
+            .aggregate("count")
+            .with_quality(0.05)
+            .run()
+        )
+        records = run.handler.adaptations
+        calm_before = [r.k_applied for r in records if r.arrival_time < 90]
+        in_burst = [r.k_applied for r in records if 130 < r.arrival_time < 200]
+        calm_after = [r.k_applied for r in records if r.arrival_time > 280]
+        assert np.median(in_burst) > 3 * np.median(calm_before)
+        assert np.median(calm_after) < np.median(in_burst)
+
+
+class TestSpeculativeVsBuffered:
+    def test_speculation_trades_revisions_for_latency(self, heavy_stream):
+        assigner = SlidingWindowAssigner(10, 2)
+        aggregate = CountAggregate()
+        speculative = SpeculativeAggregateOperator(
+            assigner, aggregate, revision_horizon=60.0
+        )
+        output = run_pipeline(heavy_stream, speculative)
+        truth = oracle_results(heavy_stream, assigner, aggregate)
+        finals = final_values(output.results)
+        report = assess_quality(
+            [r for r in output.results], truth, threshold=0.05
+        )
+        # Final values are much better than the initial (revision-0) ones
+        # would be alone, but the price is revision churn.
+        assert speculative.revisions_emitted > 0
+        assert report.window_recall == 1.0
+        assert len(finals) == len(truth)

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs end-to-end at reduced duration."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name,expected_snippets",
+    [
+        ("quickstart", ["policy", "quality-driven"]),
+        ("financial_monitoring", ["mean relative error", "average price per symbol"]),
+        ("sensor_outage", ["adaptive slack", "outage"]),
+        (
+            "latency_budget_leaderboard",
+            ["latency budget", "top speed"],
+        ),
+        (
+            "multi_gateway_operations",
+            ["checkpointed after", "results identical to uninterrupted run: True"],
+        ),
+    ],
+)
+def test_example_runs(name, expected_snippets, capsys):
+    module = load_example(name)
+    module.main(duration=40.0)
+    out = capsys.readouterr().out
+    for snippet in expected_snippets:
+        assert snippet in out, f"{name}: missing {snippet!r}"
+
+
+def test_all_examples_covered():
+    scripts = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    tested = {
+        "quickstart",
+        "financial_monitoring",
+        "sensor_outage",
+        "latency_budget_leaderboard",
+        "multi_gateway_operations",
+    }
+    assert scripts == tested

@@ -1,0 +1,164 @@
+"""Tests for the SQL-like continuous-query dialect."""
+
+import pytest
+
+from repro.core.aqk import AQKSlackHandler
+from repro.core.spec import LatencyBudget, QualityTarget
+from repro.engine.aggregates import (
+    CountAggregate,
+    MeanAggregate,
+    QuantileAggregate,
+)
+from repro.engine.handlers import KSlackHandler, MPKSlackHandler, NoBufferHandler
+from repro.engine.watermarks import FixedLagWatermarkHandler
+from repro.engine.windows import SlidingWindowAssigner, TumblingWindowAssigner
+from repro.errors import QueryError
+from repro.queries.sql import parse_query
+
+
+def built(text):
+    """Parse and materialize the operator for inspection."""
+    query = parse_query(text)
+    return query, query.build_operator()
+
+
+class TestParsing:
+    def test_minimal_query(self):
+        query, operator = built(
+            "SELECT mean(value) FROM stream GROUP BY HOP(10, 2) WITH QUALITY 0.05"
+        )
+        assert isinstance(operator.aggregate, MeanAggregate)
+        assert isinstance(operator.assigner, SlidingWindowAssigner)
+        assert operator.assigner.size == 10
+        assert operator.assigner.slide == 2
+        assert isinstance(operator.handler, AQKSlackHandler)
+        assert operator.handler.target == QualityTarget(0.05)
+
+    def test_case_insensitive_keywords(self):
+        __, operator = built(
+            "select count(*) from s group by tumble(5) with slack 1.5"
+        )
+        assert isinstance(operator.aggregate, CountAggregate)
+        assert isinstance(operator.assigner, TumblingWindowAssigner)
+        assert isinstance(operator.handler, KSlackHandler)
+        assert operator.handler.k == 1.5
+
+    def test_aggregate_without_parens(self):
+        __, operator = built(
+            "SELECT median FROM s GROUP BY TUMBLE(5) WITH SLACK 1"
+        )
+        assert operator.aggregate.name == "median"
+
+    def test_quantile_aggregate(self):
+        __, operator = built(
+            "SELECT p95(value) FROM s GROUP BY HOP(10, 5) WITH SLACK 1"
+        )
+        assert isinstance(operator.aggregate, QuantileAggregate)
+        assert operator.aggregate.q == pytest.approx(0.95)
+
+    def test_latency_budget(self):
+        __, operator = built(
+            "SELECT count(*) FROM s GROUP BY HOP(10, 2) WITH LATENCY BUDGET 2.5"
+        )
+        assert operator.handler.target == LatencyBudget(2.5)
+
+    def test_max_delay_slack(self):
+        __, operator = built(
+            "SELECT sum(value) FROM s GROUP BY TUMBLE(5) WITH MAX DELAY SLACK"
+        )
+        assert isinstance(operator.handler, MPKSlackHandler)
+
+    def test_watermark_lag(self):
+        __, operator = built(
+            "SELECT sum(value) FROM s GROUP BY TUMBLE(5) WITH WATERMARK LAG 1.0"
+        )
+        assert isinstance(operator.handler, FixedLagWatermarkHandler)
+        assert operator.handler.lag == 1.0
+
+    @pytest.mark.parametrize(
+        "clause", ["WITH NO BUFFERING", "WITHOUT BUFFERING"]
+    )
+    def test_no_buffering(self, clause):
+        __, operator = built(
+            f"SELECT sum(value) FROM s GROUP BY TUMBLE(5) {clause}"
+        )
+        assert isinstance(operator.handler, NoBufferHandler)
+
+    def test_fractional_numbers(self):
+        __, operator = built(
+            "SELECT mean(value) FROM s GROUP BY HOP(0.5, 0.25) WITH QUALITY .01"
+        )
+        assert operator.assigner.size == 0.5
+        assert operator.handler.target.threshold == 0.01
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("", "SELECT"),
+            ("SELECT FROM s GROUP BY TUMBLE(5)", "aggregate name"),
+            ("SELECT bogus(value) FROM s GROUP BY TUMBLE(5)", "unknown aggregate"),
+            ("SELECT mean(value) GROUP BY TUMBLE(5)", "FROM"),
+            ("SELECT mean(value) FROM s", "GROUP"),
+            ("SELECT mean(value) FROM s GROUP BY SESSION(5)", "HOP or TUMBLE"),
+            ("SELECT mean(value) FROM s GROUP BY HOP(10)", "','"),
+            ("SELECT mean(value) FROM s GROUP BY HOP(2, 10)", "slide"),
+            ("SELECT mean(value) FROM s GROUP BY TUMBLE(5) WITH QUALITY 2.0", "threshold"),
+            ("SELECT mean(value) FROM s GROUP BY TUMBLE(5) WITH QUALITY", "a number"),
+            ("SELECT mean(value) FROM s GROUP BY TUMBLE(5) trailing", "end of query"),
+            ("SELECT mean(price) FROM s GROUP BY TUMBLE(5)", "'value' or '*'"),
+        ],
+    )
+    def test_bad_queries_fail_with_context(self, text, fragment):
+        with pytest.raises(QueryError) as excinfo:
+            parse_query(text).build_operator()
+        assert fragment.lower() in str(excinfo.value).lower()
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT mean(value) FROM s GROUP BY TUMBLE(5) WITH QUALITY 5%")
+
+    def test_no_handler_clause_requires_explicit_choice(self):
+        query = parse_query("SELECT mean(value) FROM s GROUP BY TUMBLE(5)")
+        with pytest.raises(QueryError):
+            query.build_operator()
+        # Caller can complete the query fluently.
+        query.without_buffering()
+        assert query.build_operator() is not None
+
+
+class TestEndToEnd:
+    def test_sql_query_runs(self, small_disordered_stream):
+        run = (
+            parse_query(
+                "SELECT count(*) FROM stream GROUP BY HOP(5, 1) WITH QUALITY 0.1"
+            )
+            .from_elements(small_disordered_stream)
+            .run(assess=True)
+        )
+        assert run.results
+        assert run.report.threshold == 0.1
+
+    def test_sql_equals_fluent(self, small_disordered_stream):
+        from repro.engine.windows import sliding
+        from repro.queries.language import ContinuousQuery
+
+        sql_run = (
+            parse_query(
+                "SELECT mean(value) FROM s GROUP BY HOP(5, 1) WITH SLACK 1.0"
+            )
+            .from_elements(small_disordered_stream)
+            .run()
+        )
+        fluent_run = (
+            ContinuousQuery()
+            .from_elements(small_disordered_stream)
+            .window(sliding(5, 1))
+            .aggregate("mean")
+            .with_slack(1.0)
+            .run()
+        )
+        assert {(r.key, r.window): r.value for r in sql_run.results} == {
+            (r.key, r.window): r.value for r in fluent_run.results
+        }

@@ -1,0 +1,200 @@
+"""Tests for the delay-model library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.delay import (
+    BurstyDelay,
+    ConstantDelay,
+    ExponentialDelay,
+    GaussianDelay,
+    LognormalDelay,
+    MixtureDelay,
+    ParetoDelay,
+    RegimeSwitchingDelay,
+    ShiftedDelay,
+    UniformDelay,
+    empirical_quantile,
+)
+
+ALL_MODELS = [
+    ConstantDelay(0.5),
+    UniformDelay(0.1, 0.9),
+    ExponentialDelay(0.4),
+    ParetoDelay(shape=2.0, scale=0.5),
+    LognormalDelay(mu=-1.0, sigma=0.8),
+    GaussianDelay(mean_delay=0.3, std=0.2),
+    ShiftedDelay(0.1, ExponentialDelay(0.2)),
+    MixtureDelay([(0.7, ConstantDelay(0.1)), (0.3, ExponentialDelay(1.0))]),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.describe())
+def test_samples_are_non_negative(model, rng):
+    for __ in range(500):
+        assert model.sample(rng, 0.0) >= 0.0
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.describe())
+def test_describe_is_nonempty_string(model):
+    assert isinstance(model.describe(), str)
+    assert model.describe()
+
+
+@pytest.mark.parametrize(
+    "model",
+    [
+        ConstantDelay(0.5),
+        UniformDelay(0.1, 0.9),
+        ExponentialDelay(0.4),
+        ParetoDelay(shape=3.0, scale=0.5),
+        ShiftedDelay(0.1, ExponentialDelay(0.2)),
+        MixtureDelay([(0.7, ConstantDelay(0.1)), (0.3, ExponentialDelay(1.0))]),
+    ],
+    ids=lambda m: m.describe(),
+)
+def test_analytic_mean_matches_empirical(model, rng):
+    samples = [model.sample(rng, 0.0) for __ in range(40000)]
+    assert np.mean(samples) == pytest.approx(model.mean(), rel=0.1)
+
+
+class TestConstantDelay:
+    def test_deterministic(self, rng):
+        model = ConstantDelay(0.7)
+        assert model.sample(rng, 0.0) == 0.7
+        assert model.sample(rng, 99.0) == 0.7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantDelay(-0.1)
+
+
+class TestUniformDelay:
+    def test_within_bounds(self, rng):
+        model = UniformDelay(0.2, 0.5)
+        for __ in range(200):
+            assert 0.2 <= model.sample(rng, 0.0) < 0.5
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(0.5, 0.2)
+        with pytest.raises(ConfigurationError):
+            UniformDelay(-0.1, 0.2)
+
+
+class TestExponentialDelay:
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDelay(0.0)
+
+
+class TestParetoDelay:
+    def test_infinite_mean_for_heavy_tail(self):
+        assert ParetoDelay(shape=1.0, scale=1.0).mean() == math.inf
+        assert ParetoDelay(shape=0.8, scale=1.0).mean() == math.inf
+
+    def test_finite_mean(self):
+        assert ParetoDelay(shape=2.0, scale=1.0).mean() == pytest.approx(1.0)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParetoDelay(shape=0.0, scale=1.0)
+        with pytest.raises(ConfigurationError):
+            ParetoDelay(shape=1.0, scale=0.0)
+
+    def test_heavier_tail_has_larger_quantiles(self, rng):
+        q_heavy = empirical_quantile(ParetoDelay(1.2, 1.0), 0.99, rng)
+        q_light = empirical_quantile(ParetoDelay(3.0, 1.0), 0.99, rng)
+        assert q_heavy > q_light
+
+
+class TestGaussianDelay:
+    def test_truncated_at_zero(self, rng):
+        model = GaussianDelay(mean_delay=0.01, std=1.0)
+        samples = [model.sample(rng, 0.0) for __ in range(500)]
+        assert min(samples) >= 0.0
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaussianDelay(-0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            GaussianDelay(0.1, -0.1)
+
+
+class TestMixtureDelay:
+    def test_weights_normalized(self):
+        model = MixtureDelay([(2.0, ConstantDelay(0.1)), (2.0, ConstantDelay(0.3))])
+        assert model.mean() == pytest.approx(0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixtureDelay([])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixtureDelay([(-1.0, ConstantDelay(0.1)), (2.0, ConstantDelay(0.3))])
+
+    def test_samples_come_from_components(self, rng):
+        model = MixtureDelay([(0.5, ConstantDelay(0.1)), (0.5, ConstantDelay(0.9))])
+        seen = {model.sample(rng, 0.0) for __ in range(200)}
+        assert seen == {0.1, 0.9}
+
+
+class TestRegimeSwitchingDelay:
+    def test_selects_regime_by_event_time(self, rng):
+        model = RegimeSwitchingDelay(
+            [(0.0, ConstantDelay(0.1)), (10.0, ConstantDelay(5.0))]
+        )
+        assert model.sample(rng, 5.0) == 0.1
+        assert model.sample(rng, 10.0) == 5.0
+        assert model.sample(rng, 50.0) == 5.0
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ConfigurationError):
+            RegimeSwitchingDelay([(1.0, ConstantDelay(0.1))])
+
+    def test_breakpoints_must_ascend(self):
+        with pytest.raises(ConfigurationError):
+            RegimeSwitchingDelay(
+                [(0.0, ConstantDelay(0.1)), (5.0, ConstantDelay(1.0)),
+                 (3.0, ConstantDelay(2.0))]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegimeSwitchingDelay([])
+
+
+class TestBurstyDelay:
+    def test_burst_window(self, rng):
+        model = BurstyDelay(
+            calm=ConstantDelay(0.1),
+            burst=ConstantDelay(3.0),
+            burst_start=10.0,
+            burst_end=20.0,
+        )
+        assert model.sample(rng, 5.0) == 0.1
+        assert model.sample(rng, 15.0) == 3.0
+        assert model.sample(rng, 25.0) == 0.1
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BurstyDelay(ConstantDelay(0.1), ConstantDelay(1.0), 20.0, 10.0)
+
+
+class TestEmpiricalQuantile:
+    def test_constant_model(self, rng):
+        assert empirical_quantile(ConstantDelay(0.5), 0.9, rng) == pytest.approx(0.5)
+
+    def test_monotone_in_q(self, rng):
+        model = ExponentialDelay(0.5)
+        q50 = empirical_quantile(model, 0.5, rng, n_samples=5000)
+        q95 = empirical_quantile(model, 0.95, rng, n_samples=5000)
+        assert q50 <= q95
+
+    def test_bad_q_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            empirical_quantile(ConstantDelay(0.5), 1.5, rng)

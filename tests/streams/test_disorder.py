@@ -1,0 +1,188 @@
+"""Tests for disorder injection and disorder metrics."""
+
+import pytest
+
+from repro.streams.delay import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.streams.disorder import count_inversions, inject_disorder, measure_disorder
+from repro.streams.element import StreamElement, ensure_arrival_order
+from repro.streams.generators import generate_stream
+
+
+class TestInjectDisorder:
+    def test_preserves_element_count(self, rng, small_inorder_stream):
+        out = inject_disorder(small_inorder_stream, ExponentialDelay(0.3), rng)
+        assert len(out) == len(small_inorder_stream)
+
+    def test_output_in_arrival_order(self, rng, small_inorder_stream):
+        out = inject_disorder(small_inorder_stream, ExponentialDelay(0.3), rng)
+        ensure_arrival_order(out)
+
+    def test_constant_delay_preserves_event_order(self, rng, small_inorder_stream):
+        out = inject_disorder(small_inorder_stream, ConstantDelay(1.0), rng)
+        event_times = [el.event_time for el in out]
+        assert event_times == sorted(event_times)
+
+    def test_arrival_equals_event_plus_delay(self, rng, small_inorder_stream):
+        out = inject_disorder(small_inorder_stream, ConstantDelay(0.5), rng)
+        for el in out:
+            assert el.delay == pytest.approx(0.5)
+
+    def test_seq_assigned_in_event_order(self, rng, small_inorder_stream):
+        out = inject_disorder(small_inorder_stream, ExponentialDelay(0.3), rng)
+        by_seq = sorted(out, key=lambda el: el.seq)
+        event_times = [el.event_time for el in by_seq]
+        assert event_times == sorted(event_times)
+
+    def test_values_preserved(self, rng, small_inorder_stream):
+        out = inject_disorder(small_inorder_stream, ExponentialDelay(0.3), rng)
+        assert sorted(el.value for el in out) == sorted(
+            el.value for el in small_inorder_stream
+        )
+
+    def test_deterministic_given_seed(self, small_inorder_stream):
+        import numpy as np
+
+        out1 = inject_disorder(
+            small_inorder_stream, ExponentialDelay(0.3), np.random.default_rng(5)
+        )
+        out2 = inject_disorder(
+            small_inorder_stream, ExponentialDelay(0.3), np.random.default_rng(5)
+        )
+        assert out1 == out2
+
+
+class TestCountInversions:
+    def test_sorted_has_zero(self):
+        assert count_inversions([1.0, 2.0, 3.0, 4.0]) == 0
+
+    def test_reversed_is_worst_case(self):
+        n = 6
+        assert count_inversions(list(range(n, 0, -1))) == n * (n - 1) // 2
+
+    def test_single_swap(self):
+        assert count_inversions([1.0, 3.0, 2.0]) == 1
+
+    def test_matches_bruteforce(self, rng):
+        values = list(rng.random(40))
+        brute = sum(
+            1
+            for i in range(len(values))
+            for j in range(i + 1, len(values))
+            if values[i] > values[j]
+        )
+        assert count_inversions(values) == brute
+
+    def test_empty_and_singleton(self):
+        assert count_inversions([]) == 0
+        assert count_inversions([1.0]) == 0
+
+
+class TestMeasureDisorder:
+    def test_empty_stream(self):
+        stats = measure_disorder([])
+        assert stats.n_elements == 0
+        assert stats.out_of_order_fraction == 0.0
+
+    def test_in_order_stream(self, rng, small_inorder_stream):
+        out = inject_disorder(small_inorder_stream, ConstantDelay(0.2), rng)
+        stats = measure_disorder(out)
+        assert stats.out_of_order_fraction == 0.0
+        assert stats.normalized_inversions == 0.0
+        assert stats.max_displacement == 0.0
+        assert stats.mean_delay == pytest.approx(0.2)
+
+    def test_disordered_stream_has_late_elements(self, rng, small_inorder_stream):
+        out = inject_disorder(small_inorder_stream, UniformDelay(0.0, 2.0), rng)
+        stats = measure_disorder(out)
+        assert stats.out_of_order_fraction > 0.0
+        assert stats.normalized_inversions > 0.0
+        assert stats.max_displacement > 0.0
+        assert stats.max_delay < 2.0
+
+    def test_quantiles_ordered(self, rng, small_inorder_stream):
+        out = inject_disorder(small_inorder_stream, ExponentialDelay(0.4), rng)
+        stats = measure_disorder(out)
+        assert stats.p50_delay <= stats.p95_delay <= stats.p99_delay <= stats.max_delay
+
+    def test_crafted_displacement(self):
+        # Element with event time 0 arrives after an element with event 10.
+        elements = [
+            StreamElement(event_time=10.0, value=0, arrival_time=10.0, seq=1),
+            StreamElement(event_time=0.0, value=0, arrival_time=11.0, seq=0),
+        ]
+        stats = measure_disorder(elements)
+        assert stats.out_of_order_fraction == 0.5
+        assert stats.max_displacement == 10.0
+
+    def test_heavier_delays_mean_more_disorder(self, rng):
+        stream = generate_stream(duration=20, rate=50, rng=rng)
+        light = measure_disorder(inject_disorder(stream, UniformDelay(0, 0.05), rng))
+        heavy = measure_disorder(inject_disorder(stream, UniformDelay(0, 2.0), rng))
+        assert heavy.out_of_order_fraction > light.out_of_order_fraction
+
+
+class TestInjectFifoDisorder:
+    def test_single_channel_is_in_order(self, rng, small_inorder_stream):
+        from repro.streams.disorder import inject_fifo_disorder
+        from repro.streams.delay import ExponentialDelay
+
+        out = inject_fifo_disorder(
+            small_inorder_stream, ExponentialDelay(1.0), rng
+        )
+        # Unkeyed stream = one channel: FIFO delivery keeps event order.
+        event_times = [el.event_time for el in out]
+        assert event_times == sorted(event_times)
+
+    def test_per_channel_fifo_property(self, rng):
+        from repro.streams.delay import ExponentialDelay
+        from repro.streams.disorder import inject_fifo_disorder
+        from repro.streams.generators import generate_stream
+
+        stream = generate_stream(duration=30, rate=60, rng=rng, keys=("a", "b", "c"))
+        out = inject_fifo_disorder(stream, ExponentialDelay(1.0), rng)
+        per_key_events: dict = {}
+        for element in out:  # arrival order
+            per_key_events.setdefault(element.key, []).append(element.event_time)
+        for events in per_key_events.values():
+            assert events == sorted(events)
+
+    def test_cross_channel_disorder_remains(self, rng):
+        from repro.streams.delay import ExponentialDelay
+        from repro.streams.disorder import inject_fifo_disorder
+        from repro.streams.generators import generate_stream
+
+        stream = generate_stream(duration=60, rate=100, rng=rng, keys=("a", "b", "c"))
+        out = inject_fifo_disorder(stream, ExponentialDelay(1.0), rng)
+        stats = measure_disorder(out)
+        assert stats.out_of_order_fraction > 0.0
+
+    def test_custom_channel_selector(self, rng, small_inorder_stream):
+        from repro.streams.delay import ExponentialDelay
+        from repro.streams.disorder import inject_fifo_disorder
+
+        # Everything on one explicit channel: fully ordered.
+        out = inject_fifo_disorder(
+            small_inorder_stream,
+            ExponentialDelay(1.0),
+            rng,
+            channel_of=lambda el: "the-only-pipe",
+        )
+        event_times = [el.event_time for el in out]
+        assert event_times == sorted(event_times)
+
+    def test_arrivals_never_precede_events(self, rng, small_inorder_stream):
+        from repro.streams.delay import ExponentialDelay
+        from repro.streams.disorder import inject_fifo_disorder
+
+        out = inject_fifo_disorder(small_inorder_stream, ExponentialDelay(0.5), rng)
+        for element in out:
+            assert element.arrival_time >= element.event_time
+
+    def test_preserves_all_elements(self, rng):
+        from repro.streams.delay import ExponentialDelay
+        from repro.streams.disorder import inject_fifo_disorder
+        from repro.streams.generators import generate_stream
+
+        stream = generate_stream(duration=20, rate=50, rng=rng, keys=("a", "b"))
+        out = inject_fifo_disorder(stream, ExponentialDelay(0.5), rng)
+        assert len(out) == len(stream)

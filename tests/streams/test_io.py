@@ -1,0 +1,56 @@
+"""Tests for trace persistence."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.element import StreamElement
+from repro.streams.generators import generate_stream
+from repro.streams.io import read_trace, write_trace
+
+
+class TestTraceRoundtrip:
+    def test_roundtrip_without_arrival(self, tmp_path, rng):
+        elements = generate_stream(duration=5, rate=10, rng=rng)
+        path = tmp_path / "trace.csv"
+        n = write_trace(path, elements)
+        assert n == len(elements)
+        loaded = read_trace(path)
+        assert loaded == elements
+
+    def test_roundtrip_with_arrival_and_keys(self, tmp_path, rng):
+        elements = generate_stream(duration=5, rate=10, rng=rng, keys=("x", "y"))
+        arrived = inject_disorder(elements, ExponentialDelay(0.2), rng)
+        path = tmp_path / "trace.csv"
+        write_trace(path, arrived)
+        loaded = read_trace(path)
+        assert loaded == arrived
+
+    def test_float_precision_preserved(self, tmp_path):
+        el = StreamElement(event_time=1.0 / 3.0, value=2.0 / 7.0, seq=0)
+        path = tmp_path / "trace.csv"
+        write_trace(path, [el])
+        loaded = read_trace(path)
+        assert loaded[0].event_time == el.event_time
+        assert loaded[0].value == el.value
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.csv"
+        write_trace(path, [])
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            read_trace(tmp_path / "absent.csv")
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ConfigurationError):
+            read_trace(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_trace(path, [])
+        assert read_trace(path) == []

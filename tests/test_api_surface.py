@@ -1,0 +1,94 @@
+"""API-surface hygiene: exports resolve, docstrings exist, errors unify.
+
+These tests keep the public surface honest: every name a package's
+``__all__`` advertises must import, every public module/class/function must
+carry a docstring, and everything the library raises must descend from
+``ReproError``.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.engine",
+    "repro.streams",
+    "repro.queries",
+    "repro.workloads",
+    "repro.bench",
+]
+
+
+def all_modules():
+    names = []
+    package = importlib.import_module("repro")
+    for info in pkgutil.walk_packages(package.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} has no __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} does not resolve"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_sorted_and_unique(package_name):
+    package = importlib.import_module(package_name)
+    exported = list(package.__all__)
+    assert exported == sorted(exported), f"{package_name}.__all__ not sorted"
+    assert len(exported) == len(set(exported)), f"{package_name}.__all__ has dupes"
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_every_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_public_items_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    for name, item in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(item) or inspect.isfunction(item)):
+            continue
+        if getattr(item, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        assert item.__doc__ and item.__doc__.strip(), f"{module_name}.{name}"
+        if inspect.isclass(item):
+            for method_name, method in vars(item).items():
+                if method_name.startswith("_") or not inspect.isfunction(method):
+                    continue
+                if method.__doc__:
+                    continue
+                # Overrides inherit their contract from a documented base.
+                inherited = any(
+                    getattr(base, method_name, None) is not None
+                    and getattr(base, method_name).__doc__
+                    for base in item.__mro__[1:]
+                )
+                assert inherited, f"{module_name}.{name}.{method_name} lacks a docstring"
+
+
+def test_exceptions_unify_under_repro_error():
+    from repro import errors
+
+    for name, item in vars(errors).items():
+        if inspect.isclass(item) and issubclass(item, Exception):
+            assert issubclass(item, errors.ReproError) or item is errors.ReproError
+
+
+def test_version_exposed():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
