@@ -181,3 +181,74 @@ def test_sliced_window_operator_throughput(benchmark, stream):
         return len(run_pipeline(stream, operator).results)
 
     assert benchmark(run) > 0
+
+
+def test_retirement_large_horizon(benchmark, stream):
+    """Retirement cost at a huge feedback horizon (nothing ever retires).
+
+    The old implementation scanned every closed-window record per element,
+    so cost grew with the horizon; the heap-based early exit makes this
+    O(1) per element regardless of how much history is retained.
+    """
+    from repro.engine.aggregate_op import WindowAggregateOperator
+    from repro.engine.pipeline import run_pipeline
+    from repro.engine.windows import SlidingWindowAssigner
+
+    def run():
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(10, 1),
+            MeanAggregate(),
+            KSlackHandler(0.5),
+            feedback_horizon=1e9,
+        )
+        return len(run_pipeline(stream, operator).results)
+
+    assert benchmark(run) > 0
+
+
+def test_sorting_buffer_bulk_release(benchmark, stream):
+    """Bulk push + sort-and-split release vs the per-element heap path."""
+
+    def run():
+        buffer = SortingBuffer()
+        released = 0
+        for start in range(0, len(stream), 256):
+            chunk = stream[start : start + 256]
+            buffer.push_many(chunk)
+            released += len(buffer.release_until(chunk[-1].event_time - 0.5))
+        released += len(buffer.drain())
+        return released
+
+    assert benchmark(run) > 0
+
+
+def test_kslack_offer_many(benchmark, stream):
+    """Bulk K-slack offer: amortized clock/frontier math via numpy."""
+
+    def run():
+        handler = KSlackHandler(0.5)
+        released = 0
+        for start in range(0, len(stream), 256):
+            out, __ = handler.offer_many(stream[start : start + 256])
+            released += len(out)
+        return released
+
+    assert benchmark(run) > 0
+
+
+def test_batched_window_operator_throughput(benchmark, stream):
+    """Batched naive operator: the E18 fast path in isolation."""
+    from repro.engine.aggregate_op import WindowAggregateOperator
+    from repro.engine.pipeline import run_pipeline
+    from repro.engine.windows import SlidingWindowAssigner
+
+    def run():
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(10, 1),
+            MeanAggregate(),
+            KSlackHandler(0.5),
+            track_feedback=False,
+        )
+        return len(run_pipeline(stream, operator, batch_size=512).results)
+
+    assert benchmark(run) > 0

@@ -413,10 +413,17 @@ def e08_overhead(scale: float = 1.0) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="E8",
         title="Processing overhead (single-threaded simulated engine)",
-        columns=["policy", "wall_time_s", "throughput_eps", "relative_throughput"],
+        columns=[
+            "policy",
+            "wall_time_s",
+            "throughput_eps",
+            "relative_throughput",
+            "released",
+        ],
         notes=[
             workload_summary(stream),
             "absolute numbers are Python-simulator artifacts; ratios transfer",
+            "released = elements the handler let through (rest dropped/held)",
         ],
     )
     baseline_eps = None
@@ -439,6 +446,7 @@ def e08_overhead(scale: float = 1.0) -> ExperimentResult:
             wall_time_s=run.output.metrics.wall_time_s,
             throughput_eps=eps,
             relative_throughput=eps / baseline_eps,
+            released=run.output.metrics.released_count,
         )
     return result
 
@@ -985,6 +993,100 @@ def e17_sliced_execution(scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+# --------------------------------------------------------------------- #
+# E18: batched execution throughput
+
+
+def e18_batched_throughput(scale: float = 1.0) -> ExperimentResult:
+    """Table E18: batched vs scalar execution — same results, higher eps.
+
+    Drives the same operators through ``run_pipeline(batch_size=512)`` and
+    the scalar path on the E17 overlap-20 workload (sliding 20s/1s, mean,
+    K-slack 1s) plus an adaptive AQ-K row; per-element simulated-time
+    semantics are identical, so ``results_equal`` is checked in-table.
+    """
+    from repro.engine.handlers import KSlackHandler
+    from repro.engine.sliced_op import SlicedWindowAggregateOperator
+
+    stream = WorkloadSpec().scaled(scale).build()
+    assigner = SlidingWindowAssigner(size=20.0, slide=1.0)
+    result = ExperimentResult(
+        experiment_id="E18",
+        title="Scalar vs batched execution (sliding 20s/1s, mean, batch 512)",
+        columns=[
+            "operator",
+            "scalar_eps",
+            "batched_eps",
+            "speedup",
+            "results_equal",
+        ],
+        notes=[
+            workload_summary(stream),
+            "batched path uses process_many / offer_many / add_many bulk APIs",
+        ],
+    )
+
+    def make_ops():
+        return [
+            (
+                "naive",
+                lambda: WindowAggregateOperator(
+                    assigner,
+                    make_aggregate("mean"),
+                    KSlackHandler(1.0),
+                    track_feedback=False,
+                ),
+            ),
+            (
+                "sliced",
+                lambda: SlicedWindowAggregateOperator(
+                    assigner,
+                    make_aggregate("mean"),
+                    KSlackHandler(1.0),
+                    track_feedback=False,
+                ),
+            ),
+            (
+                "naive+aq-k",
+                lambda: WindowAggregateOperator(
+                    assigner,
+                    make_aggregate("mean"),
+                    AQKSlackHandler(
+                        QualityTarget(THETA_DEFAULT), "mean", window_size=20.0
+                    ),
+                ),
+            ),
+        ]
+
+    def best_of(make_op, batch_size, repeats=2):
+        best = None
+        for __ in range(repeats):
+            out = run_pipeline(stream, make_op(), batch_size=batch_size)
+            if best is None or out.metrics.wall_time_s < best.metrics.wall_time_s:
+                best = out
+        return best
+
+    for name, make_op in make_ops():
+        scalar = best_of(make_op, 0)
+        batched = best_of(make_op, 512)
+        scalar_map = {
+            (r.key, r.window): round(r.value, 9) for r in scalar.results
+        }
+        batched_map = {
+            (r.key, r.window): round(r.value, 9) for r in batched.results
+        }
+        result.add_row(
+            operator=name,
+            scalar_eps=scalar.metrics.throughput_eps,
+            batched_eps=batched.metrics.throughput_eps,
+            speedup=batched.metrics.throughput_eps
+            / scalar.metrics.throughput_eps,
+            results_equal=scalar_map == batched_map
+            and len(scalar.results) == len(batched.results),
+        )
+    return result
+
+
 EXPERIMENTS = {
     "E1": e01_latency_vs_k,
     "E2": e02_error_vs_k,
@@ -1003,6 +1105,7 @@ EXPERIMENTS = {
     "E15": e15_join_quality,
     "E16": e16_pattern_quality,
     "E17": e17_sliced_execution,
+    "E18": e18_batched_throughput,
 }
 
 

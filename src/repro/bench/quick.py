@@ -1,0 +1,87 @@
+"""Quick throughput check: E8 + E17 + E18 at reduced scale.
+
+CI convenience (``make bench-quick``): runs the three throughput-oriented
+experiments small enough for a pull-request gate, prints their tables,
+and writes a machine-readable summary of the batched-execution numbers::
+
+    python -m repro.bench.quick --scale 0.1 --out BENCH_e18.json
+
+The JSON captures elements/second for the scalar and batched paths per
+operator so regressions in the bulk APIs show up as a diffable artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.experiments import run_experiment
+from repro.bench.report import ExperimentResult, render_table
+
+QUICK_EXPERIMENTS = ("E8", "E17", "E18")
+
+
+def summarize_e18(result: ExperimentResult) -> dict:
+    """Distill the E18 table into the JSON artifact schema."""
+    return {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "operators": [
+            {
+                "operator": row["operator"],
+                "scalar_eps": row["scalar_eps"],
+                "batched_eps": row["batched_eps"],
+                "speedup": row["speedup"],
+                "results_equal": row["results_equal"],
+            }
+            for row in result.rows
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.bench.quick``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.quick",
+        description="Run the quick throughput experiments (E8, E17, E18).",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="workload scale fraction (default 0.1)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_e18.json",
+        help="path for the E18 JSON summary (default BENCH_e18.json)",
+    )
+    args = parser.parse_args(argv)
+
+    e18_summary = None
+    for experiment_id in QUICK_EXPERIMENTS:
+        result = run_experiment(experiment_id, scale=args.scale)
+        print(render_table(result))
+        print()
+        if experiment_id == "E18":
+            e18_summary = summarize_e18(result)
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(e18_summary, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    failures = [
+        row["operator"]
+        for row in e18_summary["operators"]
+        if not row["results_equal"]
+    ]
+    if failures:
+        print(f"E18 result mismatch for: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

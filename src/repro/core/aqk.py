@@ -30,6 +30,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.controller import PIController, SlackController
 from repro.core.estimators import ErrorModel, StreamContext, make_error_model
 from repro.core.sampling import (
@@ -41,7 +43,12 @@ from repro.core.sampling import (
 from repro.core.spec import BoundedQualityTarget, LatencyBudget, QualityTarget
 from repro.engine.aggregates import AggregateFunction
 from repro.engine.buffer import SortingBuffer
-from repro.engine.handlers import DisorderHandler
+from repro.engine.handlers import (
+    MIN_BULK_BATCH,
+    Checkpoints,
+    DisorderHandler,
+    bulk_release,
+)
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
 from repro.streams.timebase import EventTimeFrontier
@@ -233,6 +240,9 @@ class AQKSlackHandler(DisorderHandler):
         if arrival_time - self._last_adapt_arrival < self.adapt_interval:
             return
         self._last_adapt_arrival = arrival_time
+        self._run_adaptation(arrival_time)
+
+    def _run_adaptation(self, arrival_time: float) -> None:
         if isinstance(self.target, QualityTarget):
             self._adapt_quality(arrival_time, self.target.threshold)
         elif isinstance(self.target, BoundedQualityTarget):
@@ -270,6 +280,109 @@ class AQKSlackHandler(DisorderHandler):
             self._frontier_value = candidate
         return self._buffer.release_until(self._frontier_value)
 
+    def offer_many(
+        self, elements: list[StreamElement]
+    ) -> tuple[list[StreamElement], Checkpoints]:
+        """Batched offer with exact adaptation-round semantics.
+
+        Adaptation firing positions depend only on arrival times and the
+        element counter, so they are precomputed; the batch is then split at
+        those positions.  Within a segment no adaptation can fire, so the
+        sampler updates are bulk-folded and the buffer released once — the
+        adaptation at a segment boundary sees exactly the sampler state (and
+        produces exactly the slack) the scalar path would.  Elements before
+        a boundary release under the old K, the boundary element under the
+        new K, matching ``offer`` element-for-element.
+        """
+        if len(elements) < MIN_BULK_BATCH:
+            return DisorderHandler.offer_many(self, elements)
+        n = len(elements)
+        for element in elements:
+            if element.arrival_time is None:
+                raise ConfigurationError(
+                    "AQKSlackHandler requires elements with arrival timestamps"
+                )
+        event_times = np.fromiter(
+            (element.event_time for element in elements), dtype=float, count=n
+        )
+        arrivals = np.fromiter(
+            (element.arrival_time for element in elements), dtype=float, count=n
+        )
+        delays = arrivals - event_times
+        clocks = np.maximum.accumulate(event_times)
+        np.maximum(clocks, self._clock.value, out=clocks)
+
+        arrivals_list = arrivals.tolist()
+        boundaries: list[int] = []
+        seen = self._elements_seen
+        last_adapt = self._last_adapt_arrival
+        warmup = self.warmup_elements
+        interval = self.adapt_interval
+        for index, arrival in enumerate(arrivals_list):
+            seen += 1
+            if seen >= warmup and arrival - last_adapt >= interval:
+                last_adapt = arrival
+                boundaries.append(index)
+
+        released_all: list[StreamElement] = []
+        checkpoints: Checkpoints = []
+        position = 0
+        for boundary in boundaries:
+            self._observe_segment(elements, event_times, delays, position, boundary + 1)
+            if boundary > position:
+                self._release_segment(
+                    elements, clocks, position, boundary, released_all, checkpoints
+                )
+            self._last_adapt_arrival = arrivals_list[boundary]
+            self._run_adaptation(arrivals_list[boundary])
+            self._release_segment(
+                elements, clocks, boundary, boundary + 1, released_all, checkpoints
+            )
+            position = boundary + 1
+        if position < n:
+            self._observe_segment(elements, event_times, delays, position, n)
+            self._release_segment(
+                elements, clocks, position, n, released_all, checkpoints
+            )
+        self._clock.observe_many(float(clocks[-1]), n)
+        return released_all, checkpoints
+
+    def _observe_segment(
+        self,
+        elements: list[StreamElement],
+        event_times: "np.ndarray",
+        delays: "np.ndarray",
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Fold one segment's delays/values/timestamps into the samplers."""
+        self._elements_seen += hi - lo
+        self.delay_sample.observe_many(delays[lo:hi])
+        self._value_stats.observe_many(elements[index].value for index in range(lo, hi))
+        segment = event_times[lo:hi]
+        self._rate.observe_many(float(segment.min()), float(segment.max()), hi - lo)
+
+    def _release_segment(
+        self,
+        elements: list[StreamElement],
+        clocks: "np.ndarray",
+        lo: int,
+        hi: int,
+        released_all: list[StreamElement],
+        checkpoints: Checkpoints,
+    ) -> None:
+        """Push and release one constant-K segment through the buffer."""
+        frontiers = clocks[lo:hi] - self.k
+        np.maximum(frontiers, self._frontier_value, out=frontiers)
+        self._frontier_value = float(frontiers[-1])
+        released, offsets = bulk_release(self._buffer, elements[lo:hi], frontiers)
+        base = len(released_all)
+        released_all.extend(released)
+        checkpoints.extend(
+            (base + offset, frontier)
+            for offset, frontier in zip(offsets, frontiers.tolist())
+        )
+
     def flush(self) -> list[StreamElement]:
         return self._buffer.drain()
 
@@ -287,9 +400,41 @@ class AQKSlackHandler(DisorderHandler):
     def max_buffered_count(self) -> int:
         return self._buffer.max_size
 
+    def released_count(self) -> int:
+        return self._buffer.released_total
+
     def observe_error(self, error: float) -> None:
         if self.controller is not None:
             self.controller.observe_error(error)
+
+    def next_adaptation_offset(
+        self, elements: list[StreamElement], start: int, stop: int
+    ) -> int | None:
+        """First adaptation firing strictly after ``start`` (see base class).
+
+        Only meaningful in quality mode: budget adaptations read the delay
+        sample alone, which window retirement never touches, so they need
+        no chunk split.  Firing positions depend only on arrival times and
+        the element counter, so they are simulated without side effects.
+        """
+        if self.controller is None or not isinstance(
+            self.target, (QualityTarget, BoundedQualityTarget)
+        ):
+            return None
+        seen = self._elements_seen
+        last_adapt = self._last_adapt_arrival
+        warmup = self.warmup_elements
+        interval = self.adapt_interval
+        for index in range(start, stop):
+            arrival = elements[index].arrival_time
+            if arrival is None:
+                return None  # offer() will raise; no point splitting
+            seen += 1
+            if seen >= warmup and arrival - last_adapt >= interval:
+                if index > start:
+                    return index
+                last_adapt = arrival
+        return None
 
     def describe(self) -> str:
         return f"aq-k-slack({self.target.describe()}, {self.error_model.describe()})"

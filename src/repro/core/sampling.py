@@ -28,6 +28,16 @@ class DelaySample:
         """Fold one element delay (seconds, non-negative) into the sample."""
         raise NotImplementedError
 
+    def observe_many(self, delays) -> None:
+        """Fold a batch of delays; equivalent to repeated :meth:`observe`.
+
+        Samplers whose per-observation state transition is order-dependent
+        beyond "the set of recent values" (e.g. reservoir RNG draws) keep the
+        scalar loop so batched and scalar runs stay bit-identical.
+        """
+        for delay in delays:
+            self.observe(delay)
+
     def quantile(self, q: float) -> float:
         """The q-quantile of the tracked delays (0.0 before any data)."""
         raise NotImplementedError
@@ -63,6 +73,36 @@ class SlidingDelaySample(DelaySample):
         self._head = (self._head + 1) % self.capacity
         self._filled = min(self._filled + 1, self.capacity)
         self._total += 1
+        self._sorted_cache = None
+
+    def observe_many(self, delays) -> None:
+        """Bulk ring write: one cache invalidation for the whole batch.
+
+        The ring always holds the most recent ``capacity`` delays (in some
+        rotation), which is the only property quantile/max queries read — so
+        this is exactly equivalent to sequential :meth:`observe` calls.
+        """
+        batch = np.asarray(delays, dtype=float)
+        n = int(batch.size)
+        if n == 0:
+            return
+        if np.any(batch < 0):
+            raise ConfigurationError("delays must be non-negative")
+        capacity = self.capacity
+        if n >= capacity:
+            self._ring[:] = batch[-capacity:]
+            self._head = 0
+            self._filled = capacity
+        else:
+            head = self._head
+            first = min(n, capacity - head)
+            self._ring[head : head + first] = batch[:first]
+            rest = n - first
+            if rest:
+                self._ring[:rest] = batch[first:]
+            self._head = (head + n) % capacity
+            self._filled = min(self._filled + n, capacity)
+        self._total += n
         self._sorted_cache = None
 
     def _sorted(self) -> np.ndarray:
@@ -164,6 +204,17 @@ class ValueStatsTracker:
         self._mean += self.alpha * delta
         self._var = (1 - self.alpha) * (self._var + self.alpha * delta * delta)
 
+    def observe_many(self, values) -> None:
+        """Fold a batch of values; identical to repeated :meth:`observe`.
+
+        The EWMA recurrence is inherently sequential, so this is a loop with
+        the method lookups hoisted — it exists for call-site symmetry with
+        the other trackers' bulk paths.
+        """
+        observe = self.observe
+        for value in values:
+            observe(value)
+
     @property
     def count(self) -> int:
         return self._count
@@ -204,6 +255,16 @@ class RateTracker:
             self._min_event = event_time
         if self._max_event is None or event_time > self._max_event:
             self._max_event = event_time
+
+    def observe_many(self, min_event: float, max_event: float, count: int) -> None:
+        """Fold a pre-reduced batch (its min/max timestamp and size) at once."""
+        if count <= 0:
+            return
+        self._count += count
+        if self._min_event is None or min_event < self._min_event:
+            self._min_event = min_event
+        if self._max_event is None or max_event > self._max_event:
+            self._max_event = max_event
 
     @property
     def rate(self) -> float:

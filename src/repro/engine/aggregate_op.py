@@ -34,9 +34,67 @@ from dataclasses import dataclass, field
 from repro.engine.aggregates import AggregateFunction
 from repro.engine.handlers import DisorderHandler
 from repro.engine.operator import Operator, WindowResult
-from repro.engine.windows import Window, WindowAssigner
+from repro.engine.windows import SlidingWindowAssigner, Window, WindowAssigner
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
+
+
+class _SliceAssignCache:
+    """Memoized sliding-window assignment keyed by slide index.
+
+    ``SlidingWindowAssigner.assign`` is a per-element hot spot in batched
+    ingest.  All timestamps falling into the same slide interval get the same
+    window list, so the cache stores, per guard index, the window list plus
+    the exact float interval ``[low, high)`` over which replaying
+    ``assign`` is *provably* bit-identical:
+
+    * ``high`` caps at ``(index + 1) * slide`` (same guard index) and at
+      ``windows[0].end`` (no window drops off the low end earlier);
+    * ``low`` floors at ``index * slide`` (same guard index) and at the end
+      of the next-lower candidate window (it must stay excluded).
+
+    Both bounds are computed from the same float expressions ``assign``
+    itself evaluates, so cache hits return exactly what ``assign`` would.
+    Timestamps outside the interval — and pathological rounding cases where
+    the window list is not a contiguous index run — fall back to ``assign``.
+    """
+
+    __slots__ = ("assigner", "slide", "size", "entries")
+
+    def __init__(self, assigner: SlidingWindowAssigner) -> None:
+        self.assigner = assigner
+        self.slide = assigner.slide
+        self.size = assigner.size
+        self.entries: dict[int, tuple[float, float, list[Window]]] = {}
+
+    def assign(self, timestamp: float) -> list[Window]:
+        slide = self.slide
+        index = math.floor(timestamp / slide)
+        while index * slide > timestamp:
+            index -= 1
+        while (index + 1) * slide <= timestamp:
+            index += 1
+        entry = self.entries.get(index)
+        if entry is not None and entry[0] <= timestamp < entry[1]:
+            return entry[2]
+        windows = self.assigner.assign(timestamp)
+        low_index = index - len(windows) + 1
+        if (
+            windows
+            and windows[-1].start == index * slide
+            and windows[0].start == low_index * slide
+        ):
+            high = min((index + 1) * slide, windows[0].end)
+            low = index * slide
+            if low_index >= 1:
+                previous_end = (low_index - 1) * slide + self.size
+                if previous_end > low:
+                    low = previous_end
+            entries = self.entries
+            if len(entries) > 4096:
+                entries.clear()
+            entries[index] = (low, high, windows)
+        return windows
 
 
 def relative_error(emitted, truth, eps: float = 1e-9) -> float:
@@ -113,6 +171,9 @@ class WindowAggregateOperator(Operator):
         self._open_heap: list[tuple[float, int, object, Window]] = []
         self._heap_seq = 0
         self._closed: OrderedDict[tuple[object, Window], _ClosedRecord] = OrderedDict()
+        # Retained records keyed by window end, so retirement pops instead of
+        # scanning every retained record per element.
+        self._closed_heap: list[tuple[float, int, tuple[object, Window]]] = []
         self._close_frontier = float("-inf")
         self._last_arrival = 0.0
 
@@ -161,6 +222,8 @@ class WindowAggregateOperator(Operator):
                 end=window.end,
             )
             self._closed[slot] = record
+            self._heap_seq += 1
+            heapq.heappush(self._closed_heap, (window.end, self._heap_seq, slot))
             self.stats.missed_windows += 1
         self.aggregate.add(record.accumulator, element.value)
         record.late_updates += 1
@@ -199,6 +262,8 @@ class WindowAggregateOperator(Operator):
                     emitted_count=count,
                     end=end,
                 )
+                self._heap_seq += 1
+                heapq.heappush(self._closed_heap, (end, self._heap_seq, slot))
         if frontier > self._close_frontier:
             self._close_frontier = frontier
         self.stats.results_out += len(results)
@@ -207,14 +272,16 @@ class WindowAggregateOperator(Operator):
     def _retire_records(self, frontier: float) -> None:
         if not self.track_feedback:
             return
+        heap = self._closed_heap
         retire_before = frontier - self.feedback_horizon
-        stale = [
-            slot
-            for slot, record in self._closed.items()
-            if record.end <= retire_before
-        ]
-        for slot in stale:
-            record = self._closed.pop(slot)
+        if not heap or not heap[0][0] <= retire_before:
+            return
+        closed = self._closed
+        while heap and heap[0][0] <= retire_before:
+            __, __, slot = heapq.heappop(heap)
+            record = closed.pop(slot, None)
+            if record is None:
+                continue
             corrected = self.aggregate.result(record.accumulator)
             error = relative_error(record.emitted_value, corrected)
             self.stats.observed_errors.append(error)
@@ -234,6 +301,107 @@ class WindowAggregateOperator(Operator):
         frontier = self.handler.frontier
         results = self._close_windows(frontier, emit_time)
         self._retire_records(frontier)
+        return results
+
+    def process_many(self, elements: list[StreamElement]) -> list[WindowResult]:
+        """Batched ingest: equivalent to ``process`` element-for-element.
+
+        The handler releases the whole chunk at once; per-element frontier
+        checkpoints then replay closes and retirement at exactly the scalar
+        steps (late/on-time verdicts and feedback timing are unchanged).
+        Between those steps, released elements are grouped by (key, slide
+        interval) — every element of a group belongs to the same windows —
+        and each group's pending values are folded once per close boundary
+        via ``AggregateFunction.add_many``.
+        """
+        if not elements:
+            return []
+        self.stats.elements_in += len(elements)
+        released, checkpoints = self.handler.offer_many(elements)
+        aggregate = self.aggregate
+        open_slots = self._open
+        open_counts = self._open_counts
+        open_heap = self._open_heap
+        closed_heap = self._closed_heap
+        track = self.track_feedback
+        horizon = self.feedback_horizon
+        results: list[WindowResult] = []
+        last_arrival = self._last_arrival
+
+        grouped = isinstance(self.assigner, SlidingWindowAssigner)
+        if grouped:
+            cache = _SliceAssignCache(self.assigner)
+            assign = cache.assign
+        else:
+            assign = self.assigner.assign
+        # group: [on_time_windows, values, late_windows, key]
+        groups: dict[tuple[object, int], list] = {}
+        get_group = groups.get
+
+        def flush_groups() -> None:
+            for group in groups.values():
+                values = group[1]
+                if not values:
+                    continue
+                key = group[3]
+                added = len(values)
+                for window in group[0]:
+                    slot = (key, window)
+                    aggregate.add_many(open_slots[slot], values)
+                    open_counts[slot] += added
+                group[1] = []
+            groups.clear()
+
+        prev_offset = 0
+        for index, element in enumerate(elements):
+            arrival = element.arrival_time
+            if arrival is not None and arrival > last_arrival:
+                last_arrival = arrival
+            end_offset, frontier = checkpoints[index]
+            while prev_offset < end_offset:
+                out = released[prev_offset]
+                prev_offset += 1
+                if not grouped:
+                    self._ingest(out)
+                    continue
+                windows = assign(out.event_time)
+                group_key = (out.key, id(windows))
+                group = get_group(group_key)
+                if group is None:
+                    close_frontier = self._close_frontier
+                    on_time = windows
+                    late: list[Window] = []
+                    if windows and windows[0].end <= close_frontier:
+                        on_time = [w for w in windows if w.end > close_frontier]
+                        late = [w for w in windows if w.end <= close_frontier]
+                    for window in on_time:
+                        slot = (out.key, window)
+                        if slot not in open_slots:
+                            open_slots[slot] = aggregate.create()
+                            open_counts[slot] = 0
+                            self._heap_seq += 1
+                            heapq.heappush(
+                                open_heap,
+                                (window.end, self._heap_seq, out.key, window),
+                            )
+                    # Keep a reference to the cached list itself: the group
+                    # key uses id(windows), which must stay un-recyclable
+                    # for as long as the group exists.
+                    groups[group_key] = group = [on_time, [], late, out.key, windows]
+                group[1].append(out.value)
+                if group[2]:
+                    for window in group[2]:
+                        self._record_late((out.key, window), out, window)
+            if frontier > self._close_frontier:
+                if open_heap and open_heap[0][0] <= frontier:
+                    flush_groups()
+                    results.extend(self._close_windows(frontier, last_arrival))
+                else:
+                    self._close_frontier = frontier
+                if track and closed_heap and closed_heap[0][0] <= frontier - horizon:
+                    self._retire_records(frontier)
+        flush_groups()
+        self._last_arrival = last_arrival
         return results
 
     def finish(self) -> list[WindowResult]:

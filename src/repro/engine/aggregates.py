@@ -29,7 +29,13 @@ import math
 from abc import ABC, abstractmethod
 from typing import Any
 
+import numpy as np
+
 from repro.errors import ConfigurationError
+
+#: Below this batch size the numpy fast paths lose to plain Python loops
+#: (array conversion dominates); ``add_many`` overrides fall back to builtins.
+_NUMPY_FOLD_MIN = 32
 
 
 class AggregateFunction(ABC):
@@ -45,6 +51,21 @@ class AggregateFunction(ABC):
     @abstractmethod
     def add(self, accumulator: Any, value: float) -> None:
         """Fold one value into the accumulator in place."""
+
+    def add_many(self, accumulator: Any, values: list[float]) -> None:
+        """Fold a batch of values into the accumulator in place.
+
+        Contract: must be equivalent to ``for v in values: add(acc, v)`` up
+        to floating-point *association* — order-independent aggregates
+        (count, min, max, median, distinct...) must match bit-for-bit, while
+        sum-like folds may differ by re-association rounding only (the
+        batched engine's equivalence suite compares those at ~1e-9 relative
+        tolerance).  The base implementation is the scalar loop; subclasses
+        override with numpy/builtin fast paths.
+        """
+        add = self.add
+        for value in values:
+            add(accumulator, value)
 
     @abstractmethod
     def result(self, accumulator: Any) -> float:
@@ -71,6 +92,9 @@ class CountAggregate(AggregateFunction):
     def add(self, accumulator: list[int], value: float) -> None:
         accumulator[0] += 1
 
+    def add_many(self, accumulator: list[int], values: list[float]) -> None:
+        accumulator[0] += len(values)
+
     def result(self, accumulator: list[int]) -> float:
         return float(accumulator[0])
 
@@ -90,6 +114,12 @@ class SumAggregate(AggregateFunction):
 
     def add(self, accumulator: list[float], value: float) -> None:
         accumulator[0] += value
+
+    def add_many(self, accumulator: list[float], values: list[float]) -> None:
+        if len(values) >= _NUMPY_FOLD_MIN:
+            accumulator[0] += float(np.asarray(values, dtype=float).sum())
+        else:
+            accumulator[0] += sum(values)
 
     def result(self, accumulator: list[float]) -> float:
         return accumulator[0]
@@ -111,6 +141,13 @@ class MeanAggregate(AggregateFunction):
     def add(self, accumulator: list[float], value: float) -> None:
         accumulator[0] += value
         accumulator[1] += 1.0
+
+    def add_many(self, accumulator: list[float], values: list[float]) -> None:
+        if len(values) >= _NUMPY_FOLD_MIN:
+            accumulator[0] += float(np.asarray(values, dtype=float).sum())
+        else:
+            accumulator[0] += sum(values)
+        accumulator[1] += float(len(values))
 
     def result(self, accumulator: list[float]) -> float:
         if accumulator[1] == 0:
@@ -136,6 +173,13 @@ class MinAggregate(AggregateFunction):
         if value < accumulator[0]:
             accumulator[0] = value
 
+    def add_many(self, accumulator: list[float], values: list[float]) -> None:
+        if not values:
+            return
+        smallest = min(values)
+        if smallest < accumulator[0]:
+            accumulator[0] = smallest
+
     def result(self, accumulator: list[float]) -> float:
         return accumulator[0] if accumulator[0] != math.inf else math.nan
 
@@ -157,6 +201,13 @@ class MaxAggregate(AggregateFunction):
     def add(self, accumulator: list[float], value: float) -> None:
         if value > accumulator[0]:
             accumulator[0] = value
+
+    def add_many(self, accumulator: list[float], values: list[float]) -> None:
+        if not values:
+            return
+        largest = max(values)
+        if largest > accumulator[0]:
+            accumulator[0] = largest
 
     def result(self, accumulator: list[float]) -> float:
         return accumulator[0] if accumulator[0] != -math.inf else math.nan
@@ -181,6 +232,22 @@ class StdDevAggregate(AggregateFunction):
         delta = value - accumulator[1]
         accumulator[1] += delta / accumulator[0]
         accumulator[2] += delta * (value - accumulator[1])
+
+    def add_many(self, accumulator: list[float], values: list[float]) -> None:
+        if len(values) < _NUMPY_FOLD_MIN:
+            AggregateFunction.add_many(self, accumulator, values)
+            return
+        batch = np.asarray(values, dtype=float)
+        n_b = float(batch.size)
+        mean_b = float(batch.mean())
+        m2_b = float(((batch - mean_b) ** 2).sum())
+        # Chan et al. pairwise combine — the same math as merge().
+        n_a, mean_a, m2_a = accumulator
+        n = n_a + n_b
+        delta = mean_b - mean_a
+        accumulator[0] = n
+        accumulator[1] = mean_a + delta * n_b / n
+        accumulator[2] = m2_a + m2_b + delta * delta * n_a * n_b / n
 
     def result(self, accumulator: list[float]) -> float:
         if accumulator[0] == 0:
@@ -217,6 +284,9 @@ class QuantileAggregate(AggregateFunction):
 
     def add(self, accumulator: list[float], value: float) -> None:
         accumulator.append(value)
+
+    def add_many(self, accumulator: list[float], values: list[float]) -> None:
+        accumulator.extend(values)
 
     def result(self, accumulator: list[float]) -> float:
         if not accumulator:
@@ -256,6 +326,9 @@ class DistinctCountAggregate(AggregateFunction):
     def add(self, accumulator: set, value: float) -> None:
         accumulator.add(value)
 
+    def add_many(self, accumulator: set, values: list[float]) -> None:
+        accumulator.update(values)
+
     def result(self, accumulator: set) -> float:
         return float(len(accumulator))
 
@@ -278,6 +351,16 @@ class RangeAggregate(AggregateFunction):
             accumulator[0] = value
         if value > accumulator[1]:
             accumulator[1] = value
+
+    def add_many(self, accumulator: list[float], values: list[float]) -> None:
+        if not values:
+            return
+        smallest = min(values)
+        largest = max(values)
+        if smallest < accumulator[0]:
+            accumulator[0] = smallest
+        if largest > accumulator[1]:
+            accumulator[1] = largest
 
     def result(self, accumulator: list[float]) -> float:
         if accumulator[0] == math.inf:

@@ -4,6 +4,15 @@ A :class:`SortingBuffer` holds elements in a min-heap keyed by event time and
 releases, on demand, every element at or below a threshold — turning an
 arrival-ordered stream back into an event-time-ordered one up to the chosen
 slack.
+
+The buffer exposes both scalar (``push``/``release_until`` one at a time) and
+bulk (``push_many``, sort-and-split releases) entry points.  The bulk paths
+exist for the batched execution layer: pushing a chunk re-heapifies once
+instead of sifting per element, and a release that would pop a large fraction
+of the heap switches from per-element ``heappop`` (O(m log n)) to sorting the
+backing list and splitting it (O(n log n) with C-speed constants — faster in
+practice once m is a sizeable share of n).  A sorted list is a valid min-heap,
+so the remainder needs no re-heapify.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ class SortingBuffer:
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, StreamElement]] = []
         self._max_size = 0
+        self._released_total = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -28,11 +38,35 @@ class SortingBuffer:
         """High-water mark of buffered elements (memory proxy)."""
         return self._max_size
 
+    @property
+    def released_total(self) -> int:
+        """Cumulative count of elements released (``release_until``/``drain``)."""
+        return self._released_total
+
     def push(self, element: StreamElement) -> None:
         """Insert one element (any event time, including below released)."""
         heapq.heappush(self._heap, (element.event_time, element.seq, element))
         if len(self._heap) > self._max_size:
             self._max_size = len(self._heap)
+
+    def push_many(self, elements: list[StreamElement]) -> None:
+        """Insert a batch of elements.
+
+        For batches that are large relative to the heap, extending the backing
+        list and re-heapifying once (O(n + m)) beats m sift-ups.
+        """
+        heap = self._heap
+        if len(elements) * 8 > len(heap):
+            heap.extend(
+                (element.event_time, element.seq, element) for element in elements
+            )
+            heapq.heapify(heap)
+        else:
+            push = heapq.heappush
+            for element in elements:
+                push(heap, (element.event_time, element.seq, element))
+        if len(heap) > self._max_size:
+            self._max_size = len(heap)
 
     def peek_event_time(self) -> float | None:
         """Event time of the oldest buffered element, or ``None`` if empty."""
@@ -41,15 +75,48 @@ class SortingBuffer:
         return self._heap[0][0]
 
     def release_until(self, threshold: float) -> list[StreamElement]:
-        """Pop every element with ``event_time <= threshold``, in order."""
-        released = []
-        while self._heap and self._heap[0][0] <= threshold:
-            released.append(heapq.heappop(self._heap)[2])
+        """Pop every element with ``event_time <= threshold``, in order.
+
+        Small releases use per-element ``heappop``; once a release turns out
+        to cover a large fraction of the heap, the remainder is sorted and
+        split instead (the sorted tail stays a valid heap).
+        """
+        heap = self._heap
+        released: list[StreamElement] = []
+        if not heap or heap[0][0] > threshold:
+            return released
+        append = released.append
+        pop = heapq.heappop
+        pop_budget = max(16, len(heap) // 4)
+        while heap and heap[0][0] <= threshold:
+            append(pop(heap)[2])
+            pop_budget -= 1
+            if pop_budget == 0 and heap and heap[0][0] <= threshold:
+                heap.sort()
+                split = self._split_index(threshold)
+                released.extend(entry[2] for entry in heap[:split])
+                del heap[:split]
+                break
+        self._released_total += len(released)
         return released
+
+    def _split_index(self, threshold: float) -> int:
+        """First index in the (sorted) backing list with event time > threshold."""
+        heap = self._heap
+        lo, hi = 0, len(heap)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if heap[mid][0] <= threshold:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
 
     def drain(self) -> list[StreamElement]:
         """Pop everything, in event-time order."""
-        released = []
-        while self._heap:
-            released.append(heapq.heappop(self._heap)[2])
+        heap = self._heap
+        heap.sort()
+        released = [entry[2] for entry in heap]
+        heap.clear()
+        self._released_total += len(released)
         return released

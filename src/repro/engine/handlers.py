@@ -21,10 +21,59 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
 from repro.streams.timebase import EventTimeFrontier
 from repro.engine.buffer import SortingBuffer
+
+#: Below this batch size the bulk release machinery costs more than the
+#: scalar loop it replaces; specialized ``offer_many`` implementations fall
+#: back to the generic per-element path.
+MIN_BULK_BATCH = 8
+
+#: ``offer_many`` checkpoints: one ``(released_end_offset, frontier)`` pair
+#: per offered element, in offer order.
+Checkpoints = list[tuple[int, float]]
+
+
+def bulk_release(
+    buffer: SortingBuffer,
+    elements: list[StreamElement],
+    frontiers: "np.ndarray",
+) -> tuple[list[StreamElement], list[int]]:
+    """Push a batch and release in bulk, reconstructing per-element steps.
+
+    ``frontiers[i]`` must be the (monotone) frontier in effect after offering
+    ``elements[i]``.  Pushes the whole batch, releases everything at or below
+    the final frontier in one buffer call, then assigns each released element
+    the exact scalar release step: the first i with ``frontiers[i] >=
+    event_time``, but never before the element's own offer position.  Returns
+    the released elements reordered into scalar release order plus, per
+    offered element, the end offset of its release slice.
+    """
+    buffer.push_many(elements)
+    n = len(elements)
+    released = buffer.release_until(float(frontiers[-1]))
+    if not released:
+        return [], [0] * n
+    position = {id(element): i for i, element in enumerate(elements)}
+    event_times = np.fromiter(
+        (element.event_time for element in released), dtype=float, count=len(released)
+    )
+    steps = np.searchsorted(frontiers, event_times, side="left").tolist()
+    for j, element in enumerate(released):
+        own = position.get(id(element))
+        if own is not None and own > steps[j]:
+            steps[j] = own
+    # Stable sort keeps (event_time, seq) order within a step — exactly the
+    # order the scalar heap pops would have produced.
+    order = sorted(range(len(released)), key=steps.__getitem__)
+    released_ordered = [released[j] for j in order]
+    counts = np.bincount(np.asarray(steps, dtype=np.intp), minlength=n)
+    offsets = np.cumsum(counts).tolist()
+    return released_ordered, offsets
 
 
 class DisorderHandler(ABC):
@@ -36,9 +85,39 @@ class DisorderHandler(ABC):
     def offer(self, element: StreamElement) -> list[StreamElement]:
         """Accept one arriving element; return elements released downstream."""
 
+    def offer_many(
+        self, elements: list[StreamElement]
+    ) -> tuple[list[StreamElement], Checkpoints]:
+        """Accept a batch of arriving elements at once.
+
+        Returns ``(released, checkpoints)`` where ``checkpoints[i]`` is the
+        pair ``(end_offset, frontier)`` after offering ``elements[i]``:
+        ``released[start:end_offset]`` (with ``start`` the previous end
+        offset) are the elements element i's offer released, and ``frontier``
+        is the handler frontier at that point.  The concatenation of the
+        slices equals the scalar release sequence exactly — batched callers
+        replay closes/retirement at each checkpoint to stay bit-identical to
+        the scalar path.
+
+        The base implementation loops :meth:`offer`; subclasses override it
+        with amortized bulk paths.
+        """
+        released: list[StreamElement] = []
+        checkpoints: Checkpoints = []
+        extend = released.extend
+        append = checkpoints.append
+        for element in elements:
+            extend(self.offer(element))
+            append((len(released), self.frontier))
+        return released, checkpoints
+
     @abstractmethod
     def flush(self) -> list[StreamElement]:
         """Stream ended: release everything still buffered."""
+
+    def released_count(self) -> int:
+        """Cumulative number of elements released downstream so far."""
+        return 0
 
     @property
     @abstractmethod
@@ -64,6 +143,20 @@ class DisorderHandler(ABC):
         Baselines ignore feedback; the adaptive handler consumes it.
         """
 
+    def next_adaptation_offset(
+        self, elements: list[StreamElement], start: int, stop: int
+    ) -> int | None:
+        """First index in ``(start, stop)`` at which a *feedback-coupled*
+        adaptation would fire while offering ``elements[start:stop]``.
+
+        Batched drivers split chunks at this index so every error-fed
+        adaptation observes exactly the ``observe_error`` state a scalar
+        run would (retirements for earlier elements are replayed before
+        the boundary element is offered).  Handlers without error-coupled
+        adaptation return ``None``; the batched path then never splits.
+        """
+        return None
+
     def describe(self) -> str:
         """Short label for logs and experiment tables."""
         return self.name
@@ -85,12 +178,27 @@ class NoBufferHandler(DisorderHandler):
         self._frontier.observe(element.event_time)
         return [element]
 
+    def offer_many(
+        self, elements: list[StreamElement]
+    ) -> tuple[list[StreamElement], Checkpoints]:
+        frontier = self._frontier
+        checkpoints: Checkpoints = []
+        append = checkpoints.append
+        offset = 0
+        for element in elements:
+            offset += 1
+            append((offset, frontier.observe(element.event_time)))
+        return list(elements), checkpoints
+
     def flush(self) -> list[StreamElement]:
         return []
 
     @property
     def frontier(self) -> float:
         return self._frontier.value
+
+    def released_count(self) -> int:
+        return self._frontier.count
 
 
 class KSlackHandler(DisorderHandler):
@@ -124,6 +232,25 @@ class KSlackHandler(DisorderHandler):
         self._advance_frontier()
         return self._buffer.release_until(self._frontier_value)
 
+    def offer_many(
+        self, elements: list[StreamElement]
+    ) -> tuple[list[StreamElement], Checkpoints]:
+        if len(elements) < MIN_BULK_BATCH:
+            return DisorderHandler.offer_many(self, elements)
+        event_times = np.fromiter(
+            (element.event_time for element in elements),
+            dtype=float,
+            count=len(elements),
+        )
+        clocks = np.maximum.accumulate(event_times)
+        np.maximum(clocks, self._clock.value, out=clocks)
+        frontiers = clocks - self.k
+        np.maximum(frontiers, self._frontier_value, out=frontiers)
+        self._clock.observe_many(float(clocks[-1]), len(elements))
+        self._frontier_value = float(frontiers[-1])
+        released, offsets = bulk_release(self._buffer, elements, frontiers)
+        return released, list(zip(offsets, frontiers.tolist()))
+
     def flush(self) -> list[StreamElement]:
         return self._buffer.drain()
 
@@ -140,6 +267,9 @@ class KSlackHandler(DisorderHandler):
 
     def max_buffered_count(self) -> int:
         return self._buffer.max_size
+
+    def released_count(self) -> int:
+        return self._buffer.released_total
 
     def describe(self) -> str:
         return f"k-slack(K={self.k:g}s)"
@@ -181,6 +311,39 @@ class MPKSlackHandler(DisorderHandler):
             self._frontier_value = candidate
         return self._buffer.release_until(self._frontier_value)
 
+    def offer_many(
+        self, elements: list[StreamElement]
+    ) -> tuple[list[StreamElement], Checkpoints]:
+        if len(elements) < MIN_BULK_BATCH:
+            return DisorderHandler.offer_many(self, elements)
+        n = len(elements)
+        event_times = np.fromiter(
+            (element.event_time for element in elements), dtype=float, count=n
+        )
+        # Elements without an arrival time leave K unchanged; a negative
+        # placeholder can never raise K (K >= 0 always).
+        scaled_delays = np.fromiter(
+            (
+                (element.arrival_time - element.event_time) * self.safety_factor
+                if element.arrival_time is not None
+                else -1.0
+                for element in elements
+            ),
+            dtype=float,
+            count=n,
+        )
+        ks = np.maximum.accumulate(scaled_delays)
+        np.maximum(ks, self.k, out=ks)
+        clocks = np.maximum.accumulate(event_times)
+        np.maximum(clocks, self._clock.value, out=clocks)
+        frontiers = np.maximum.accumulate(clocks - ks)
+        np.maximum(frontiers, self._frontier_value, out=frontiers)
+        self.k = float(ks[-1])
+        self._clock.observe_many(float(clocks[-1]), n)
+        self._frontier_value = float(frontiers[-1])
+        released, offsets = bulk_release(self._buffer, elements, frontiers)
+        return released, list(zip(offsets, frontiers.tolist()))
+
     def flush(self) -> list[StreamElement]:
         return self._buffer.drain()
 
@@ -197,6 +360,9 @@ class MPKSlackHandler(DisorderHandler):
 
     def max_buffered_count(self) -> int:
         return self._buffer.max_size
+
+    def released_count(self) -> int:
+        return self._buffer.released_total
 
     def describe(self) -> str:
         return f"mp-k-slack(K={self.k:g}s)"

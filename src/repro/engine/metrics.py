@@ -53,6 +53,7 @@ class RunMetrics:
     wall_time_s: float = 0.0
     late_dropped: int = 0
     max_buffered: int = 0
+    released_count: int = 0
     slack_timeline: list[SlackSample] = field(default_factory=list)
 
     @property

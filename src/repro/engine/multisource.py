@@ -57,6 +57,7 @@ class MultiSourceWatermarkHandler(DisorderHandler):
         self._sources: dict[object, tuple[float, float]] = {}
         self._frontier_value = float("-inf")
         self._now = float("-inf")
+        self._released = 0
 
     def _live_minimum(self) -> float:
         if self.expected_sources is not None and not self.expected_sources <= set(
@@ -89,6 +90,7 @@ class MultiSourceWatermarkHandler(DisorderHandler):
         candidate = self._live_minimum() - self.lag
         if candidate > self._frontier_value:
             self._frontier_value = candidate
+        self._released += 1
         return [element]
 
     def flush(self) -> list[StreamElement]:
@@ -98,6 +100,9 @@ class MultiSourceWatermarkHandler(DisorderHandler):
     @property
     def frontier(self) -> float:
         return self._frontier_value
+
+    def released_count(self) -> int:
+        return self._released
 
     @property
     def current_slack(self) -> float:

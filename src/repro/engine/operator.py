@@ -47,6 +47,21 @@ class Operator(ABC):
     def process(self, element: StreamElement) -> list[WindowResult]:
         """Consume one element; return any results finalized by it."""
 
+    def process_many(self, elements: list[StreamElement]) -> list[WindowResult]:
+        """Consume a chunk of elements; return all results they finalized.
+
+        Must be equivalent to concatenating :meth:`process` over the chunk —
+        same results, same emit times, same feedback.  The base
+        implementation is exactly that loop; operators with batched hot
+        paths override it.
+        """
+        results: list[WindowResult] = []
+        extend = results.extend
+        process = self.process
+        for element in elements:
+            extend(process(element))
+        return results
+
     @abstractmethod
     def finish(self) -> list[WindowResult]:
         """Stream ended: flush buffers and finalize remaining windows."""

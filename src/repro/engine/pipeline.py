@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.metrics import LatencySummary, RunMetrics, SlackSample
 from repro.engine.operator import Operator, WindowResult
+from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
 
 
@@ -42,6 +43,7 @@ def run_pipeline(
     elements: list[StreamElement],
     operator: Operator,
     sample_every: int = 0,
+    batch_size: int = 0,
 ) -> RunOutput:
     """Feed ``elements`` (arrival order) through ``operator`` to completion.
 
@@ -50,39 +52,99 @@ def run_pipeline(
         operator: The operator under test.
         sample_every: When positive and the operator exposes a disorder
             handler, record a :class:`SlackSample` every N elements for
-            adaptation-timeline plots.
+            adaptation-timeline plots.  Sampling is anchored at the first
+            element that caused a release, so timelines never start with a
+            spurious ``-inf`` frontier point.
+        batch_size: When > 1, drive the operator through
+            :meth:`~repro.engine.operator.Operator.process_many` in chunks
+            of up to ``batch_size`` elements.  Simulated-time semantics
+            (emit times, latencies, feedback, slack timeline) are identical
+            to the scalar path; only wall-clock throughput changes.  Chunk
+            boundaries are aligned to sampling points so timelines match the
+            scalar run sample-for-sample.
 
     Returns:
         :class:`RunOutput` with all emitted window results and run metrics.
     """
+    if batch_size < 0:
+        raise ConfigurationError(f"batch_size must be non-negative, got {batch_size}")
     metrics = RunMetrics()
     results: list[WindowResult] = []
     handler = getattr(operator, "handler", None)
+    sampling = sample_every > 0 and handler is not None
+    n = len(elements)
+    sample_anchor = -1
+    timeline = metrics.slack_timeline
+
+    def maybe_sample(index: int) -> None:
+        nonlocal sample_anchor
+        if sample_anchor < 0:
+            if handler.released_count() <= 0:
+                return
+            sample_anchor = index
+        if (index - sample_anchor) % sample_every:
+            return
+        element = elements[index]
+        if element.arrival_time is None:
+            return
+        timeline.append(
+            SlackSample(
+                arrival_time=element.arrival_time,
+                slack=handler.current_slack,
+                frontier=handler.frontier,
+                buffered=handler.buffered_count(),
+            )
+        )
 
     start = time.perf_counter()
-    for index, element in enumerate(elements):
-        results.extend(operator.process(element))
-        if (
-            sample_every > 0
-            and handler is not None
-            and index % sample_every == 0
-            and element.arrival_time is not None
-        ):
-            metrics.slack_timeline.append(
-                SlackSample(
-                    arrival_time=element.arrival_time,
-                    slack=handler.current_slack,
-                    frontier=handler.frontier,
-                    buffered=handler.buffered_count(),
-                )
-            )
+    if batch_size > 1:
+        process_many = operator.process_many
+        boundary_of = (
+            handler.next_adaptation_offset if handler is not None else None
+        )
+        index = 0
+        while index < n:
+            if sampling and sample_anchor < 0:
+                # Scan one element at a time until the first release, so the
+                # sampling anchor lands on the same element as a scalar run.
+                results.extend(process_many(elements[index : index + 1]))
+                maybe_sample(index)
+                index += 1
+                continue
+            stop = min(index + batch_size, n)
+            if sampling:
+                ahead = (index - sample_anchor) % sample_every
+                next_sample = index + (sample_every - ahead) % sample_every
+                stop = min(stop, next_sample + 1)
+            if boundary_of is not None:
+                # Error-fed adaptations must start their own chunk so that
+                # retirement feedback from earlier elements is replayed
+                # before the adaptation fires (exact scalar interleaving).
+                cut = boundary_of(elements, index, stop)
+                if cut is not None:
+                    stop = cut
+            results.extend(process_many(elements[index:stop]))
+            if sampling:
+                maybe_sample(stop - 1)
+            index = stop
+    elif sampling:
+        process = operator.process
+        for index in range(n):
+            results.extend(process(elements[index]))
+            maybe_sample(index)
+    else:
+        process = operator.process
+        extend = results.extend
+        for element in elements:
+            extend(process(element))
     results.extend(operator.finish())
     metrics.wall_time_s = time.perf_counter() - start
 
-    metrics.n_elements = len(elements)
+    metrics.n_elements = n
     metrics.n_results = len(results)
     if handler is not None:
         metrics.max_buffered = handler.max_buffered_count()
+        metrics.released_count = handler.released_count()
 
     observed_errors: list[float] = []
     stats = getattr(operator, "stats", None)

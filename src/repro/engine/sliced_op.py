@@ -69,6 +69,10 @@ class SlicedWindowAggregateOperator(Operator):
 
         # (key, slice_index) -> [accumulator, count]
         self._slices: dict[tuple[object, int], list] = {}
+        # Slice garbage collection: heap of (expiry, seq, slot), where expiry
+        # is the end of the slice's last containing window — GC pops instead
+        # of scanning every retained slice per element.
+        self._slice_gc_heap: list[tuple[float, int, tuple[object, int]]] = []
         # Pending window closes: heap of (end, seq, key); set for dedup.
         self._pending: list[tuple[float, int, object]] = []
         self._pending_set: set[tuple[object, float]] = set()
@@ -114,30 +118,48 @@ class SlicedWindowAggregateOperator(Operator):
     # ------------------------------------------------------------------ #
     # ingestion
 
-    def _ingest(self, element: StreamElement) -> None:
-        slice_index = self._slice_of(element.event_time)
-        slot = (element.key, slice_index)
+    def _touch_slice(self, key: object, slice_index: int) -> list:
+        """Get-or-create the slice accumulator, registering window closes."""
+        slot = (key, slice_index)
         entry = self._slices.get(slot)
         if entry is None:
             entry = [self.aggregate.create(), 0]
             self._slices[slot] = entry
+            self._heap_seq += 1
+            heapq.heappush(
+                self._slice_gc_heap,
+                (
+                    (slice_index + self.slices_per_window) * self.assigner.slide,
+                    self._heap_seq,
+                    slot,
+                ),
+            )
             for end in self._window_ends_of_slice(slice_index):
                 if end <= self._close_frontier:
                     continue  # that window already closed
-                pending_key = (element.key, end)
+                pending_key = (key, end)
                 if pending_key not in self._pending_set:
                     self._pending_set.add(pending_key)
                     self._heap_seq += 1
-                    heapq.heappush(
-                        self._pending, (end, self._heap_seq, element.key)
-                    )
-        # Late accounting mirrors the naive operator: one drop per
-        # already-closed window containing the element.
-        if self._close_frontier > float("-inf"):
-            for end in self._window_ends_of_slice(slice_index):
-                window_start = end - self.assigner.size
-                if end <= self._close_frontier and window_start >= 0:
-                    self.stats.late_dropped += 1
+                    heapq.heappush(self._pending, (end, self._heap_seq, key))
+        return entry
+
+    def _late_window_count(self, slice_index: int) -> int:
+        """Late accounting mirrors the naive operator: one drop per
+        already-closed window containing the element."""
+        if self._close_frontier == float("-inf"):
+            return 0
+        late = 0
+        size = self.assigner.size
+        for end in self._window_ends_of_slice(slice_index):
+            if end <= self._close_frontier and end - size >= 0:
+                late += 1
+        return late
+
+    def _ingest(self, element: StreamElement) -> None:
+        slice_index = self._slice_of(element.event_time)
+        entry = self._touch_slice(element.key, slice_index)
+        self.stats.late_dropped += self._late_window_count(slice_index)
         self.aggregate.add(entry[0], element.value)
         entry[1] += 1
 
@@ -195,16 +217,13 @@ class SlicedWindowAggregateOperator(Operator):
                 self.handler.observe_error(error)
         # Drop slices no window (open or retiring) can still read: slice i's
         # last containing window ends at (i + slices_per_window) * slide.
-        slide = self.assigner.slide
         horizon = self.feedback_horizon if self.track_feedback else 0.0
         threshold = frontier - horizon
-        dead = [
-            slot
-            for slot in self._slices
-            if (slot[1] + self.slices_per_window) * slide <= threshold
-        ]
-        for slot in dead:
-            del self._slices[slot]
+        gc_heap = self._slice_gc_heap
+        slices = self._slices
+        while gc_heap and gc_heap[0][0] <= threshold:
+            __, __, slot = heapq.heappop(gc_heap)
+            slices.pop(slot, None)
 
     # ------------------------------------------------------------------ #
     # Operator protocol
@@ -219,6 +238,80 @@ class SlicedWindowAggregateOperator(Operator):
         frontier = self.handler.frontier
         results = self._close_windows(frontier, emit_time)
         self._retire(frontier)
+        return results
+
+    def process_many(self, elements: list[StreamElement]) -> list[WindowResult]:
+        """Batched ingest: equivalent to ``process`` element-for-element.
+
+        Released elements are grouped by (key, slice); each group's values
+        fold into the slice accumulator once per close/retire boundary via
+        ``add_many``.  Per-element frontier checkpoints from the handler
+        replay closes and retirement at exactly the scalar steps.
+        """
+        if not elements:
+            return []
+        self.stats.elements_in += len(elements)
+        released, checkpoints = self.handler.offer_many(elements)
+        aggregate = self.aggregate
+        pending = self._pending
+        emitted_heap = self._emitted_heap
+        gc_heap = self._slice_gc_heap
+        track = self.track_feedback
+        feedback_horizon = self.feedback_horizon
+        gc_horizon = feedback_horizon if track else 0.0
+        slice_of = self._slice_of
+        results: list[WindowResult] = []
+        last_arrival = self._last_arrival
+        # group: [slice_entry, values, late_count]
+        groups: dict[tuple[object, int], list] = {}
+        get_group = groups.get
+
+        def flush_groups() -> None:
+            for group in groups.values():
+                values = group[1]
+                if values:
+                    entry = group[0]
+                    aggregate.add_many(entry[0], values)
+                    entry[1] += len(values)
+            groups.clear()
+
+        prev_offset = 0
+        for index, element in enumerate(elements):
+            arrival = element.arrival_time
+            if arrival is not None and arrival > last_arrival:
+                last_arrival = arrival
+            end_offset, frontier = checkpoints[index]
+            while prev_offset < end_offset:
+                out = released[prev_offset]
+                prev_offset += 1
+                slice_index = slice_of(out.event_time)
+                group_key = (out.key, slice_index)
+                group = get_group(group_key)
+                if group is None:
+                    entry = self._touch_slice(out.key, slice_index)
+                    groups[group_key] = group = [
+                        entry,
+                        [],
+                        self._late_window_count(slice_index),
+                    ]
+                group[1].append(out.value)
+                if group[2]:
+                    self.stats.late_dropped += group[2]
+            if frontier > self._close_frontier:
+                if pending and pending[0][0] <= frontier:
+                    flush_groups()
+                    results.extend(self._close_windows(frontier, last_arrival))
+                else:
+                    self._close_frontier = frontier
+                if (
+                    track
+                    and emitted_heap
+                    and emitted_heap[0][0] <= frontier - feedback_horizon
+                ) or (gc_heap and gc_heap[0][0] <= frontier - gc_horizon):
+                    flush_groups()
+                    self._retire(frontier)
+        flush_groups()
+        self._last_arrival = last_arrival
         return results
 
     def finish(self) -> list[WindowResult]:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
 from repro.streams.timebase import EventTimeFrontier
-from repro.engine.handlers import DisorderHandler
+from repro.engine.handlers import Checkpoints, DisorderHandler
 
 
 class FixedLagWatermarkHandler(DisorderHandler):
@@ -53,6 +53,21 @@ class FixedLagWatermarkHandler(DisorderHandler):
         self._maybe_advance(element.arrival_time)
         return [element]
 
+    def offer_many(
+        self, elements: list[StreamElement]
+    ) -> tuple[list[StreamElement], Checkpoints]:
+        clock = self._clock
+        advance = self._maybe_advance
+        checkpoints: Checkpoints = []
+        append = checkpoints.append
+        offset = 0
+        for element in elements:
+            offset += 1
+            clock.observe(element.event_time)
+            advance(element.arrival_time)
+            append((offset, self._frontier_value))
+        return list(elements), checkpoints
+
     def flush(self) -> list[StreamElement]:
         return []
 
@@ -63,6 +78,9 @@ class FixedLagWatermarkHandler(DisorderHandler):
     @property
     def current_slack(self) -> float:
         return self.lag
+
+    def released_count(self) -> int:
+        return self._clock.count
 
     def describe(self) -> str:
         return f"watermark(lag={self.lag:g}s, period={self.period:g}s)"
@@ -118,6 +136,18 @@ class HeuristicWatermarkHandler(DisorderHandler):
             self._frontier_value = candidate
         return [element]
 
+    def offer_many(
+        self, elements: list[StreamElement]
+    ) -> tuple[list[StreamElement], Checkpoints]:
+        checkpoints: Checkpoints = []
+        append = checkpoints.append
+        offset = 0
+        for element in elements:
+            offset += 1
+            self.offer(element)
+            append((offset, self._frontier_value))
+        return list(elements), checkpoints
+
     def flush(self) -> list[StreamElement]:
         return []
 
@@ -128,6 +158,9 @@ class HeuristicWatermarkHandler(DisorderHandler):
     @property
     def current_slack(self) -> float:
         return self.lag
+
+    def released_count(self) -> int:
+        return self._clock.count
 
     def describe(self) -> str:
         return (
@@ -177,6 +210,28 @@ class PerfectWatermarkHandler(DisorderHandler):
             self._frontier_value = candidate
         return [element]
 
+    def offer_many(
+        self, elements: list[StreamElement]
+    ) -> tuple[list[StreamElement], Checkpoints]:
+        n = len(elements)
+        start = self._position
+        if start + n > len(self._frontiers):
+            raise ConfigurationError(
+                "PerfectWatermarkHandler saw more elements than it was built for"
+            )
+        value = self._frontier_value
+        frontiers = self._frontiers
+        checkpoints: Checkpoints = []
+        append = checkpoints.append
+        for index in range(n):
+            candidate = frontiers[start + index]
+            if candidate > value:
+                value = candidate
+            append((index + 1, value))
+        self._position = start + n
+        self._frontier_value = value
+        return list(elements), checkpoints
+
     def flush(self) -> list[StreamElement]:
         self._frontier_value = float("inf")
         return []
@@ -184,3 +239,6 @@ class PerfectWatermarkHandler(DisorderHandler):
     @property
     def frontier(self) -> float:
         return self._frontier_value
+
+    def released_count(self) -> int:
+        return self._position

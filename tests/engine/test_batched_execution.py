@@ -1,0 +1,199 @@
+"""Deterministic scalar vs batched execution equivalence.
+
+One seeded disordered stream, every disorder handler (including the
+adaptive handler in all three target modes), both window operators, and
+batch sizes that do not divide the stream length.  Emit times, latencies,
+counts, keys, windows, late drops, released counts, observed-error
+sequences and slack timelines must match the scalar run exactly; window
+values and error magnitudes are compared with a tiny relative tolerance
+because bulk folds may re-associate floating-point sums.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.aqk import AQKSlackHandler
+from repro.core.spec import BoundedQualityTarget, LatencyBudget, QualityTarget
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import (
+    CountAggregate,
+    MaxAggregate,
+    MeanAggregate,
+    MedianAggregate,
+    SumAggregate,
+)
+from repro.engine.handlers import KSlackHandler, MPKSlackHandler, NoBufferHandler
+from repro.engine.pipeline import run_pipeline
+from repro.engine.sliced_op import SlicedWindowAggregateOperator
+from repro.engine.watermarks import (
+    FixedLagWatermarkHandler,
+    HeuristicWatermarkHandler,
+    PerfectWatermarkHandler,
+)
+from repro.engine.windows import SlidingWindowAssigner
+from repro.errors import ConfigurationError
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.element import StreamElement
+
+RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def stream() -> list[StreamElement]:
+    values = np.random.default_rng(42)
+    base = [
+        StreamElement(
+            event_time=i * 0.05,
+            key=f"k{i % 3}",
+            value=float(values.uniform(0.0, 100.0)),
+        )
+        for i in range(800)
+    ]
+    return inject_disorder(base, ExponentialDelay(0.6), np.random.default_rng(7))
+
+
+HANDLERS = {
+    "no-buffer": lambda stream: NoBufferHandler(),
+    "k-slack": lambda stream: KSlackHandler(1.0),
+    "mp-k-slack": lambda stream: MPKSlackHandler(),
+    "fixed-watermark": lambda stream: FixedLagWatermarkHandler(1.0),
+    "heuristic-watermark": lambda stream: HeuristicWatermarkHandler(),
+    "perfect-watermark": lambda stream: PerfectWatermarkHandler(stream),
+    "aqk-quality": lambda stream: AQKSlackHandler(
+        QualityTarget(0.05), "mean", window_size=4.0
+    ),
+    "aqk-bounded": lambda stream: AQKSlackHandler(
+        BoundedQualityTarget(0.05, 2.0), "mean", window_size=4.0
+    ),
+    "aqk-budget": lambda stream: AQKSlackHandler(
+        LatencyBudget(1.5), "mean", window_size=4.0
+    ),
+}
+
+OPERATORS = {
+    "naive": WindowAggregateOperator,
+    "sliced": SlicedWindowAggregateOperator,
+}
+
+AGGREGATES = {
+    "count": CountAggregate,
+    "sum": SumAggregate,
+    "mean": MeanAggregate,
+    "max": MaxAggregate,
+    "median": MedianAggregate,
+}
+
+# Every handler appears with both operators, every aggregate appears at
+# least twice, and batch sizes never divide the 800-element stream.
+CASES = [
+    ("no-buffer", "naive", "mean", 7),
+    ("no-buffer", "sliced", "median", 256),
+    ("k-slack", "naive", "count", 97),
+    ("k-slack", "sliced", "mean", 10**6),
+    ("mp-k-slack", "naive", "sum", 13),
+    ("mp-k-slack", "sliced", "max", 256),
+    ("fixed-watermark", "naive", "max", 97),
+    ("fixed-watermark", "sliced", "count", 7),
+    ("heuristic-watermark", "naive", "median", 63),
+    ("heuristic-watermark", "sliced", "sum", 97),
+    ("perfect-watermark", "naive", "mean", 256),
+    ("perfect-watermark", "sliced", "count", 511),
+    ("aqk-quality", "naive", "mean", 97),
+    ("aqk-quality", "sliced", "median", 63),
+    ("aqk-bounded", "naive", "count", 97),
+    ("aqk-bounded", "sliced", "mean", 31),
+    ("aqk-budget", "naive", "mean", 256),
+    ("aqk-budget", "sliced", "median", 31),
+]
+
+
+def close(a: float, b: float) -> bool:
+    if math.isnan(a) and math.isnan(b):
+        return True
+    return a == b or abs(a - b) <= RTOL * max(1.0, abs(a), abs(b))
+
+
+def assert_equivalent(scalar, batched) -> None:
+    assert len(scalar.results) == len(batched.results)
+    for expected, actual in zip(scalar.results, batched.results):
+        assert expected.key == actual.key
+        assert expected.window == actual.window
+        assert expected.count == actual.count
+        assert expected.emit_time == actual.emit_time
+        assert expected.latency == actual.latency
+        assert expected.flushed == actual.flushed
+        assert close(expected.value, actual.value), (expected, actual)
+    assert scalar.metrics.late_dropped == batched.metrics.late_dropped
+    assert scalar.metrics.released_count == batched.metrics.released_count
+    assert len(scalar.observed_errors) == len(batched.observed_errors)
+    for expected, actual in zip(scalar.observed_errors, batched.observed_errors):
+        assert close(expected, actual)
+    assert len(scalar.metrics.slack_timeline) == len(batched.metrics.slack_timeline)
+    for expected, actual in zip(
+        scalar.metrics.slack_timeline, batched.metrics.slack_timeline
+    ):
+        assert expected.arrival_time == actual.arrival_time
+        assert expected.frontier == actual.frontier
+        assert close(expected.slack, actual.slack)
+        assert expected.buffered == actual.buffered
+
+
+@pytest.mark.parametrize("handler_name,op_name,agg_name,batch_size", CASES)
+def test_batched_equals_scalar(stream, handler_name, op_name, agg_name, batch_size):
+    def make_operator():
+        return OPERATORS[op_name](
+            SlidingWindowAssigner(4.0, 1.0),
+            AGGREGATES[agg_name](),
+            HANDLERS[handler_name](stream),
+            feedback_horizon=8.0,
+        )
+
+    scalar = run_pipeline(list(stream), make_operator(), sample_every=50)
+    batched = run_pipeline(
+        list(stream), make_operator(), sample_every=50, batch_size=batch_size
+    )
+    assert_equivalent(scalar, batched)
+    assert scalar.metrics.released_count > 0
+
+
+@pytest.mark.parametrize("handler_name", sorted(HANDLERS))
+def test_offer_many_matches_offer(stream, handler_name):
+    """Handler-level contract: chunked offer_many replays offer exactly."""
+    scalar = HANDLERS[handler_name](stream)
+    bulk = HANDLERS[handler_name](stream)
+    chunk_size = 93
+    for start in range(0, len(stream), chunk_size):
+        chunk = stream[start : start + chunk_size]
+        released, checkpoints = bulk.offer_many(chunk)
+        assert len(checkpoints) == len(chunk)
+        assert checkpoints[-1][0] == len(released)
+        prev_offset = 0
+        for element, (end_offset, frontier) in zip(chunk, checkpoints):
+            expected = scalar.offer(element)
+            assert [
+                (e.event_time, e.seq) for e in released[prev_offset:end_offset]
+            ] == [(e.event_time, e.seq) for e in expected]
+            assert frontier == scalar.frontier
+            prev_offset = end_offset
+        assert bulk.frontier == scalar.frontier
+        assert bulk.released_count() == scalar.released_count()
+
+
+def test_negative_batch_size_rejected(stream):
+    operator = WindowAggregateOperator(
+        SlidingWindowAssigner(4.0, 1.0), CountAggregate(), KSlackHandler(1.0)
+    )
+    with pytest.raises(ConfigurationError):
+        run_pipeline(stream, operator, batch_size=-1)
+
+
+def test_process_many_empty_chunk(stream):
+    operator = WindowAggregateOperator(
+        SlidingWindowAssigner(4.0, 1.0), CountAggregate(), KSlackHandler(1.0)
+    )
+    assert operator.process_many([]) == []

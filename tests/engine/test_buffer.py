@@ -66,3 +66,66 @@ class TestSortingBuffer:
         assert [e.event_time for e in buffer.release_until(1.5)] == [1.0]
         buffer.push(el(2.0))  # late insert below current content
         assert [e.event_time for e in buffer.release_until(3.0)] == [2.0, 3.0]
+
+
+class TestBulkBufferAPIs:
+    def test_push_many_matches_push(self):
+        import random
+
+        rng = random.Random(5)
+        timestamps = [rng.uniform(0, 100) for _ in range(500)]
+        one = SortingBuffer()
+        for seq, ts in enumerate(timestamps):
+            one.push(el(ts, seq=seq))
+        bulk = SortingBuffer()
+        bulk.push_many([el(ts, seq=seq) for seq, ts in enumerate(timestamps)])
+        assert [
+            (e.event_time, e.seq) for e in one.release_until(200.0)
+        ] == [(e.event_time, e.seq) for e in bulk.release_until(200.0)]
+
+    def test_push_many_incremental_chunks(self):
+        import random
+
+        rng = random.Random(6)
+        timestamps = [rng.uniform(0, 100) for _ in range(400)]
+        one = SortingBuffer()
+        bulk = SortingBuffer()
+        for start in range(0, len(timestamps), 37):
+            chunk = timestamps[start : start + 37]
+            for seq, ts in enumerate(chunk, start):
+                one.push(el(ts, seq=seq))
+            bulk.push_many([el(ts, seq=seq) for seq, ts in enumerate(chunk, start)])
+            threshold = max(chunk) - 20.0
+            assert [
+                (e.event_time, e.seq) for e in one.release_until(threshold)
+            ] == [(e.event_time, e.seq) for e in bulk.release_until(threshold)]
+        assert [(e.event_time, e.seq) for e in one.drain()] == [
+            (e.event_time, e.seq) for e in bulk.drain()
+        ]
+
+    def test_sort_and_split_large_release(self):
+        # Releasing most of a large buffer takes the sort-and-split path;
+        # order and remainder must match per-element heap semantics.
+        buffer = SortingBuffer()
+        buffer.push_many([el(float(ts), seq=ts) for ts in range(1000, 0, -1)])
+        released = buffer.release_until(900.0)
+        assert [e.event_time for e in released] == [float(t) for t in range(1, 901)]
+        assert len(buffer) == 100
+        assert buffer.peek_event_time() == 901.0
+        # The remainder must still be a valid heap for scalar pops.
+        assert [e.event_time for e in buffer.release_until(902.0)] == [901.0, 902.0]
+
+    def test_released_total(self):
+        buffer = SortingBuffer()
+        assert buffer.released_total == 0
+        buffer.push_many([el(1.0), el(2.0), el(3.0)])
+        buffer.release_until(2.0)
+        assert buffer.released_total == 2
+        buffer.drain()
+        assert buffer.released_total == 3
+
+    def test_push_many_empty(self):
+        buffer = SortingBuffer()
+        buffer.push_many([])
+        assert len(buffer) == 0
+        assert buffer.released_total == 0

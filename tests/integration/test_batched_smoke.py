@@ -1,0 +1,55 @@
+"""Tier-1 smoke: batched execution is at least as fast as scalar.
+
+A 20k-element run is long enough for interpreter-loop overhead to dominate
+and the bulk paths to win decisively (E18 measures ~2-6x; this gate only
+asserts "no slower" so scheduler noise cannot flake it), while staying
+fast enough for the default test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import MeanAggregate
+from repro.engine.handlers import KSlackHandler
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import SlidingWindowAssigner
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.generators import generate_stream
+
+
+def test_batched_throughput_not_slower_than_scalar():
+    rng = np.random.default_rng(11)
+    stream = inject_disorder(
+        generate_stream(duration=200.0, rate=100.0, rng=rng),
+        ExponentialDelay(0.4),
+        rng,
+    )
+    assert len(stream) >= 15_000
+
+    def make_operator():
+        return WindowAggregateOperator(
+            SlidingWindowAssigner(10.0, 1.0),
+            MeanAggregate(),
+            KSlackHandler(1.0),
+            track_feedback=False,
+        )
+
+    def best_eps(batch_size):
+        best = None
+        for __ in range(2):
+            out = run_pipeline(stream, make_operator(), batch_size=batch_size)
+            if best is None or out.metrics.throughput_eps > best.metrics.throughput_eps:
+                best = out
+        return best
+
+    scalar = best_eps(0)
+    batched = best_eps(512)
+
+    scalar_map = {(r.key, r.window): round(r.value, 9) for r in scalar.results}
+    batched_map = {(r.key, r.window): round(r.value, 9) for r in batched.results}
+    assert scalar_map == batched_map
+    assert len(scalar.results) == len(batched.results)
+    assert batched.metrics.throughput_eps >= scalar.metrics.throughput_eps
