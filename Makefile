@@ -3,13 +3,44 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-quick experiments examples artifacts clean
+.PHONY: install test lint sanitize typecheck bench bench-quick experiments examples artifacts clean
 
 install:
 	$(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+# Engine-specific invariant linter (rules R01-R05, see docs/ANALYSIS.md).
+lint:
+	$(PY) -m repro.analysis.lint src/
+
+# StreamSan checker self-tests plus a sanitized end-to-end smoke run.
+sanitize:
+	$(PY) -m pytest tests/analysis/ -q
+	$(PY) -c "import numpy as np; \
+	from repro.engine.aggregate_op import WindowAggregateOperator; \
+	from repro.engine.aggregates import make_aggregate; \
+	from repro.engine.handlers import KSlackHandler; \
+	from repro.engine.pipeline import run_pipeline; \
+	from repro.engine.windows import SlidingWindowAssigner; \
+	from repro.streams.delay import ExponentialDelay; \
+	from repro.streams.disorder import inject_disorder; \
+	from repro.streams.generators import generate_stream; \
+	rng = np.random.default_rng(3); \
+	stream = inject_disorder(generate_stream(duration=60, rate=100, rng=rng), ExponentialDelay(0.5), rng); \
+	op = WindowAggregateOperator(SlidingWindowAssigner(size=4, slide=1), make_aggregate('mean'), KSlackHandler(1.0)); \
+	out = run_pipeline(stream, op, batch_size=256, sanitize=True, sanitize_probe_every=4); \
+	print('StreamSan smoke run clean:', len(out.results), 'results')"
+
+# mypy is optional tooling: strict-check the simulated-time core when the
+# environment has it, skip gracefully when it does not.
+typecheck:
+	@if $(PY) -c "import mypy" 2>/dev/null; then \
+		$(PY) -m mypy --strict src/repro/engine src/repro/core; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[lint]')"; \
+	fi
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

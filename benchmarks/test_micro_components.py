@@ -252,3 +252,28 @@ def test_batched_window_operator_throughput(benchmark, stream):
         return len(run_pipeline(stream, operator, batch_size=512).results)
 
     assert benchmark(run) > 0
+
+
+def test_sanitized_window_operator_throughput(benchmark, stream):
+    """StreamSan overhead probe: the scalar pipeline with all checkers on.
+
+    Compare against ``test_naive_window_operator_throughput`` (same
+    operator, same stream, sanitize off) to read the checker overhead; the
+    acceptance bar for the sanitizer is <10% on this workload (see
+    ``docs/ANALYSIS.md``).  The divergence probe is deliberately off here —
+    it deep-copies the operator and is priced separately.
+    """
+    from repro.engine.aggregate_op import WindowAggregateOperator
+    from repro.engine.pipeline import run_pipeline
+    from repro.engine.windows import SlidingWindowAssigner
+
+    def run():
+        operator = WindowAggregateOperator(
+            SlidingWindowAssigner(10, 1),
+            MeanAggregate(),
+            KSlackHandler(0.5),
+            track_feedback=False,
+        )
+        return len(run_pipeline(stream, operator, sanitize=True).results)
+
+    assert benchmark(run) > 0

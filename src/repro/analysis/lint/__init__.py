@@ -1,0 +1,89 @@
+"""repro-lint: AST-based invariant linter for the disorder-handling engine.
+
+The linter enforces engine-specific invariants that generic tools cannot
+know about:
+
+========  ============================================================
+R01       no wall-clock time or nondeterministic RNG in ``engine``/``core``
+R02       scalar/batched method parity (``process``/``process_many``,
+          ``offer``/``offer_many``)
+R03       no ``==``/``!=`` on float timestamps
+R04       no mutation of frozen ``StreamElement`` fields
+R05       ``RunMetrics`` attributes must be registered fields
+========  ============================================================
+
+Run ``python -m repro.analysis.lint src/`` (exit status 1 on findings) or
+call :func:`run_lint` programmatically.  Suppress a finding with an inline
+``# repro-lint: disable=Rxx`` comment carrying a justification, or a
+file-level ``# repro-lint: disable-file=Rxx``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.lint.model import (
+    Finding,
+    Project,
+    SourceFile,
+    discover_files,
+)
+from repro.analysis.lint.reporting import render_json, render_text
+from repro.analysis.lint.rules import ALL_RULES, Rule
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "discover_files",
+    "render_json",
+    "render_text",
+    "run_lint",
+]
+
+
+def run_lint(
+    paths: list[str | Path],
+    select: list[str] | None = None,
+    honour_suppressions: bool = True,
+) -> list[Finding]:
+    """Lint every Python file under ``paths`` and return the findings.
+
+    Args:
+        paths: Files and/or directories to scan (directories recurse).
+        select: Rule ids to run (default: all rules).
+        honour_suppressions: When False, report findings even on lines
+            carrying ``# repro-lint: disable`` comments (used by the rule
+            self-tests).
+
+    Raises:
+        ConfigurationError: when ``select`` names an unknown rule id.
+    """
+    wanted = {rule_id.upper() for rule_id in select} if select else None
+    known = {rule.id for rule in ALL_RULES}
+    if wanted is not None and not wanted <= known:
+        unknown = ", ".join(sorted(wanted - known))
+        raise ConfigurationError(f"unknown lint rule id(s): {unknown}")
+    roots = [Path(p) for p in paths]
+    root_dirs = [p for p in roots if p.is_dir()]
+    files = []
+    for path in discover_files(roots):
+        root = next((r for r in root_dirs if r in path.parents), None)
+        files.append(SourceFile.load(path, root=root))
+    project = Project(files)
+    findings: list[Finding] = []
+    for rule in ALL_RULES:
+        if wanted is not None and rule.id not in wanted:
+            continue
+        for source in files:
+            for finding in rule.check(source, project):
+                if honour_suppressions and source.is_suppressed(
+                    finding.rule, finding.line
+                ):
+                    continue
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,76 @@
+"""Command-line entry point: ``python -m repro.analysis.lint [paths...]``.
+
+Exit status is 0 when no findings survive suppression, 1 otherwise, and
+2 on usage errors — suitable for ``make lint`` and CI gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.lint import ALL_RULES, render_json, render_text, run_lint
+from repro.errors import ConfigurationError
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the linter, print a report, return exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Engine-specific invariant linter (repro-lint).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-suppressions",
+        action="store_true",
+        help="ignore # repro-lint: disable comments",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.summary}")
+            doc = (rule.__doc__ or "").strip()
+            for line in doc.splitlines():
+                print(f"      {line.strip()}")
+            print()
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = run_lint(
+            args.paths,
+            select=select,
+            honour_suppressions=not args.no_suppressions,
+        )
+    except ConfigurationError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Reporters turning lint findings into text or JSON output."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.lint.model import Finding
+
+
+def render_text(findings: list[Finding]) -> str:
+    """GCC-style one-line-per-finding report, ending with a summary line."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}"
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    if findings:
+        counts = Counter(f.rule for f in findings)
+        breakdown = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(counts.items())
+        )
+        lines.append(f"repro-lint: {len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("repro-lint: clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Machine-readable report: findings plus per-rule counts."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    payload = {
+        "findings": [f.to_dict() for f in ordered],
+        "counts": dict(sorted(Counter(f.rule for f in ordered).items())),
+        "total": len(ordered),
+    }
+    return json.dumps(payload, indent=2)

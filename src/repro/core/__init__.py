@@ -38,6 +38,7 @@ from repro.core.sampling import (
     ReservoirSample,
     SlidingDelaySample,
     ValueStatsTracker,
+    as_generator,
 )
 from repro.core.join_quality import (
     QualityDrivenIntervalJoin,
@@ -81,6 +82,7 @@ __all__ = [
     "StreamContext",
     "ValueStatsTracker",
     "WindowScore",
+    "as_generator",
     "assess_quality",
     "calibrate_error_model",
     "error_timeline",

@@ -51,7 +51,7 @@ from repro.engine.handlers import (
 )
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
-from repro.streams.timebase import EventTimeFrontier
+from repro.streams.timebase import EventTimeFrontier, MonotoneFrontier
 
 
 @dataclass(frozen=True)
@@ -162,7 +162,7 @@ class AQKSlackHandler(DisorderHandler):
         self._rate = RateTracker()
         self._clock = EventTimeFrontier()
         self._buffer = SortingBuffer()
-        self._frontier_value = float("-inf")
+        self._front = MonotoneFrontier()
         self._last_adapt_arrival = float("-inf")
         self._elements_seen = 0
 
@@ -275,10 +275,9 @@ class AQKSlackHandler(DisorderHandler):
         self._clock.observe(element.event_time)
         self._buffer.push(element)
         self._maybe_adapt(element.arrival_time)
-        candidate = self._clock.value - self.k
-        if candidate > self._frontier_value:
-            self._frontier_value = candidate
-        return self._buffer.release_until(self._frontier_value)
+        return self._buffer.release_until(
+            self._front.advance(self._clock.value - self.k)
+        )
 
     def offer_many(
         self, elements: list[StreamElement]
@@ -373,8 +372,8 @@ class AQKSlackHandler(DisorderHandler):
     ) -> None:
         """Push and release one constant-K segment through the buffer."""
         frontiers = clocks[lo:hi] - self.k
-        np.maximum(frontiers, self._frontier_value, out=frontiers)
-        self._frontier_value = float(frontiers[-1])
+        np.maximum(frontiers, self._front.value, out=frontiers)
+        self._front.advance(float(frontiers[-1]))
         released, offsets = bulk_release(self._buffer, elements[lo:hi], frontiers)
         base = len(released_all)
         released_all.extend(released)
@@ -388,7 +387,7 @@ class AQKSlackHandler(DisorderHandler):
 
     @property
     def frontier(self) -> float:
-        return self._frontier_value
+        return self._front.value
 
     @property
     def current_slack(self) -> float:

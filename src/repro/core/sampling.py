@@ -21,6 +21,19 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 
+def as_generator(seed: int | np.random.Generator) -> np.random.Generator:
+    """Coerce an int seed — or pass through an existing ``Generator``.
+
+    Components that consume randomness accept ``int | Generator`` and route
+    it through this helper, so experiments can either give each component an
+    independent reproducible seed or thread one shared generator through the
+    whole pipeline (the streams layer already takes explicit generators).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
 class DelaySample:
     """Interface of delay trackers: observe delays, answer quantiles."""
 
@@ -141,13 +154,15 @@ class ReservoirSample(DelaySample):
     point of the sampling ablation (E14).
     """
 
-    def __init__(self, capacity: int = 2000, seed: int = 7) -> None:
+    def __init__(
+        self, capacity: int = 2000, seed: int | np.random.Generator = 7
+    ) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._values: list[float] = []
         self._seen = 0
-        self._rng = np.random.default_rng(seed)
+        self._rng = as_generator(seed)
 
     def observe(self, delay: float) -> None:
         if delay < 0:

@@ -79,10 +79,13 @@ class _SliceAssignCache:
             return entry[2]
         windows = self.assigner.assign(timestamp)
         low_index = index - len(windows) + 1
+        # Exact float equality is intentional here (R03): the cache is only
+        # valid when these starts equal the *bit-identical* expressions
+        # ``assign`` itself computes; a tolerance would admit wrong hits.
         if (
             windows
-            and windows[-1].start == index * slide
-            and windows[0].start == low_index * slide
+            and windows[-1].start == index * slide  # repro-lint: disable=R03
+            and windows[0].start == low_index * slide  # repro-lint: disable=R03
         ):
             high = min((index + 1) * slide, windows[0].end)
             low = index * slide

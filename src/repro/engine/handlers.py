@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
-from repro.streams.timebase import EventTimeFrontier
+from repro.streams.timebase import EventTimeFrontier, MonotoneFrontier
 from repro.engine.buffer import SortingBuffer
 
 #: Below this batch size the bulk release machinery costs more than the
@@ -122,7 +122,18 @@ class DisorderHandler(ABC):
     @property
     @abstractmethod
     def frontier(self) -> float:
-        """Monotone event-time frontier; ``-inf`` before any element."""
+        """Monotone event-time frontier; ``-inf`` before any element.
+
+        **Contract** (relied on by every downstream window lifecycle):
+        across any sequence of :meth:`offer` / :meth:`offer_many` /
+        :meth:`flush` calls the frontier NEVER decreases — a window closed
+        at frontier T must stay closed.  ``flush`` may jump it to ``+inf``.
+        Implementations should store their frontier in a
+        :class:`~repro.streams.timebase.MonotoneFrontier`, whose
+        ``advance`` clamps regressions structurally; the StreamSan runtime
+        checkers (:mod:`repro.analysis.sanitizer`) additionally enforce the
+        contract on every call when a pipeline runs with ``sanitize=True``.
+        """
 
     @property
     def current_slack(self) -> float:
@@ -219,18 +230,14 @@ class KSlackHandler(DisorderHandler):
         self.k = k
         self._clock = EventTimeFrontier()
         self._buffer = SortingBuffer()
-        self._frontier_value = float("-inf")
-
-    def _advance_frontier(self) -> None:
-        candidate = self._clock.value - self.k
-        if candidate > self._frontier_value:
-            self._frontier_value = candidate
+        self._front = MonotoneFrontier()
 
     def offer(self, element: StreamElement) -> list[StreamElement]:
         self._clock.observe(element.event_time)
         self._buffer.push(element)
-        self._advance_frontier()
-        return self._buffer.release_until(self._frontier_value)
+        return self._buffer.release_until(
+            self._front.advance(self._clock.value - self.k)
+        )
 
     def offer_many(
         self, elements: list[StreamElement]
@@ -245,9 +252,9 @@ class KSlackHandler(DisorderHandler):
         clocks = np.maximum.accumulate(event_times)
         np.maximum(clocks, self._clock.value, out=clocks)
         frontiers = clocks - self.k
-        np.maximum(frontiers, self._frontier_value, out=frontiers)
+        np.maximum(frontiers, self._front.value, out=frontiers)
         self._clock.observe_many(float(clocks[-1]), len(elements))
-        self._frontier_value = float(frontiers[-1])
+        self._front.advance(float(frontiers[-1]))
         released, offsets = bulk_release(self._buffer, elements, frontiers)
         return released, list(zip(offsets, frontiers.tolist()))
 
@@ -256,7 +263,7 @@ class KSlackHandler(DisorderHandler):
 
     @property
     def frontier(self) -> float:
-        return self._frontier_value
+        return self._front.value
 
     @property
     def current_slack(self) -> float:
@@ -297,7 +304,7 @@ class MPKSlackHandler(DisorderHandler):
         self.safety_factor = safety_factor
         self._clock = EventTimeFrontier()
         self._buffer = SortingBuffer()
-        self._frontier_value = float("-inf")
+        self._front = MonotoneFrontier()
 
     def offer(self, element: StreamElement) -> list[StreamElement]:
         if element.arrival_time is not None:
@@ -306,10 +313,9 @@ class MPKSlackHandler(DisorderHandler):
                 self.k = observed
         self._clock.observe(element.event_time)
         self._buffer.push(element)
-        candidate = self._clock.value - self.k
-        if candidate > self._frontier_value:
-            self._frontier_value = candidate
-        return self._buffer.release_until(self._frontier_value)
+        return self._buffer.release_until(
+            self._front.advance(self._clock.value - self.k)
+        )
 
     def offer_many(
         self, elements: list[StreamElement]
@@ -337,10 +343,10 @@ class MPKSlackHandler(DisorderHandler):
         clocks = np.maximum.accumulate(event_times)
         np.maximum(clocks, self._clock.value, out=clocks)
         frontiers = np.maximum.accumulate(clocks - ks)
-        np.maximum(frontiers, self._frontier_value, out=frontiers)
+        np.maximum(frontiers, self._front.value, out=frontiers)
         self.k = float(ks[-1])
         self._clock.observe_many(float(clocks[-1]), n)
-        self._frontier_value = float(frontiers[-1])
+        self._front.advance(float(frontiers[-1]))
         released, offsets = bulk_release(self._buffer, elements, frontiers)
         return released, list(zip(offsets, frontiers.tolist()))
 
@@ -349,7 +355,7 @@ class MPKSlackHandler(DisorderHandler):
 
     @property
     def frontier(self) -> float:
-        return self._frontier_value
+        return self._front.value
 
     @property
     def current_slack(self) -> float:

@@ -18,6 +18,7 @@ from typing import Callable
 from repro.engine.handlers import DisorderHandler
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
+from repro.streams.timebase import MonotoneFrontier
 
 
 class MultiSourceWatermarkHandler(DisorderHandler):
@@ -55,7 +56,7 @@ class MultiSourceWatermarkHandler(DisorderHandler):
         self.expected_sources = set(expected_sources) if expected_sources else None
         # source -> (max event time, last arrival time)
         self._sources: dict[object, tuple[float, float]] = {}
-        self._frontier_value = float("-inf")
+        self._front = MonotoneFrontier()
         self._now = float("-inf")
         self._released = 0
 
@@ -87,19 +88,17 @@ class MultiSourceWatermarkHandler(DisorderHandler):
             max(max_event, element.event_time),
             element.arrival_time,
         )
-        candidate = self._live_minimum() - self.lag
-        if candidate > self._frontier_value:
-            self._frontier_value = candidate
+        self._front.advance(self._live_minimum() - self.lag)
         self._released += 1
         return [element]
 
     def flush(self) -> list[StreamElement]:
-        self._frontier_value = float("inf")
+        self._front.close()
         return []
 
     @property
     def frontier(self) -> float:
-        return self._frontier_value
+        return self._front.value
 
     def released_count(self) -> int:
         return self._released

@@ -44,6 +44,8 @@ def run_pipeline(
     operator: Operator,
     sample_every: int = 0,
     batch_size: int = 0,
+    sanitize: bool = False,
+    sanitize_probe_every: int = 0,
 ) -> RunOutput:
     """Feed ``elements`` (arrival order) through ``operator`` to completion.
 
@@ -62,12 +64,33 @@ def run_pipeline(
             to the scalar path; only wall-clock throughput changes.  Chunk
             boundaries are aligned to sampling points so timelines match the
             scalar run sample-for-sample.
+        sanitize: Wrap the operator and its handler in the StreamSan
+            runtime checkers (see :mod:`repro.analysis.sanitizer`); any
+            engine-invariant violation raises
+            :class:`~repro.errors.SanitizerError` at the call site.  When
+            False (the default) nothing is wrapped and there is no
+            overhead.
+        sanitize_probe_every: With ``sanitize=True`` and a batched run,
+            shadow-execute every N-th chunk through the scalar path on a
+            deep copy of the operator and diff the emissions (0 disables
+            the probe).
 
     Returns:
         :class:`RunOutput` with all emitted window results and run metrics.
     """
     if batch_size < 0:
         raise ConfigurationError(f"batch_size must be non-negative, got {batch_size}")
+    if sanitize:
+        from repro.analysis.sanitizer import SanitizerConfig, SanitizingOperator
+
+        operator = SanitizingOperator(
+            operator,
+            SanitizerConfig(divergence_probe_every=sanitize_probe_every),
+        )
+    elif sanitize_probe_every:
+        raise ConfigurationError(
+            "sanitize_probe_every requires sanitize=True"
+        )
     metrics = RunMetrics()
     results: list[WindowResult] = []
     handler = getattr(operator, "handler", None)
@@ -96,7 +119,9 @@ def run_pipeline(
             )
         )
 
-    start = time.perf_counter()
+    # Wall-clock reads are banned in engine code (R01); this pair only
+    # feeds the throughput metric and never influences results.
+    start = time.perf_counter()  # repro-lint: disable=R01
     if batch_size > 1:
         process_many = operator.process_many
         boundary_of = (
@@ -138,7 +163,7 @@ def run_pipeline(
         for element in elements:
             extend(process(element))
     results.extend(operator.finish())
-    metrics.wall_time_s = time.perf_counter() - start
+    metrics.wall_time_s = time.perf_counter() - start  # repro-lint: disable=R01
 
     metrics.n_elements = n
     metrics.n_results = len(results)

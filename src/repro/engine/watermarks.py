@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
-from repro.streams.timebase import EventTimeFrontier
+from repro.streams.timebase import EventTimeFrontier, MonotoneFrontier
 from repro.engine.handlers import Checkpoints, DisorderHandler
 
 
@@ -36,7 +36,7 @@ class FixedLagWatermarkHandler(DisorderHandler):
         self.lag = lag
         self.period = period
         self._clock = EventTimeFrontier()
-        self._frontier_value = float("-inf")
+        self._front = MonotoneFrontier()
         self._last_emit_arrival = float("-inf")
 
     def _maybe_advance(self, arrival_time: float | None) -> None:
@@ -44,9 +44,7 @@ class FixedLagWatermarkHandler(DisorderHandler):
             if arrival_time - self._last_emit_arrival < self.period:
                 return
             self._last_emit_arrival = arrival_time
-        candidate = self._clock.value - self.lag
-        if candidate > self._frontier_value:
-            self._frontier_value = candidate
+        self._front.advance(self._clock.value - self.lag)
 
     def offer(self, element: StreamElement) -> list[StreamElement]:
         self._clock.observe(element.event_time)
@@ -65,7 +63,7 @@ class FixedLagWatermarkHandler(DisorderHandler):
             offset += 1
             clock.observe(element.event_time)
             advance(element.arrival_time)
-            append((offset, self._frontier_value))
+            append((offset, self._front.value))
         return list(elements), checkpoints
 
     def flush(self) -> list[StreamElement]:
@@ -73,7 +71,7 @@ class FixedLagWatermarkHandler(DisorderHandler):
 
     @property
     def frontier(self) -> float:
-        return self._frontier_value
+        return self._front.value
 
     @property
     def current_slack(self) -> float:
@@ -115,7 +113,7 @@ class HeuristicWatermarkHandler(DisorderHandler):
         self._delays: list[float] = []
         self._since_update = 0
         self._clock = EventTimeFrontier()
-        self._frontier_value = float("-inf")
+        self._front = MonotoneFrontier()
 
     def offer(self, element: StreamElement) -> list[StreamElement]:
         if element.arrival_time is not None:
@@ -131,9 +129,7 @@ class HeuristicWatermarkHandler(DisorderHandler):
                 )
                 self.lag = ordered[rank]
         self._clock.observe(element.event_time)
-        candidate = self._clock.value - self.lag
-        if candidate > self._frontier_value:
-            self._frontier_value = candidate
+        self._front.advance(self._clock.value - self.lag)
         return [element]
 
     def offer_many(
@@ -145,7 +141,7 @@ class HeuristicWatermarkHandler(DisorderHandler):
         for element in elements:
             offset += 1
             self.offer(element)
-            append((offset, self._frontier_value))
+            append((offset, self._front.value))
         return list(elements), checkpoints
 
     def flush(self) -> list[StreamElement]:
@@ -153,7 +149,7 @@ class HeuristicWatermarkHandler(DisorderHandler):
 
     @property
     def frontier(self) -> float:
-        return self._frontier_value
+        return self._front.value
 
     @property
     def current_slack(self) -> float:
@@ -197,7 +193,7 @@ class PerfectWatermarkHandler(DisorderHandler):
             # Everything with event_time < suffix_min[index+1] has arrived.
             self._frontiers.append(min(running_max, suffix_min[index + 1]))
         self._position = 0
-        self._frontier_value = float("-inf")
+        self._front = MonotoneFrontier()
 
     def offer(self, element: StreamElement) -> list[StreamElement]:
         if self._position >= len(self._frontiers):
@@ -206,8 +202,7 @@ class PerfectWatermarkHandler(DisorderHandler):
             )
         candidate = self._frontiers[self._position]
         self._position += 1
-        if candidate > self._frontier_value:
-            self._frontier_value = candidate
+        self._front.advance(candidate)
         return [element]
 
     def offer_many(
@@ -219,7 +214,7 @@ class PerfectWatermarkHandler(DisorderHandler):
             raise ConfigurationError(
                 "PerfectWatermarkHandler saw more elements than it was built for"
             )
-        value = self._frontier_value
+        value = self._front.value
         frontiers = self._frontiers
         checkpoints: Checkpoints = []
         append = checkpoints.append
@@ -229,16 +224,16 @@ class PerfectWatermarkHandler(DisorderHandler):
                 value = candidate
             append((index + 1, value))
         self._position = start + n
-        self._frontier_value = value
+        self._front.advance(value)
         return list(elements), checkpoints
 
     def flush(self) -> list[StreamElement]:
-        self._frontier_value = float("inf")
+        self._front.close()
         return []
 
     @property
     def frontier(self) -> float:
-        return self._frontier_value
+        return self._front.value
 
     def released_count(self) -> int:
         return self._position

@@ -25,3 +25,14 @@ class QueryError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration or run failed."""
+
+
+class SanitizerError(ReproError):
+    """A StreamSan runtime checker caught an engine invariant violation.
+
+    Raised by :mod:`repro.analysis.sanitizer` the moment a wrapped handler
+    or operator breaks one of its contracts (frontier monotonicity,
+    release/buffer bookkeeping, window lifecycle ordering, batched-vs-
+    scalar equivalence) — failing fast at the violation site instead of
+    surfacing as a wrong number in an experiment table.
+    """

@@ -33,7 +33,12 @@ from repro.streams.generators import (
 )
 from repro.streams.io import read_trace, write_trace
 from repro.streams.multisource import merge_streams
-from repro.streams.timebase import EventTimeFrontier, SimulatedClock
+from repro.streams.timebase import (
+    EventTimeFrontier,
+    MonotoneFrontier,
+    SimulatedClock,
+    times_equal,
+)
 
 __all__ = [
     "BurstyDelay",
@@ -47,6 +52,7 @@ __all__ = [
     "GaussianValues",
     "LognormalDelay",
     "MixtureDelay",
+    "MonotoneFrontier",
     "ParetoDelay",
     "RandomWalkValues",
     "RegimeSwitchingDelay",
@@ -67,5 +73,6 @@ __all__ = [
     "measure_disorder",
     "merge_streams",
     "read_trace",
+    "times_equal",
     "write_trace",
 ]

@@ -11,6 +11,60 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 
+#: Default relative tolerance of :func:`times_equal`; matches the tolerance
+#: the batched-equivalence suite uses for re-associated float folds.
+TIME_EQ_RTOL = 1e-9
+
+
+def times_equal(a: float, b: float, rtol: float = TIME_EQ_RTOL) -> bool:
+    """Tolerance-aware timestamp equality.
+
+    Float timestamps accumulate rounding the moment they pass through
+    arithmetic (``frontier - lag``, window index math), so ``==``/``!=`` on
+    them is a correctness trap — repro-lint rule R03 bans it.  This helper
+    is the sanctioned replacement: exact matches (including infinities)
+    short-circuit, everything else compares within ``rtol`` relative to the
+    larger magnitude (floored at 1.0 so times near zero get an absolute
+    tolerance of ``rtol``).
+    """
+    if a == b:  # repro-lint: disable=R03 - this IS the tolerance helper
+        return True
+    return abs(a - b) <= rtol * max(1.0, abs(a), abs(b))
+
+
+class MonotoneFrontier:
+    """A never-decreasing event-time frontier value.
+
+    Every :class:`~repro.engine.handlers.DisorderHandler` promises that its
+    ``frontier`` property never moves backwards; this class makes that
+    promise structural instead of re-implementing ``if candidate > value``
+    at every advance site.  :meth:`advance` clamps regressions (an older
+    candidate leaves the frontier unchanged), so a handler that stores its
+    frontier here cannot violate the contract no matter what candidate
+    sequence its policy produces.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, start: float = float("-inf")) -> None:
+        self._value = start
+
+    @property
+    def value(self) -> float:
+        """Current frontier; ``-inf`` before the first advance."""
+        return self._value
+
+    def advance(self, candidate: float) -> float:
+        """Raise the frontier to ``candidate`` if ahead; return the frontier."""
+        if candidate > self._value:
+            self._value = candidate
+        return self._value
+
+    def close(self) -> float:
+        """End of stream: jump the frontier to ``+inf`` and return it."""
+        self._value = float("inf")
+        return self._value
+
 
 class SimulatedClock:
     """A monotone simulated clock driven by observed timestamps.

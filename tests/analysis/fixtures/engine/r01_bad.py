@@ -1,0 +1,23 @@
+"""R01 fixture (engine-scoped path): every statement below is a violation."""
+
+import datetime
+import random
+import secrets
+import time
+import uuid
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def naughty() -> float:
+    """Wall-clock reads and global RNG draws inside simulated-time code."""
+    a = time.time()
+    b = time.perf_counter()
+    c = datetime.datetime.now()
+    d = random.random()
+    e = np.random.rand()
+    f = default_rng()
+    g = uuid.uuid4()
+    h = secrets.token_hex(4)
+    return a + b + c.timestamp() + d + e + float(f.random()) + len(str(g)) + len(h)

@@ -1,0 +1,10 @@
+"""R01 fixture (engine-scoped path): deterministic patterns, no findings."""
+
+import numpy as np
+
+
+def nice(rng: np.random.Generator, arrival_time: float) -> float:
+    """Seeded/threaded randomness and simulated time are all allowed."""
+    seeded = np.random.default_rng(42)
+    local = np.random.Generator(np.random.PCG64(7))
+    return float(rng.random()) + float(seeded.random()) + float(local.random()) + arrival_time

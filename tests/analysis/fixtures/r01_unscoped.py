@@ -1,0 +1,8 @@
+"""R01 negative fixture: same calls as r01_bad, but outside engine/core."""
+
+import time
+
+
+def allowed_here() -> float:
+    """Wall-clock reads are fine outside the simulated-time core."""
+    return time.time() + time.perf_counter()

@@ -1,0 +1,46 @@
+"""R02 fixture: scalar/batched parity violations on handler subclasses."""
+
+from abc import ABC, abstractmethod
+
+
+class DisorderHandler(ABC):
+    """Stub of the engine ABC so the fixture set is self-contained."""
+
+    @abstractmethod
+    def offer(self, element):
+        """Scalar entry point."""
+
+    def offer_many(self, elements):
+        """Generic loop over :meth:`offer` (safe to inherit)."""
+        released = []
+        for element in elements:
+            released.extend(self.offer(element))
+        return released, []
+
+
+class SpecializedBase(DisorderHandler):
+    """A concrete handler with its own bulk path (both methods, fine)."""
+
+    def offer(self, element):
+        """Release immediately."""
+        return [element]
+
+    def offer_many(self, elements):
+        """Specialized bulk path replaying this class's scalar semantics."""
+        return list(elements), [(i + 1, 0.0) for i in range(len(elements))]
+
+
+class BatchedOnlyHandler(DisorderHandler):
+    """VIOLATION: overrides the batched method but not the scalar one."""
+
+    def offer_many(self, elements):
+        """Bulk path with no matching scalar override."""
+        return list(elements), []
+
+
+class ScalarOverrideChild(SpecializedBase):
+    """VIOLATION: scalar override inherits the ancestor's specialized bulk path."""
+
+    def offer(self, element):
+        """Changed scalar semantics the inherited offer_many never sees."""
+        return []

@@ -1,0 +1,50 @@
+"""R02 negative fixture: parity-respecting handler subclasses."""
+
+from abc import ABC, abstractmethod
+
+
+class DisorderHandler(ABC):
+    """Stub of the engine ABC so the fixture set is self-contained."""
+
+    @abstractmethod
+    def offer(self, element):
+        """Scalar entry point."""
+
+    def offer_many(self, elements):
+        """Generic loop over :meth:`offer` (safe to inherit)."""
+        released = []
+        for element in elements:
+            released.extend(self.offer(element))
+        return released, []
+
+
+class ScalarOnlyHandler(DisorderHandler):
+    """Overrides only the scalar method; the inherited generic loop calls it."""
+
+    def offer(self, element):
+        """Release immediately."""
+        return [element]
+
+
+class ParityBase(DisorderHandler):
+    """A concrete handler with its own bulk path."""
+
+    def offer(self, element):
+        """Release immediately."""
+        return [element]
+
+    def offer_many(self, elements):
+        """Specialized bulk path."""
+        return list(elements), [(i + 1, 0.0) for i in range(len(elements))]
+
+
+class ParityChild(ParityBase):
+    """Overrides both entry points together — parity preserved."""
+
+    def offer(self, element):
+        """Changed scalar semantics."""
+        return []
+
+    def offer_many(self, elements):
+        """Matching bulk semantics."""
+        return [], []

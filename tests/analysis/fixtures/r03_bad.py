@@ -1,0 +1,9 @@
+"""R03 fixture: exact float equality on timestamps."""
+
+
+def compare(a, b, frontier: float, watermark: float) -> bool:
+    """Every comparison below is a rounding accident waiting to happen."""
+    same_event = a.event_time == b.event_time
+    frontier_moved = frontier != watermark
+    window_aligned = a.window.end == b.window.start
+    return same_event or frontier_moved or window_aligned

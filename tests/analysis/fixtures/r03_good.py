@@ -1,0 +1,15 @@
+"""R03 negative fixture: ordering predicates, sentinels, tolerance helper."""
+
+import math
+
+from repro.streams.timebase import times_equal
+
+
+def compare(a, b, frontier: float) -> bool:
+    """Allowed timestamp comparisons."""
+    ordered = a.event_time <= b.event_time
+    unset = frontier == float("-inf")
+    never = frontier == math.inf
+    missing = a.arrival_time is None
+    close_enough = times_equal(a.event_time, b.event_time)
+    return ordered or unset or never or missing or close_enough

@@ -1,0 +1,9 @@
+"""R04 fixture: mutation of frozen stream-element fields."""
+
+
+def mutate(element) -> None:
+    """Every statement below mutates an identifying element field."""
+    element.event_time = 3.0
+    element.seq += 1
+    element.arrival_time: float = 9.0
+    del element.event_time

@@ -1,0 +1,17 @@
+"""R04 negative fixture: immutable usage plus the element class itself."""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class StreamElement:
+    """Field declarations inside the element class are not mutations."""
+
+    event_time: float
+    arrival_time: float | None = None
+    seq: int = -1
+
+
+def derive(element: StreamElement) -> StreamElement:
+    """Derived elements are built, not mutated."""
+    return replace(element, arrival_time=element.event_time + 1.0, seq=0)

@@ -1,0 +1,15 @@
+"""R05 fixture: misspelled RunMetrics attributes."""
+
+from repro.engine.metrics import RunMetrics
+
+
+def record(metrics: RunMetrics) -> None:
+    """Typo on an annotated parameter."""
+    metrics.wall_times_s = 1.0
+
+
+def build() -> RunMetrics:
+    """Typo on a locally constructed instance."""
+    metrics = RunMetrics()
+    metrics.n_element = 5
+    return metrics

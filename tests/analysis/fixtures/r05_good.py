@@ -1,0 +1,11 @@
+"""R05 negative fixture: only registered RunMetrics fields are touched."""
+
+from repro.engine.metrics import RunMetrics
+
+
+def record(metrics: RunMetrics) -> float:
+    """Registered fields, properties and list fields are all fine."""
+    metrics.wall_time_s = 1.0
+    metrics.n_elements = 10
+    metrics.slack_timeline.clear()
+    return metrics.throughput_eps

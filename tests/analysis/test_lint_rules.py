@@ -1,0 +1,157 @@
+"""Every repro-lint rule must catch its bad fixture and pass its good one."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import render_json, render_text, run_lint
+from repro.analysis.lint.__main__ import main as lint_main
+from repro.errors import ConfigurationError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(fixture: str, rule: str):
+    """Lint one fixture file with a single rule selected."""
+    return run_lint([FIXTURES / fixture], select=[rule])
+
+
+# --------------------------------------------------------------------- #
+# R01 — wall clock / nondeterminism
+
+
+def test_r01_catches_wall_clock_and_global_rng():
+    findings = findings_for("engine/r01_bad.py", "R01")
+    assert len(findings) == 8
+    assert {f.rule for f in findings} == {"R01"}
+    messages = " ".join(f.message for f in findings)
+    assert "wall-clock" in messages
+    assert "default_rng" in messages
+    assert "uuid.uuid4" in messages
+
+
+def test_r01_allows_seeded_generators():
+    assert findings_for("engine/r01_good.py", "R01") == []
+
+
+def test_r01_only_applies_to_engine_scoped_paths():
+    assert findings_for("r01_unscoped.py", "R01") == []
+
+
+# --------------------------------------------------------------------- #
+# R02 — scalar/batched parity
+
+
+def test_r02_catches_parity_drift():
+    findings = findings_for("r02_bad.py", "R02")
+    assert {f.rule for f in findings} == {"R02"}
+    messages = sorted(f.message for f in findings)
+    assert len(findings) == 2
+    assert any("BatchedOnlyHandler" in m and "without overriding" in m for m in messages)
+    assert any("ScalarOverrideChild" in m and "specialized" in m for m in messages)
+
+
+def test_r02_accepts_parity_preserving_classes():
+    assert findings_for("r02_good.py", "R02") == []
+
+
+# --------------------------------------------------------------------- #
+# R03 — float timestamp equality
+
+
+def test_r03_catches_exact_time_equality():
+    findings = findings_for("r03_bad.py", "R03")
+    assert len(findings) == 3
+    assert all("times_equal" in f.message for f in findings)
+
+
+def test_r03_allows_ordering_sentinels_and_helper():
+    assert findings_for("r03_good.py", "R03") == []
+
+
+# --------------------------------------------------------------------- #
+# R04 — frozen element mutation
+
+
+def test_r04_catches_field_mutation():
+    findings = findings_for("r04_bad.py", "R04")
+    assert len(findings) == 4
+    assert all("frozen" in f.message for f in findings)
+
+
+def test_r04_allows_replace_and_class_body():
+    assert findings_for("r04_good.py", "R04") == []
+
+
+# --------------------------------------------------------------------- #
+# R05 — RunMetrics registry
+
+
+def test_r05_catches_misspelled_metrics_fields():
+    findings = findings_for("r05_bad.py", "R05")
+    assert len(findings) == 2
+    attrs = {f.message.split(".")[1].split(" ")[0] for f in findings}
+    assert attrs == {"wall_times_s", "n_element"}
+
+
+def test_r05_allows_registered_fields():
+    assert findings_for("r05_good.py", "R05") == []
+
+
+# --------------------------------------------------------------------- #
+# suppressions, selection, reporters, CLI
+
+
+def test_inline_suppressions_are_honoured():
+    assert run_lint([FIXTURES / "engine" / "suppressed.py"]) == []
+
+
+def test_suppressions_can_be_ignored():
+    findings = run_lint(
+        [FIXTURES / "engine" / "suppressed.py"], honour_suppressions=False
+    )
+    assert len(findings) == 2
+
+
+def test_unknown_rule_id_is_rejected():
+    with pytest.raises(ConfigurationError, match="R99"):
+        run_lint([FIXTURES], select=["R99"])
+
+
+def test_text_reporter_format():
+    findings = findings_for("r03_bad.py", "R03")
+    text = render_text(findings)
+    assert "r03_bad.py:" in text
+    assert "R03" in text
+    assert "3 finding(s)" in text
+    assert render_text([]) == "repro-lint: clean"
+
+
+def test_json_reporter_roundtrip():
+    findings = findings_for("r04_bad.py", "R04")
+    payload = json.loads(render_json(findings))
+    assert payload["total"] == 4
+    assert payload["counts"]["R04"] == 4
+    assert all(item["rule"] == "R04" for item in payload["findings"])
+
+
+def test_cli_exit_codes(capsys):
+    assert lint_main([str(FIXTURES / "r03_bad.py")]) == 1
+    assert lint_main([str(FIXTURES / "r03_good.py")]) == 0
+    assert lint_main(["--list-rules"]) == 0
+    assert lint_main(["--select", "R99", str(FIXTURES)]) == 2
+    out = capsys.readouterr()
+    assert "R01" in out.out
+
+
+def test_fixture_directory_lints_with_findings_from_every_rule():
+    findings = run_lint([FIXTURES])
+    assert {f.rule for f in findings} == {"R01", "R02", "R03", "R04", "R05"}
+
+
+def test_source_tree_is_lint_clean():
+    repo_root = Path(__file__).resolve().parents[2]
+    assert run_lint([repo_root / "src"]) == []
