@@ -3,7 +3,7 @@
 
 PY ?= python
 
-.PHONY: install test lint sanitize typecheck bench bench-quick experiments examples artifacts clean
+.PHONY: install test lint lint-sarif baseline sanitize typecheck bench bench-quick experiments examples artifacts clean
 
 install:
 	$(PY) setup.py develop
@@ -11,9 +11,21 @@ install:
 test:
 	$(PY) -m pytest tests/
 
-# Engine-specific invariant linter (rules R01-R05, see docs/ANALYSIS.md).
+# Engine-specific invariant linter: syntactic rules R01-R05 plus the
+# time-domain dataflow rules R06-R10 (see docs/ANALYSIS.md).  Applies
+# analysis/baseline.json automatically when it exists.
 lint:
 	$(PY) -m repro.analysis.lint src/
+
+# SARIF 2.1.0 report for code-scanning upload (CI does this on every run).
+lint-sarif:
+	$(PY) -m repro.analysis.lint --format sarif --output lint.sarif src/ || true
+
+# Regenerate the grandfathered-findings baseline.  Run after deliberately
+# accepting new debt or after paying existing debt down; CI fails on stale
+# entries via `--check-baseline`.
+baseline:
+	$(PY) -m repro.analysis.lint --write-baseline src/
 
 # StreamSan checker self-tests plus a sanitized end-to-end smoke run.
 sanitize:

@@ -1,0 +1,96 @@
+"""Checked-in finding baseline: grandfather old debt, fail on new debt.
+
+The baseline file (``analysis/baseline.json``) records a fingerprint per
+known finding.  A lint run with the baseline applied reports only findings
+whose fingerprint is *not* in the file — new violations fail CI while the
+grandfathered ones are tracked for burn-down.  Fingerprints hash the rule
+id, file path, and message (NOT the line number), so unrelated edits that
+shift code around do not invalidate the baseline.
+
+Staleness cuts the other way: when a grandfathered finding is fixed, its
+fingerprint lingers in the file and would silently mask a future
+regression with the same message.  ``--check-baseline`` (run in CI) fails
+when the file contains fingerprints that no longer occur, forcing a
+regeneration via ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.model import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_PATH = Path("analysis") / "baseline.json"
+
+
+def finding_fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding: sha1 of rule, path, and message."""
+    payload = f"{finding.rule}|{finding.path}|{finding.message}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered finding fingerprints with occurrence counts."""
+
+    #: fingerprint -> number of occurrences grandfathered at capture time.
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def from_findings(findings: list[Finding]) -> "Baseline":
+        """Capture every finding as grandfathered."""
+        baseline = Baseline()
+        for finding in findings:
+            key = finding_fingerprint(finding)
+            baseline.entries[key] = baseline.entries.get(key, 0) + 1
+        return baseline
+
+    @staticmethod
+    def load(path: Path) -> "Baseline":
+        """Read a baseline file (an empty one if it does not exist)."""
+        if not path.exists():
+            return Baseline()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = {
+            str(key): int(value)
+            for key, value in data.get("fingerprints", {}).items()
+        }
+        return Baseline(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline file (creating parent directories)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro-lint",
+            "fingerprints": dict(sorted(self.entries.items())),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def apply(self, findings: list[Finding]) -> list[Finding]:
+        """Findings not covered by the baseline.
+
+        Each fingerprint absorbs at most its recorded count, so a file
+        that *gains* a second identical violation still fails even though
+        the first is grandfathered.
+        """
+        budget = dict(self.entries)
+        fresh: list[Finding] = []
+        for finding in findings:
+            key = finding_fingerprint(finding)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh
+
+    def stale_entries(self, findings: list[Finding]) -> list[str]:
+        """Fingerprints in the baseline that no finding matches anymore."""
+        current = {finding_fingerprint(finding) for finding in findings}
+        return sorted(key for key in self.entries if key not in current)

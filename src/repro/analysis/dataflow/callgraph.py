@@ -1,0 +1,112 @@
+"""Call resolution and the project call graph.
+
+Resolution is deliberately conservative: a call either resolves to exactly
+one :class:`~repro.analysis.dataflow.symbols.FunctionSymbol` (same-module
+function, constructor, ``self`` method through the ancestry, or a method on
+a receiver whose class is known) or it does not resolve at all.  Unresolved
+calls contribute no evidence and no findings — a wrong edge is worse than
+a missing one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow.symbols import FunctionSymbol, SymbolTable
+
+#: Builtins whose result domain is the join of their arguments' domains
+#: (clamping/folding preserves the axis).
+JOINING_BUILTINS = {"max", "min", "abs", "float", "sum", "sorted"}
+
+#: Builtins producing element counts.
+COUNTING_BUILTINS = {"len", "range", "enumerate"}
+
+
+def callee_name(node: ast.Call) -> str:
+    """Simple name of the called function/method (``""`` if not a name)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def receiver_of(node: ast.Call) -> ast.expr | None:
+    """The receiver expression of a method call (None for plain calls)."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.value
+    return None
+
+
+class CallResolver:
+    """Resolves call expressions against the symbol table.
+
+    The evaluation context supplies *kinds* — the project class a local
+    name or receiver expression is known to hold — via the ``kind_of``
+    callback, so the resolver itself stays stateless.
+    """
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+
+    def resolve(
+        self,
+        caller: FunctionSymbol,
+        node: ast.Call,
+        receiver_kind: str,
+    ) -> FunctionSymbol | None:
+        """The unique callee symbol of ``node``, or None.
+
+        Args:
+            caller: Function containing the call.
+            node: The call expression.
+            receiver_kind: Class name of the receiver expression for
+                method calls (pre-computed by the evaluator; ``""`` when
+                unknown or when the call has no receiver).
+        """
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            # Constructor: Klass(...) resolves to Klass.__init__.
+            klass = self.table.classes.get(name)
+            if klass is not None:
+                return self.table.find_method(name, "__init__")
+            qualname = self.table.module_functions.get(caller.module, {}).get(name)
+            if qualname is not None:
+                return self.table.functions.get(qualname)
+            return None
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                receiver_kind = receiver_kind or caller.class_name
+            if receiver_kind:
+                return self.table.find_method(receiver_kind, func.attr)
+        return None
+
+
+@dataclass
+class CallGraph:
+    """Resolved caller → callee edges, built as propagation discovers them."""
+
+    edges: dict[str, set[str]] = field(default_factory=dict)
+
+    def add(self, caller: str, callee: str) -> None:
+        """Record one resolved call edge."""
+        self.edges.setdefault(caller, set()).add(callee)
+
+    def callees(self, qualname: str) -> set[str]:
+        """Direct callees of one function (empty set when none resolved)."""
+        return self.edges.get(qualname, set())
+
+    def reachable_from(self, qualname: str) -> set[str]:
+        """Transitive closure of :meth:`callees` (includes the root)."""
+        seen: set[str] = set()
+        queue = [qualname]
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.edges.get(current, ()))
+        return seen

@@ -1,0 +1,287 @@
+"""The time-domain lattice and its transfer functions.
+
+Every value the analysis reasons about sits in a small flat lattice:
+
+::
+
+                      TOP  (conflicting evidence)
+        /     |        |       |        \\
+  EVENT_TIME  PROC_TIME  DURATION  COUNT  UNTIMED
+        \\     |        |       |        /
+                     BOTTOM  (no information)
+
+``EVENT_TIME`` and ``PROC_TIME`` are *instants* on two different axes: the
+timestamp an event carries versus the (simulated) clock of the machine
+processing it.  ``DURATION`` is a span of seconds connecting instants —
+slack, lag, delay, latency.  ``COUNT`` covers element counters and sequence
+numbers; ``UNTIMED`` covers payload values.  Joins of distinct concrete
+domains go to ``TOP``, which the rules treat as "unknown, stay quiet" —
+the analysis only reports when both operands are *definitely* known and
+*definitely* incompatible.
+
+The arithmetic/comparison transfer functions double as the rule oracle:
+besides the result domain they name the violation class an operation
+falls into (instant+instant, duration ordered against an instant, ...).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Domain(Enum):
+    """One point of the time-domain lattice."""
+
+    BOTTOM = "bottom"
+    EVENT_TIME = "event-time"
+    PROC_TIME = "proc-time"
+    DURATION = "duration"
+    COUNT = "count"
+    UNTIMED = "untimed"
+    TOP = "top"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_instant(self) -> bool:
+        """True for points on either time axis."""
+        return self in (Domain.EVENT_TIME, Domain.PROC_TIME)
+
+    @property
+    def is_definite(self) -> bool:
+        """True when the domain carries usable evidence (not ⊥/⊤)."""
+        return self not in (Domain.BOTTOM, Domain.TOP)
+
+
+def join(a: Domain, b: Domain) -> Domain:
+    """Least upper bound: ⊥ is the identity, conflicts go to ⊤."""
+    if a is b:
+        return a
+    if a is Domain.BOTTOM:
+        return b
+    if b is Domain.BOTTOM:
+        return a
+    return Domain.TOP
+
+
+def join_all(domains: "list[Domain]") -> Domain:
+    """Fold :func:`join` over a list (⊥ for the empty list)."""
+    result = Domain.BOTTOM
+    for domain in domains:
+        result = join(result, domain)
+    return result
+
+
+class Violation(Enum):
+    """Why a transfer function rejected an operation."""
+
+    INSTANT_PLUS_INSTANT = "instant + instant"
+    CROSS_AXIS_COMPARE = "event-time compared against proc-time"
+    DURATION_VS_INSTANT = "duration mixed with an instant"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def add(a: Domain, b: Domain) -> tuple[Domain, Violation | None]:
+    """Domain of ``a + b`` plus the violation class, if any.
+
+    Instant + duration shifts the instant along its own axis; adding two
+    instants is meaningless on any axis (the classic ``event_time +
+    event_time`` slip) and is the primary R06 arithmetic shape.
+    """
+    if a.is_instant and b.is_instant:
+        return Domain.TOP, Violation.INSTANT_PLUS_INSTANT
+    if a.is_instant and b is Domain.DURATION:
+        return a, None
+    if b.is_instant and a is Domain.DURATION:
+        return b, None
+    if a is Domain.DURATION and b is Domain.DURATION:
+        return Domain.DURATION, None
+    if a is Domain.COUNT and b is Domain.COUNT:
+        return Domain.COUNT, None
+    if a.is_instant and b in (Domain.COUNT, Domain.UNTIMED):
+        return Domain.TOP, None  # suspicious but not provably wrong
+    if b.is_instant and a in (Domain.COUNT, Domain.UNTIMED):
+        return Domain.TOP, None
+    if not a.is_definite or not b.is_definite:
+        return Domain.BOTTOM, None
+    return Domain.BOTTOM, None
+
+
+def sub(a: Domain, b: Domain) -> tuple[Domain, Violation | None]:
+    """Domain of ``a - b`` plus the violation class, if any.
+
+    Instant − instant yields a duration *even across axes*: ``arrival_time
+    - event_time`` is exactly an element's delay, the quantity the paper's
+    buffer sizing is built on.  Duration − instant, however, has no
+    reading on either axis (R08's arithmetic shape).
+    """
+    if a.is_instant and b.is_instant:
+        return Domain.DURATION, None
+    if a.is_instant and b is Domain.DURATION:
+        return a, None
+    if a is Domain.DURATION and b.is_instant:
+        return Domain.TOP, Violation.DURATION_VS_INSTANT
+    if a is Domain.DURATION and b is Domain.DURATION:
+        return Domain.DURATION, None
+    if a is Domain.COUNT and b is Domain.COUNT:
+        return Domain.COUNT, None
+    return Domain.BOTTOM, None
+
+
+def compare(a: Domain, b: Domain) -> Violation | None:
+    """Violation class of ordering ``a`` against ``b`` (``<``/``<=``/...).
+
+    Ordering an event timestamp against a processing-time clock silently
+    "works" in this engine because both axes share the epoch of the
+    simulation — which is exactly why the mistake survives review; it is
+    still comparing positions on two different axes.  Ordering a duration
+    against either kind of instant is equally meaningless.
+    """
+    if a.is_instant and b.is_instant and a is not b:
+        return Violation.CROSS_AXIS_COMPARE
+    if a is Domain.DURATION and b.is_instant:
+        return Violation.DURATION_VS_INSTANT
+    if b is Domain.DURATION and a.is_instant:
+        return Violation.DURATION_VS_INSTANT
+    return None
+
+
+# --------------------------------------------------------------------- #
+# naming conventions
+
+#: Exact identifier names (or attribute names) that denote an event-time
+#: instant in this codebase.
+EVENT_TIME_NAMES = {
+    "event_time",
+    "frontier",
+    "watermark",
+    "timestamp",
+    "max_event_time",
+    "max_event",
+    "start",
+    "end",
+    "window_start",
+    "window_end",
+    "close_frontier",
+    "prune_frontier",
+    "release_frontier",
+}
+
+#: Identifier suffixes implying an event-time instant.
+EVENT_TIME_SUFFIXES = (
+    "_event_time",
+    "_frontier",
+    "_watermark",
+    "_timestamp",
+    "frontier_value",
+)
+
+#: Exact names denoting a processing-time (arrival) instant.
+PROC_TIME_NAMES = {"arrival_time", "emit_time", "now", "arrival"}
+
+#: Identifier suffixes implying a processing-time instant.
+PROC_TIME_SUFFIXES = ("_arrival", "_arrival_time", "_now", "_emit_time")
+
+#: Exact names denoting a span of seconds.
+DURATION_NAMES = {
+    "lag",
+    "slack",
+    "delay",
+    "latency",
+    "gap",
+    "slide",
+    "period",
+    "k",
+    "k_min",
+    "k_max",
+    "k_estimate",
+    "k_applied",
+    "initial_k",
+    "bound",
+    "budget",
+    "horizon",
+    "interval",
+    "duration",
+    "timeout",
+    "atol",
+    "rtol",
+    "wall_time_s",
+    "window_size",
+}
+
+#: Identifier suffixes implying a duration.
+DURATION_SUFFIXES = (
+    "_lag",
+    "_slack",
+    "_delay",
+    "_latency",
+    "_gap",
+    "_horizon",
+    "_interval",
+    "_timeout",
+    "_budget",
+    "_seconds",
+    "_duration",
+)
+
+#: Exact names denoting element counters / sequence numbers.
+COUNT_NAMES = {"count", "seq", "n_elements", "n_results", "late_dropped"}
+
+#: Identifier suffixes implying a counter.
+COUNT_SUFFIXES = ("_count", "_seen", "_dropped", "_buffered", "_size")
+
+#: Plural container names whose *elements* carry the domain (numpy arrays
+#: and lists in the batched paths); indexing keeps the domain.
+_PLURAL_BASES = {
+    "event_times": Domain.EVENT_TIME,
+    "timestamps": Domain.EVENT_TIME,
+    "frontiers": Domain.EVENT_TIME,
+    "clocks": Domain.EVENT_TIME,
+    "watermarks": Domain.EVENT_TIME,
+    "arrivals": Domain.PROC_TIME,
+    "arrival_times": Domain.PROC_TIME,
+    "delays": Domain.DURATION,
+    "lags": Domain.DURATION,
+    "latencies": Domain.DURATION,
+    "ks": Domain.DURATION,
+    "scaled_delays": Domain.DURATION,
+}
+
+
+def domain_of_name(name: str) -> Domain:
+    """Convention-seeded domain of an identifier (``BOTTOM`` if unknown)."""
+    stripped = name.lstrip("_")
+    if stripped in EVENT_TIME_NAMES or name.endswith(EVENT_TIME_SUFFIXES):
+        return Domain.EVENT_TIME
+    if stripped in PROC_TIME_NAMES or name.endswith(PROC_TIME_SUFFIXES):
+        return Domain.PROC_TIME
+    if stripped in DURATION_NAMES or name.endswith(DURATION_SUFFIXES):
+        return Domain.DURATION
+    if stripped in COUNT_NAMES or name.endswith(COUNT_SUFFIXES):
+        return Domain.COUNT
+    if stripped in _PLURAL_BASES:
+        return _PLURAL_BASES[stripped]
+    return Domain.BOTTOM
+
+
+#: Marker class name (from ``repro.streams.timebase``) → domain.  Both the
+#: bare marker (``Annotated[float, EventTime]``) and the exported aliases
+#: are recognized in annotations.
+MARKER_DOMAINS = {
+    "EventTime": Domain.EVENT_TIME,
+    "EventTimeStamp": Domain.EVENT_TIME,
+    "ProcTime": Domain.PROC_TIME,
+    "ArrivalTimeStamp": Domain.PROC_TIME,
+    "Duration": Domain.DURATION,
+    "DurationS": Domain.DURATION,
+}
+
+#: Alias to recommend in R10 messages, per domain.
+ALIAS_FOR_DOMAIN = {
+    Domain.EVENT_TIME: "EventTimeStamp",
+    Domain.PROC_TIME: "ArrivalTimeStamp",
+    Domain.DURATION: "DurationS",
+}

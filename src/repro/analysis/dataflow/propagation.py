@@ -1,0 +1,648 @@
+"""Fixed-point time-domain inference and violation collection.
+
+The analysis is flow-insensitive and whole-program: every function is
+evaluated against the current symbol-table cells, evidence discovered at
+call sites / returns / attribute writes is joined back into the cells, and
+the process repeats until nothing changes (or a round cap, since the
+lattice has finite height the cap is a formality).  A final *collect* pass
+re-evaluates everything with the converged cells and records violations.
+
+Only **definite** evidence is ever reported: an operand at ``⊥`` (unknown)
+or ``⊤`` (conflicting) never produces a finding.  False positives in a
+lint gate cost more than false negatives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.model import Project, SourceFile
+from repro.analysis.dataflow import lattice
+from repro.analysis.dataflow.lattice import Domain, Violation, domain_of_name
+from repro.analysis.dataflow.callgraph import (
+    COUNTING_BUILTINS,
+    JOINING_BUILTINS,
+    CallGraph,
+    CallResolver,
+)
+from repro.analysis.dataflow.symbols import (
+    FRONTIER_STORE_FIELDS,
+    FRONTIER_STORE_KINDS,
+    FunctionSymbol,
+    SymbolTable,
+    annotation_domain,
+    annotation_is_bare_float,
+)
+
+# Violation kinds; the R06-R10 rules select on these.
+CROSS_AXIS = "cross-axis-compare"
+INSTANT_PLUS = "instant-plus-instant"
+DURATION_MIX = "duration-vs-instant"
+FRONTIER_ADVANCE = "frontier-advance"
+FRONTIER_REBIND = "frontier-rebind"
+FRONTIER_RAW_WRITE = "frontier-raw-write"
+FRONTIER_PROPERTY = "frontier-property"
+METRICS_DOMAIN = "metrics-domain"
+UNANNOTATED_API = "unannotated-api"
+
+#: Expected domain of each scalar ``RunMetrics`` field (R09).  The
+#: ``slack_timeline`` list is structured and checked by StreamSan instead.
+METRICS_FIELD_DOMAINS = {
+    "wall_time_s": Domain.DURATION,
+    "n_elements": Domain.COUNT,
+    "n_results": Domain.COUNT,
+    "late_dropped": Domain.COUNT,
+    "max_buffered": Domain.COUNT,
+    "released_count": Domain.COUNT,
+}
+
+_FRONTIER_ADVANCE_METHODS = {"advance", "observe", "observe_many"}
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+_MAX_ROUNDS = 10
+
+
+@dataclass(frozen=True)
+class DomainViolation:
+    """One cross-module time-domain violation, pre-formatted."""
+
+    kind: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Deterministic report order: path, position, kind."""
+        return (self.path, self.line, self.col, self.kind)
+
+
+@dataclass
+class AnalysisResult:
+    """Converged cells plus every violation found."""
+
+    table: SymbolTable
+    graph: CallGraph
+    violations: list[DomainViolation] = field(default_factory=list)
+    rounds: int = 0
+
+    def of_kind(self, *kinds: str) -> list[DomainViolation]:
+        """Violations whose kind is one of ``kinds``."""
+        wanted = set(kinds)
+        return [v for v in self.violations if v.kind in wanted]
+
+
+def analyse(project: Project) -> AnalysisResult:
+    """Run the whole-program analysis over a parsed project."""
+    table = SymbolTable(project)
+    resolver = CallResolver(table)
+    graph = CallGraph()
+    result = AnalysisResult(table=table, graph=graph)
+    for round_number in range(1, _MAX_ROUNDS + 1):
+        result.rounds = round_number
+        changed = False
+        for function in table.functions.values():
+            evaluator = _Evaluator(table, resolver, graph, function)
+            evaluator.run()
+            changed = changed or evaluator.changed
+        if not changed:
+            break
+    for function in table.functions.values():
+        evaluator = _Evaluator(
+            table, resolver, graph, function, sink=result.violations
+        )
+        evaluator.run()
+    _check_public_api(table, result.violations)
+    result.violations.sort(key=DomainViolation.sort_key)
+    return result
+
+
+def analysis_for(project: Project) -> AnalysisResult:
+    """Per-project cached :func:`analyse` (rules share one run)."""
+    cached = getattr(project, "_dataflow_cache", None)
+    if cached is None:
+        cached = analyse(project)
+        project._dataflow_cache = cached  # type: ignore[attr-defined]
+    return cached
+
+
+class _Evaluator:
+    """Evaluates one function body against the current cells.
+
+    With ``sink=None`` it only joins evidence (propagation rounds); with a
+    sink it also records violations (the collect pass).
+    """
+
+    def __init__(
+        self,
+        table: SymbolTable,
+        resolver: CallResolver,
+        graph: CallGraph,
+        function: FunctionSymbol,
+        sink: list[DomainViolation] | None = None,
+    ) -> None:
+        self.table = table
+        self.resolver = resolver
+        self.graph = graph
+        self.function = function
+        self.sink = sink
+        self.changed = False
+        self.env: dict[str, tuple[Domain, str]] = {}
+        for name in function.param_names:
+            self.env[name] = (
+                function.param_domains.get(name, Domain.BOTTOM),
+                function.param_kinds.get(name, ""),
+            )
+        if function.class_name:
+            self.env["self"] = (Domain.BOTTOM, function.class_name)
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+
+    def _report(self, kind: str, node: ast.AST, message: str) -> None:
+        if self.sink is None:
+            return
+        self.sink.append(
+            DomainViolation(
+                kind=kind,
+                path=self.function.source.display_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+    def _in_handler_lineage(self) -> bool:
+        if not self.function.class_name:
+            return False
+        return "DisorderHandler" in self.table.lineage_names(
+            self.function.class_name
+        )
+
+    # ------------------------------------------------------------------ #
+    # statements
+
+    def run(self) -> None:
+        self._walk(self.function.node.body)
+
+    def _walk(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_domain, value_kind = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, stmt.value, value_domain, value_kind)
+        elif isinstance(stmt, ast.AnnAssign):
+            declared = annotation_domain(stmt.annotation)
+            if stmt.value is not None:
+                value_domain, value_kind = self._eval(stmt.value)
+            else:
+                value_domain, value_kind = Domain.BOTTOM, ""
+            if declared.is_definite:
+                value_domain = declared
+            self._assign(stmt.target, stmt.value, value_domain, value_kind)
+        elif isinstance(stmt, ast.AugAssign):
+            left_domain, left_kind = self._eval(stmt.target)
+            right_domain, _ = self._eval(stmt.value)
+            result = self._binop_domain(
+                stmt, stmt.op, left_domain, right_domain
+            )
+            self._assign(stmt.target, stmt.value, result, left_kind)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                domain, kind = self._eval(stmt.value)
+                if domain.is_definite:
+                    if self.function.join_return(domain):
+                        self.changed = True
+                    if not self.function.return_kind and kind:
+                        self.function.return_kind = kind
+                    self._check_frontier_property(stmt, domain)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            domain, _ = self._eval(stmt.iter)
+            if isinstance(stmt.target, ast.Name):
+                # Indexing/iterating a plural container keeps the element
+                # domain (event_times -> each t is an event time).
+                self.env[stmt.target.id] = (
+                    domain if domain.is_definite else domain_of_name(stmt.target.id),
+                    "",
+                )
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+            self._walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body)
+            for handler in stmt.handlers:
+                self._walk(handler.body)
+            self._walk(stmt.orelse)
+            self._walk(stmt.finalbody)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test)
+        elif isinstance(stmt, ast.Raise) and stmt.exc is not None:
+            self._eval(stmt.exc)
+        # Nested function/class definitions are analysed as their own
+        # symbols (if top-level) or skipped: locals of closures are out of
+        # scope for a flow-insensitive pass.
+
+    def _assign(
+        self,
+        target: ast.expr,
+        value: ast.expr | None,
+        value_domain: Domain,
+        value_kind: str,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            domain = (
+                value_domain
+                if value_domain.is_definite
+                else domain_of_name(target.id)
+            )
+            self.env[target.id] = (domain, value_kind)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    self.env[element.id] = (domain_of_name(element.id), "")
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        receiver_domain, receiver_kind = self._eval(target.value)
+        attr = target.attr
+        is_self = (
+            isinstance(target.value, ast.Name) and target.value.id == "self"
+        )
+        if is_self and self.function.class_name:
+            klass = self.table.classes.get(self.function.class_name)
+            if klass is not None:
+                if value_domain.is_definite and klass.join_attr(
+                    attr, value_domain
+                ):
+                    self.changed = True
+                if value_kind:
+                    klass.attr_kinds.setdefault(attr, value_kind)
+            self._check_frontier_rebind(target, attr, value_kind)
+        self._check_frontier_raw_write(target, attr, receiver_kind)
+        self._check_metrics_field(target, attr, receiver_kind, value_domain)
+
+    # ------------------------------------------------------------------ #
+    # expressions
+
+    def _eval(self, node: ast.expr) -> tuple[Domain, str]:
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return domain_of_name(node.id), ""
+        if isinstance(node, ast.Constant):
+            return Domain.BOTTOM, ""
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            left, _ = self._eval(node.left)
+            right, _ = self._eval(node.right)
+            return self._binop_domain(node, node.op, left, right), ""
+        if isinstance(node, ast.Compare):
+            self._eval_compare(node)
+            return Domain.BOTTOM, ""
+        if isinstance(node, ast.BoolOp):
+            domains = [self._eval(value)[0] for value in node.values]
+            return lattice.join_all(domains), ""
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            body, body_kind = self._eval(node.body)
+            orelse, _ = self._eval(node.orelse)
+            return lattice.join(body, orelse), body_kind
+        if isinstance(node, ast.UnaryOp):
+            domain, kind = self._eval(node.operand)
+            return domain, kind
+        if isinstance(node, ast.Subscript):
+            domain, _ = self._eval(node.value)
+            self._eval(node.slice)
+            return domain, ""
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set, ast.Dict)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+            return Domain.BOTTOM, ""
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                self._eval(generator.iter)
+            self._eval(node.elt)
+            return Domain.BOTTOM, ""
+        if isinstance(node, ast.NamedExpr):
+            domain, kind = self._eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = (domain, kind)
+            return domain, kind
+        return Domain.BOTTOM, ""
+
+    def _eval_attribute(self, node: ast.Attribute) -> tuple[Domain, str]:
+        _, receiver_kind = self._eval(node.value)
+        if receiver_kind:
+            domain = self.table.member_domain(receiver_kind, node.attr)
+            kind = self.table.attr_kind(receiver_kind, node.attr)
+            if domain.is_definite or kind:
+                return domain, kind
+        return domain_of_name(node.attr), ""
+
+    def _eval_call(self, node: ast.Call) -> tuple[Domain, str]:
+        receiver_kind = ""
+        if isinstance(node.func, ast.Attribute):
+            _, receiver_kind = self._eval(node.func.value)
+        arg_domains = [self._eval(arg)[0] for arg in node.args]
+        kwarg_domains = {
+            keyword.arg: self._eval(keyword.value)[0]
+            for keyword in node.keywords
+            if keyword.arg is not None
+        }
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                self._eval(keyword.value)
+
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in COUNTING_BUILTINS:
+                return Domain.COUNT, ""
+            if name in JOINING_BUILTINS:
+                folded = lattice.join_all(
+                    arg_domains + list(kwarg_domains.values())
+                )
+                return (folded if folded.is_definite else Domain.BOTTOM), ""
+
+        callee = self.resolver.resolve(self.function, node, receiver_kind)
+        method_name = (
+            node.func.attr if isinstance(node.func, ast.Attribute) else ""
+        )
+        self._check_frontier_advance(
+            node, receiver_kind, method_name, arg_domains, kwarg_domains
+        )
+        constructed = ""
+        if isinstance(node.func, ast.Name) and (
+            node.func.id in self.table.classes
+            or node.func.id in FRONTIER_STORE_KINDS
+        ):
+            constructed = node.func.id
+        if constructed == "RunMetrics" or (
+            callee is not None and callee.class_name == "RunMetrics"
+        ):
+            self._check_metrics_ctor(node, kwarg_domains)
+        if callee is None:
+            if receiver_kind:
+                domain = self.table.member_domain(receiver_kind, method_name)
+                if domain.is_definite:
+                    return domain, ""
+            return Domain.BOTTOM, constructed
+        self.graph.add(self.function.qualname, callee.qualname)
+        params = callee.param_names
+        if callee.class_name and params and params[0] == "self":
+            params = params[1:]
+        for param, domain in zip(params, arg_domains):
+            if domain.is_definite and callee.join_param(param, domain):
+                self.changed = True
+        for param, domain in kwarg_domains.items():
+            if domain.is_definite and param in callee.param_domains:
+                if callee.join_param(param, domain):
+                    self.changed = True
+        if constructed:
+            return Domain.BOTTOM, constructed
+        domain = callee.return_domain
+        return (
+            domain if domain.is_definite else Domain.BOTTOM
+        ), callee.return_kind
+
+    def _binop_domain(
+        self,
+        node: ast.AST,
+        op: ast.operator,
+        left: Domain,
+        right: Domain,
+    ) -> Domain:
+        if isinstance(op, ast.Add):
+            domain, violation = lattice.add(left, right)
+        elif isinstance(op, ast.Sub):
+            domain, violation = lattice.sub(left, right)
+        else:
+            # Scaling/indexing arithmetic (window-index * slide, rate
+            # ratios) legitimately crosses domains; stay silent.
+            return Domain.BOTTOM
+        if violation is Violation.INSTANT_PLUS_INSTANT:
+            self._report(
+                INSTANT_PLUS,
+                node,
+                f"adding two time instants ({left} + {right}) has no meaning "
+                "on either axis; one operand should be a duration",
+            )
+        elif violation is Violation.DURATION_VS_INSTANT:
+            self._report(
+                DURATION_MIX,
+                node,
+                f"subtracting an instant from a duration ({left} - {right}) "
+                "mixes a span with a position; swap the operands or anchor "
+                "the duration to an instant first",
+            )
+        return domain
+
+    def _eval_compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        domains = [self._eval(operand)[0] for operand in operands]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, _ORDERING_OPS):
+                continue
+            left, right = domains[index], domains[index + 1]
+            violation = lattice.compare(left, right)
+            if violation is Violation.CROSS_AXIS_COMPARE:
+                self._report(
+                    CROSS_AXIS,
+                    operands[index + 1],
+                    f"ordering comparison mixes time axes ({left} vs "
+                    f"{right}); event and processing time share an epoch "
+                    "here only by simulation accident",
+                )
+            elif violation is Violation.DURATION_VS_INSTANT:
+                self._report(
+                    DURATION_MIX,
+                    operands[index + 1],
+                    f"ordering comparison mixes a duration with an instant "
+                    f"({left} vs {right}); compare spans with spans",
+                )
+
+    # ------------------------------------------------------------------ #
+    # targeted checks (R07 / R09)
+
+    def _check_frontier_advance(
+        self,
+        node: ast.Call,
+        receiver_kind: str,
+        method_name: str,
+        arg_domains: list[Domain],
+        kwarg_domains: dict[str, Domain],
+    ) -> None:
+        if receiver_kind not in FRONTIER_STORE_KINDS:
+            return
+        if method_name not in _FRONTIER_ADVANCE_METHODS:
+            return
+        first = (
+            arg_domains[0]
+            if arg_domains
+            else next(iter(kwarg_domains.values()), Domain.BOTTOM)
+        )
+        if first.is_definite and first is not Domain.EVENT_TIME:
+            self._report(
+                FRONTIER_ADVANCE,
+                node,
+                f"{receiver_kind}.{method_name} called with a {first} "
+                "value; frontiers advance only from event-time instants",
+            )
+
+    def _check_frontier_rebind(
+        self, node: ast.Attribute, attr: str, value_kind: str
+    ) -> None:
+        if not self._in_handler_lineage():
+            return
+        if self.function.simple_name == "__init__":
+            return
+        existing = self.table.attr_kind(self.function.class_name, attr)
+        if existing in FRONTIER_STORE_KINDS or value_kind in FRONTIER_STORE_KINDS:
+            self._report(
+                FRONTIER_REBIND,
+                node,
+                f"frontier store self.{attr} rebound outside __init__; "
+                "replacing the store discards its monotonicity history",
+            )
+
+    def _check_frontier_raw_write(
+        self, node: ast.Attribute, attr: str, receiver_kind: str
+    ) -> None:
+        if attr not in FRONTIER_STORE_FIELDS:
+            return
+        if receiver_kind not in FRONTIER_STORE_KINDS:
+            return
+        if self.function.class_name in FRONTIER_STORE_KINDS:
+            return  # the store's own implementation
+        self._report(
+            FRONTIER_RAW_WRITE,
+            node,
+            f"raw write to {receiver_kind}.{attr} bypasses the monotone "
+            "advance clamp; use .advance()/.observe() instead",
+        )
+
+    def _check_frontier_property(self, node: ast.Return, domain: Domain) -> None:
+        if not self._in_handler_lineage():
+            return
+        if self.function.simple_name != "frontier" or not self.function.is_property:
+            return
+        if domain is not Domain.EVENT_TIME:
+            self._report(
+                FRONTIER_PROPERTY,
+                node,
+                f"DisorderHandler.frontier property returns a {domain} "
+                "value; the frontier contract requires an event-time instant",
+            )
+
+    def _check_metrics_field(
+        self,
+        node: ast.Attribute,
+        attr: str,
+        receiver_kind: str,
+        value_domain: Domain,
+    ) -> None:
+        expected = METRICS_FIELD_DOMAINS.get(attr)
+        if expected is None or not value_domain.is_definite:
+            return
+        is_metrics = receiver_kind == "RunMetrics" or (
+            isinstance(node.value, ast.Name)
+            and self.function.class_name == "RunMetrics"
+            and node.value.id == "self"
+        )
+        if not is_metrics:
+            return
+        if value_domain is not expected:
+            self._report(
+                METRICS_DOMAIN,
+                node,
+                f"RunMetrics.{attr} expects a {expected} value but is "
+                f"assigned a {value_domain}",
+            )
+
+    def _check_metrics_ctor(
+        self, node: ast.Call, kwarg_domains: dict[str, Domain]
+    ) -> None:
+        for name, domain in kwarg_domains.items():
+            expected = METRICS_FIELD_DOMAINS.get(name)
+            if expected is None or not domain.is_definite:
+                continue
+            if domain is not expected:
+                self._report(
+                    METRICS_DOMAIN,
+                    node,
+                    f"RunMetrics({name}=...) expects a {expected} value "
+                    f"but receives a {domain}",
+                )
+
+
+# --------------------------------------------------------------------- #
+# structural pass (R10)
+
+
+def _check_public_api(
+    table: SymbolTable, sink: list[DomainViolation]
+) -> None:
+    """Flag bare-``float`` time-named parameters/returns on public APIs."""
+    from repro.analysis.dataflow.lattice import ALIAS_FOR_DOMAIN
+
+    for function in table.functions.values():
+        if not function.source.engine_scoped or not function.is_public:
+            continue
+        args = function.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if not annotation_is_bare_float(arg.annotation):
+                continue
+            domain = domain_of_name(arg.arg)
+            alias = ALIAS_FOR_DOMAIN.get(domain)
+            if alias is None:
+                continue
+            sink.append(
+                DomainViolation(
+                    kind=UNANNOTATED_API,
+                    path=function.source.display_path,
+                    line=arg.lineno,
+                    col=arg.col_offset + 1,
+                    message=(
+                        f"public parameter {arg.arg!r} of "
+                        f"{function.qualname.split(':', 1)[1]} looks like a "
+                        f"{domain} but is annotated bare float; use "
+                        f"{alias} from repro.streams.timebase"
+                    ),
+                )
+            )
+        if annotation_is_bare_float(function.node.returns):
+            domain = domain_of_name(function.simple_name)
+            alias = ALIAS_FOR_DOMAIN.get(domain)
+            if alias is not None:
+                sink.append(
+                    DomainViolation(
+                        kind=UNANNOTATED_API,
+                        path=function.source.display_path,
+                        line=function.node.lineno,
+                        col=function.node.col_offset + 1,
+                        message=(
+                            f"public return of "
+                            f"{function.qualname.split(':', 1)[1]} looks "
+                            f"like a {domain} but is annotated bare float; "
+                            f"use {alias} from repro.streams.timebase"
+                        ),
+                    )
+                )

@@ -1,0 +1,119 @@
+"""Lint-rule adapters for the whole-program time-domain analysis.
+
+Each rule is a thin filter over one shared :class:`~repro.analysis.
+dataflow.propagation.AnalysisResult` — the analysis runs once per
+:class:`~repro.analysis.lint.model.Project` (cached on the project) and
+the rules select violation kinds from it, so adding rules costs nothing
+at analysis time.
+
+========  ============================================================
+R06       cross-domain comparison/arithmetic (event ⋈ proc time,
+          instant + instant)
+R07       frontier-contract conformance: DisorderHandlers advance their
+          frontier only through a sanctioned store, with event-time
+          arguments, and never write the store's internals
+R08       duration/timestamp mixing in slack computations
+          (``engine``/``core`` scope)
+R09       domain-consistent ``RunMetrics`` fields
+R10       unannotated public time-typed APIs in ``engine``/``core``
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.lint.model import Finding, Project, SourceFile
+from repro.analysis.lint.rules import Rule
+from repro.analysis.dataflow import propagation
+from repro.analysis.dataflow.propagation import analysis_for
+
+
+class _DataflowRule(Rule):
+    """Shared plumbing: select violation kinds for one source file."""
+
+    kinds: tuple[str, ...] = ()
+    engine_only: bool = False
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if self.engine_only and not source.engine_scoped:
+            return
+        result = analysis_for(project)
+        for violation in result.of_kind(*self.kinds):
+            if violation.path != source.display_path:
+                continue
+            yield Finding(
+                rule=self.id,
+                path=violation.path,
+                line=violation.line,
+                col=violation.col,
+                message=violation.message,
+            )
+
+
+class CrossDomainRule(_DataflowRule):
+    """R06: event-time and processing-time values must not meet directly."""
+
+    id = "R06"
+    summary = (
+        "no cross-domain time arithmetic/comparison (event vs processing "
+        "time, instant + instant)"
+    )
+    kinds = (propagation.CROSS_AXIS, propagation.INSTANT_PLUS)
+
+
+class FrontierContractRule(_DataflowRule):
+    """R07: frontiers advance only via a store, from event-time values."""
+
+    id = "R07"
+    summary = (
+        "DisorderHandler frontiers advance only via MonotoneFrontier/"
+        "EventTimeFrontier with event-time arguments; no raw store writes"
+    )
+    kinds = (
+        propagation.FRONTIER_ADVANCE,
+        propagation.FRONTIER_REBIND,
+        propagation.FRONTIER_RAW_WRITE,
+        propagation.FRONTIER_PROPERTY,
+    )
+
+
+class SlackMixingRule(_DataflowRule):
+    """R08: durations and instants must not be conflated in slack math."""
+
+    id = "R08"
+    summary = (
+        "no duration/timestamp mixing in buffer-size and slack "
+        "computations (engine/core scope)"
+    )
+    kinds = (propagation.DURATION_MIX,)
+    engine_only = True
+
+
+class MetricsDomainRule(_DataflowRule):
+    """R09: RunMetrics fields carry their declared domains."""
+
+    id = "R09"
+    summary = "RunMetrics fields must be assigned domain-consistent values"
+    kinds = (propagation.METRICS_DOMAIN,)
+
+
+class UnannotatedApiRule(_DataflowRule):
+    """R10: public time-typed engine APIs must carry domain markers."""
+
+    id = "R10"
+    summary = (
+        "public engine/core APIs with time-named float parameters/returns "
+        "must use the timebase Annotated aliases"
+    )
+    kinds = (propagation.UNANNOTATED_API,)
+    engine_only = True
+
+
+DATAFLOW_RULES: tuple[Rule, ...] = (
+    CrossDomainRule(),
+    FrontierContractRule(),
+    SlackMixingRule(),
+    MetricsDomainRule(),
+    UnannotatedApiRule(),
+)

@@ -1,21 +1,30 @@
 """repro-lint: AST-based invariant linter for the disorder-handling engine.
 
 The linter enforces engine-specific invariants that generic tools cannot
-know about:
+know about.  R01-R05 are per-file syntactic rules; R06-R10 come from the
+whole-program time-domain dataflow analysis
+(:mod:`repro.analysis.dataflow`):
 
 ========  ============================================================
 R01       no wall-clock time or nondeterministic RNG in ``engine``/``core``
 R02       scalar/batched method parity (``process``/``process_many``,
-          ``offer``/``offer_many``)
+          ``offer``/``offer_many``, ``add``/``add_many``)
 R03       no ``==``/``!=`` on float timestamps
 R04       no mutation of frozen ``StreamElement`` fields
 R05       ``RunMetrics`` attributes must be registered fields
+R06       no cross-domain time arithmetic/comparison (event ⋈ proc time)
+R07       frontier-contract conformance for ``DisorderHandler``
+R08       no duration/timestamp mixing in slack computations
+R09       domain-consistent ``RunMetrics`` fields
+R10       unannotated public time-typed APIs in ``engine``/``core``
 ========  ============================================================
 
 Run ``python -m repro.analysis.lint src/`` (exit status 1 on findings) or
 call :func:`run_lint` programmatically.  Suppress a finding with an inline
 ``# repro-lint: disable=Rxx`` comment carrying a justification, or a
-file-level ``# repro-lint: disable-file=Rxx``.
+file-level ``# repro-lint: disable-file=Rxx``.  Pre-existing findings can
+be grandfathered in ``analysis/baseline.json`` (see
+:mod:`repro.analysis.dataflow.baseline`).
 """
 
 from __future__ import annotations
@@ -29,26 +38,64 @@ from repro.analysis.lint.model import (
     discover_files,
 )
 from repro.analysis.lint.reporting import render_json, render_text
-from repro.analysis.lint.rules import ALL_RULES, Rule
+from repro.analysis.lint.rules import CORE_RULES, Rule
+from repro.analysis.dataflow.rules import DATAFLOW_RULES
+from repro.analysis.dataflow.baseline import Baseline
 from repro.errors import ConfigurationError
+
+#: Full rule catalog: per-file syntactic rules + whole-program dataflow.
+ALL_RULES: tuple[Rule, ...] = CORE_RULES + DATAFLOW_RULES
 
 __all__ = [
     "ALL_RULES",
+    "CORE_RULES",
+    "DATAFLOW_RULES",
+    "Baseline",
     "Finding",
     "Project",
     "Rule",
     "SourceFile",
     "discover_files",
+    "expand_rule_ids",
     "render_json",
     "render_text",
     "run_lint",
 ]
 
 
+def expand_rule_ids(spec: str) -> list[str]:
+    """Expand a rule selection string into explicit ids.
+
+    Accepts comma-separated ids with optional ranges: ``"R06-R10"`` →
+    ``["R06", ..., "R10"]``; ``"R01,R03"`` passes through.
+
+    Raises:
+        ConfigurationError: on malformed ids or inverted ranges.
+    """
+    ids: list[str] = []
+    for part in spec.split(","):
+        part = part.strip().upper()
+        if not part:
+            continue
+        if "-" in part:
+            low, _, high = part.partition("-")
+            try:
+                start, stop = int(low.lstrip("R")), int(high.lstrip("R"))
+            except ValueError:
+                raise ConfigurationError(f"malformed rule range: {part!r}")
+            if stop < start:
+                raise ConfigurationError(f"inverted rule range: {part!r}")
+            ids.extend(f"R{number:02d}" for number in range(start, stop + 1))
+        else:
+            ids.append(part)
+    return ids
+
+
 def run_lint(
     paths: list[str | Path],
     select: list[str] | None = None,
     honour_suppressions: bool = True,
+    baseline: Baseline | None = None,
 ) -> list[Finding]:
     """Lint every Python file under ``paths`` and return the findings.
 
@@ -58,6 +105,8 @@ def run_lint(
         honour_suppressions: When False, report findings even on lines
             carrying ``# repro-lint: disable`` comments (used by the rule
             self-tests).
+        baseline: When given, findings covered by the baseline are
+            filtered out (grandfathered debt).
 
     Raises:
         ConfigurationError: when ``select`` names an unknown rule id.
@@ -86,4 +135,6 @@ def run_lint(
                     continue
                 findings.append(finding)
     findings.sort(key=Finding.sort_key)
+    if baseline is not None:
+        findings = baseline.apply(findings)
     return findings

@@ -1,15 +1,29 @@
 """Command-line entry point: ``python -m repro.analysis.lint [paths...]``.
 
-Exit status is 0 when no findings survive suppression, 1 otherwise, and
-2 on usage errors — suitable for ``make lint`` and CI gates.
+Exit status is 0 when no findings survive suppression and the baseline,
+1 otherwise, and 2 on usage errors — suitable for ``make lint`` and CI
+gates.  ``--check-baseline`` additionally fails (status 1) when
+``analysis/baseline.json`` contains entries that no longer occur.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from repro.analysis.lint import ALL_RULES, render_json, render_text, run_lint
+from repro.analysis.lint import (
+    ALL_RULES,
+    expand_rule_ids,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.analysis.dataflow.baseline import (
+    DEFAULT_BASELINE_PATH,
+    Baseline,
+)
+from repro.analysis.dataflow.sarif import render_sarif
 from repro.errors import ConfigurationError
 
 
@@ -27,19 +41,57 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
         "--select",
+        "--rules",
+        dest="select",
         default=None,
-        help="comma-separated rule ids to run (default: all)",
+        help=(
+            "comma-separated rule ids to run; ranges allowed "
+            "(e.g. R06-R10). Default: all"
+        ),
     )
     parser.add_argument(
         "--no-suppressions",
         action="store_true",
         help="ignore # repro-lint: disable comments",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE_PATH} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report all findings, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="capture the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help=(
+            "fail when the baseline contains stale entries (fixed findings "
+            "that were never regenerated away)"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--list-rules",
@@ -57,8 +109,14 @@ def main(argv: list[str] | None = None) -> int:
             print()
         return 0
 
-    select = args.select.split(",") if args.select else None
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
+    baseline: Baseline | None = None
+    if not args.no_baseline and not args.write_baseline:
+        if args.baseline or baseline_path.exists():
+            baseline = Baseline.load(baseline_path)
+
     try:
+        select = expand_rule_ids(args.select) if args.select else None
         findings = run_lint(
             args.paths,
             select=select,
@@ -67,9 +125,43 @@ def main(argv: list[str] | None = None) -> int:
     except ConfigurationError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(findings))
-    return 1 if findings else 0
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"repro-lint: baseline of {len(findings)} finding(s) written "
+            f"to {baseline_path}"
+        )
+        return 0
+
+    status = 0
+    if args.check_baseline and baseline is not None:
+        stale = baseline.stale_entries(findings)
+        if stale:
+            print(
+                f"repro-lint: {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} in {baseline_path} — "
+                "the findings were fixed; regenerate with --write-baseline",
+                file=sys.stderr,
+            )
+            status = 1
+
+    if baseline is not None:
+        findings = baseline.apply(findings)
+
+    if args.format == "sarif":
+        report = render_sarif(
+            findings, {rule.id: rule.summary for rule in ALL_RULES}
+        )
+    elif args.format == "json":
+        report = render_json(findings)
+    else:
+        report = render_text(findings)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+    return 1 if findings else status
 
 
 if __name__ == "__main__":

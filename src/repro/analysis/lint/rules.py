@@ -172,9 +172,9 @@ class NoWallClockRule(Rule):
 class BatchParityRule(Rule):
     """R02 — scalar and batched entry points must evolve together.
 
-    ``Operator.process_many`` / ``DisorderHandler.offer_many`` are required
-    to be *exactly* equivalent to looping the scalar method.  Two shapes of
-    drift are flagged:
+    ``Operator.process_many`` / ``DisorderHandler.offer_many`` /
+    ``AggregateFunction.add_many`` are required to be *exactly* equivalent
+    to looping the scalar method.  Two shapes of drift are flagged:
 
     * a class overrides the batched method without overriding the scalar
       one in the same class — the inherited scalar path and the new batched
@@ -187,10 +187,25 @@ class BatchParityRule(Rule):
     """
 
     id = "R02"
-    summary = "scalar/batched method parity on Operator and DisorderHandler"
+    summary = (
+        "scalar/batched method parity on Operator, DisorderHandler, "
+        "and AggregateFunction"
+    )
 
-    _PAIRS = (("offer", "offer_many"), ("process", "process_many"))
-    _ABSTRACT_BASES = {"Operator", "DisorderHandler", "ABC", "object", "Protocol"}
+    _PAIRS = (
+        ("offer", "offer_many"),
+        ("process", "process_many"),
+        ("add", "add_many"),
+    )
+    _ABSTRACT_BASES = {
+        "Operator",
+        "DisorderHandler",
+        "AggregateFunction",
+        "ABC",
+        "object",
+        "Protocol",
+    }
+    _LINEAGE_ROOTS = {"Operator", "DisorderHandler", "AggregateFunction"}
 
     def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
         for node in ast.walk(source.tree):
@@ -203,8 +218,8 @@ class BatchParityRule(Rule):
                 continue
             ancestors = project.ancestors(node.name)
             lineage = {node.name} | {a.name for a in ancestors}
-            if not lineage & {"Operator", "DisorderHandler"} and not any(
-                base in {"Operator", "DisorderHandler"} for base in info.base_names
+            if not lineage & self._LINEAGE_ROOTS and not any(
+                base in self._LINEAGE_ROOTS for base in info.base_names
             ):
                 continue
             for scalar, batched in self._PAIRS:
@@ -466,10 +481,16 @@ class MetricsRegistryRule(Rule):
         return declared
 
 
-ALL_RULES: tuple[Rule, ...] = (
+#: The per-file syntactic rules (R01-R05).  The whole-program dataflow
+#: rules (R06-R10) live in :mod:`repro.analysis.dataflow.rules`; the
+#: combined catalog is composed in :mod:`repro.analysis.lint`.
+CORE_RULES: tuple[Rule, ...] = (
     NoWallClockRule(),
     BatchParityRule(),
     NoFloatTimeEqualityRule(),
     FrozenElementRule(),
     MetricsRegistryRule(),
 )
+
+#: Backwards-compatible alias (pre-dataflow name for the catalog).
+ALL_RULES = CORE_RULES

@@ -51,7 +51,12 @@ from repro.engine.handlers import (
 )
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
-from repro.streams.timebase import EventTimeFrontier, MonotoneFrontier
+from repro.streams.timebase import (
+    DurationS,
+    EventTimeFrontier,
+    EventTimeStamp,
+    MonotoneFrontier,
+)
 
 
 @dataclass(frozen=True)
@@ -75,13 +80,13 @@ class AQKSlackHandler(DisorderHandler):
         self,
         target: QualityTarget | BoundedQualityTarget | LatencyBudget,
         aggregate: AggregateFunction | str | ErrorModel,
-        window_size: float | None = None,
+        window_size: DurationS | None = None,
         delay_sample: DelaySample | None = None,
         controller: SlackController | None = None,
-        adapt_interval: float = 1.0,
+        adapt_interval: DurationS = 1.0,
         warmup_elements: int = 50,
-        k_min: float = 0.0,
-        k_max: float = math.inf,
+        k_min: DurationS = 0.0,
+        k_max: DurationS = math.inf,
         min_late_fraction: float = 1e-4,
         budget_quantile_cap: float = 0.999,
         estimation_confidence: float = 0.0,
@@ -386,11 +391,11 @@ class AQKSlackHandler(DisorderHandler):
         return self._buffer.drain()
 
     @property
-    def frontier(self) -> float:
+    def frontier(self) -> EventTimeStamp:
         return self._front.value
 
     @property
-    def current_slack(self) -> float:
+    def current_slack(self) -> DurationS:
         return self.k
 
     def buffered_count(self) -> int:

@@ -26,6 +26,7 @@ import math
 from abc import ABC, abstractmethod
 
 from repro.errors import ConfigurationError
+from repro.streams.timebase import DurationS
 
 
 class SlackController(ABC):
@@ -36,7 +37,7 @@ class SlackController(ABC):
         """Fold one observed per-window relative error sample in."""
 
     @abstractmethod
-    def adjust(self, k_estimate: float) -> float:
+    def adjust(self, k_estimate: DurationS) -> float:
         """Map the model's slack estimate to the slack actually applied."""
 
     def state(self) -> dict:
@@ -50,7 +51,7 @@ class NoFeedbackController(SlackController):
     def observe_error(self, error: float) -> None:
         pass
 
-    def adjust(self, k_estimate: float) -> float:
+    def adjust(self, k_estimate: DurationS) -> float:
         return k_estimate
 
 
@@ -115,7 +116,7 @@ class PIController(SlackController):
         # Clamp so one wild sample cannot explode the exponentials.
         return max(-3.0, min(3.0, raw))
 
-    def adjust(self, k_estimate: float) -> float:
+    def adjust(self, k_estimate: DurationS) -> float:
         residual = self._residual()
         self.gain *= math.exp(self.ki * residual)
         self.gain = max(self.gain_min, min(self.gain_max, self.gain))
@@ -158,7 +159,7 @@ class AIMDController(SlackController):
         else:
             self._error_ewma += self.ewma_alpha * (error - self._error_ewma)
 
-    def adjust(self, k_estimate: float) -> float:
+    def adjust(self, k_estimate: DurationS) -> float:
         if self._error_ewma is not None:
             if self._error_ewma > self.target:
                 self.gain = min(self.gain_max, self.gain + self.increase)
@@ -182,11 +183,11 @@ class PureFeedbackController(SlackController):
     def __init__(
         self,
         target: float,
-        initial_k: float = 0.1,
+        initial_k: DurationS = 0.1,
         up: float = 1.3,
         down: float = 0.95,
         ewma_alpha: float = 0.05,
-        k_max: float = 3600.0,
+        k_max: DurationS = 3600.0,
     ) -> None:
         if target <= 0:
             raise ConfigurationError(f"target must be positive, got {target}")
@@ -208,7 +209,7 @@ class PureFeedbackController(SlackController):
         else:
             self._error_ewma += self.ewma_alpha * (error - self._error_ewma)
 
-    def adjust(self, k_estimate: float) -> float:
+    def adjust(self, k_estimate: DurationS) -> float:
         if self._error_ewma is not None:
             if self._error_ewma > self.target:
                 self.k = min(self.k_max, self.k * self.up)

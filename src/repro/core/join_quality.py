@@ -25,6 +25,7 @@ from repro.core.spec import QualityTarget
 from repro.engine.join import IntervalJoinOperator, JoinResult
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
+from repro.streams.timebase import DurationS
 
 
 class QualityDrivenIntervalJoin:
@@ -36,7 +37,7 @@ class QualityDrivenIntervalJoin:
 
     def __init__(
         self,
-        bound: float,
+        bound: DurationS,
         side_selector: Callable[[StreamElement], str],
         threshold: float,
         feedback_every: int = 200,
@@ -102,7 +103,7 @@ class QualityDrivenIntervalJoin:
         return self.join.finish()
 
     @property
-    def current_slack(self) -> float:
+    def current_slack(self) -> DurationS:
         return self.handler.current_slack
 
     @property

@@ -18,6 +18,7 @@ from repro.core.spec import QualityTarget
 from repro.engine.pattern import PatternMatch, SequencePatternOperator
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
+from repro.streams.timebase import DurationS
 
 
 class QualityDrivenSequencePattern:
@@ -85,7 +86,7 @@ class QualityDrivenSequencePattern:
         return self.pattern.finish()
 
     @property
-    def current_slack(self) -> float:
+    def current_slack(self) -> DurationS:
         return self.handler.current_slack
 
     @property

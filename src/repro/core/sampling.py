@@ -19,6 +19,7 @@ import math
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.streams.timebase import DurationS, EventTimeStamp
 
 
 def as_generator(seed: int | np.random.Generator) -> np.random.Generator:
@@ -37,7 +38,7 @@ def as_generator(seed: int | np.random.Generator) -> np.random.Generator:
 class DelaySample:
     """Interface of delay trackers: observe delays, answer quantiles."""
 
-    def observe(self, delay: float) -> None:
+    def observe(self, delay: DurationS) -> None:
         """Fold one element delay (seconds, non-negative) into the sample."""
         raise NotImplementedError
 
@@ -79,7 +80,7 @@ class SlidingDelaySample(DelaySample):
         self._sorted_cache: np.ndarray | None = None
         self._total = 0
 
-    def observe(self, delay: float) -> None:
+    def observe(self, delay: DurationS) -> None:
         if delay < 0:
             raise ConfigurationError(f"delay must be non-negative, got {delay}")
         self._ring[self._head] = delay
@@ -164,7 +165,7 @@ class ReservoirSample(DelaySample):
         self._seen = 0
         self._rng = as_generator(seed)
 
-    def observe(self, delay: float) -> None:
+    def observe(self, delay: DurationS) -> None:
         if delay < 0:
             raise ConfigurationError(f"delay must be non-negative, got {delay}")
         self._seen += 1
@@ -263,7 +264,7 @@ class RateTracker:
         self._max_event: float | None = None
         self._count = 0
 
-    def observe(self, event_time: float) -> None:
+    def observe(self, event_time: EventTimeStamp) -> None:
         """Fold one event timestamp into the rate estimate."""
         self._count += 1
         if self._min_event is None or event_time < self._min_event:
@@ -271,7 +272,7 @@ class RateTracker:
         if self._max_event is None or event_time > self._max_event:
             self._max_event = event_time
 
-    def observe_many(self, min_event: float, max_event: float, count: int) -> None:
+    def observe_many(self, min_event: float, max_event: EventTimeStamp, count: int) -> None:
         """Fold a pre-reduced batch (its min/max timestamp and size) at once."""
         if count <= 0:
             return
@@ -292,7 +293,7 @@ class RateTracker:
             return math.nan
         return (self._count - 1) / span
 
-    def expected_window_count(self, window_size: float) -> float:
+    def expected_window_count(self, window_size: DurationS) -> float:
         """Expected elements per window of ``window_size`` seconds."""
         rate = self.rate
         if math.isnan(rate):
@@ -326,7 +327,7 @@ class P2DelayBank(DelaySample):
         self._max = 0.0
         self._count = 0
 
-    def observe(self, delay: float) -> None:
+    def observe(self, delay: DurationS) -> None:
         if delay < 0:
             raise ConfigurationError(f"delay must be non-negative, got {delay}")
         self._count += 1

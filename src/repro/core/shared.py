@@ -29,7 +29,7 @@ from repro.engine.aggregates import AggregateFunction
 from repro.engine.handlers import DisorderHandler
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
-from repro.streams.timebase import EventTimeFrontier
+from repro.streams.timebase import DurationS, EventTimeFrontier, EventTimeStamp
 
 
 class _QueryCursor(DisorderHandler):
@@ -47,7 +47,7 @@ class _QueryCursor(DisorderHandler):
         self._staged: list[StreamElement] = []
         self._frontier_value = float("-inf")
 
-    def stage(self, elements: list[StreamElement], frontier: float) -> None:
+    def stage(self, elements: list[StreamElement], frontier: EventTimeStamp) -> None:
         self._staged.extend(elements)
         if frontier > self._frontier_value:
             self._frontier_value = frontier
@@ -66,11 +66,11 @@ class _QueryCursor(DisorderHandler):
         return staged
 
     @property
-    def frontier(self) -> float:
+    def frontier(self) -> EventTimeStamp:
         return self._frontier_value
 
     @property
-    def current_slack(self) -> float:
+    def current_slack(self) -> DurationS:
         return self._owner.slack_of(self.query_id)
 
     def buffered_count(self) -> int:

@@ -37,6 +37,7 @@ from repro.engine.operator import Operator, WindowResult
 from repro.engine.windows import SlidingWindowAssigner, Window, WindowAssigner
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
+from repro.streams.timebase import EventTimeStamp
 
 
 class _SliceAssignCache:
@@ -67,7 +68,7 @@ class _SliceAssignCache:
         self.size = assigner.size
         self.entries: dict[int, tuple[float, float, list[Window]]] = {}
 
-    def assign(self, timestamp: float) -> list[Window]:
+    def assign(self, timestamp: EventTimeStamp) -> list[Window]:
         slide = self.slide
         index = math.floor(timestamp / slide)
         while index * slide > timestamp:

@@ -25,7 +25,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
-from repro.streams.timebase import EventTimeFrontier, MonotoneFrontier
+from repro.streams.timebase import (
+    DurationS,
+    EventTimeFrontier,
+    EventTimeStamp,
+    MonotoneFrontier,
+)
 from repro.engine.buffer import SortingBuffer
 
 #: Below this batch size the bulk release machinery costs more than the
@@ -121,7 +126,7 @@ class DisorderHandler(ABC):
 
     @property
     @abstractmethod
-    def frontier(self) -> float:
+    def frontier(self) -> EventTimeStamp:
         """Monotone event-time frontier; ``-inf`` before any element.
 
         **Contract** (relied on by every downstream window lifecycle):
@@ -136,7 +141,7 @@ class DisorderHandler(ABC):
         """
 
     @property
-    def current_slack(self) -> float:
+    def current_slack(self) -> DurationS:
         """Slack (buffering lag, seconds) currently in effect; 0 if none."""
         return 0.0
 
@@ -205,7 +210,7 @@ class NoBufferHandler(DisorderHandler):
         return []
 
     @property
-    def frontier(self) -> float:
+    def frontier(self) -> EventTimeStamp:
         return self._frontier.value
 
     def released_count(self) -> int:
@@ -224,7 +229,7 @@ class KSlackHandler(DisorderHandler):
 
     name = "k-slack"
 
-    def __init__(self, k: float) -> None:
+    def __init__(self, k: DurationS) -> None:
         if k < 0:
             raise ConfigurationError(f"slack K must be non-negative, got {k}")
         self.k = k
@@ -262,11 +267,11 @@ class KSlackHandler(DisorderHandler):
         return self._buffer.drain()
 
     @property
-    def frontier(self) -> float:
+    def frontier(self) -> EventTimeStamp:
         return self._front.value
 
     @property
-    def current_slack(self) -> float:
+    def current_slack(self) -> DurationS:
         return self.k
 
     def buffered_count(self) -> int:
@@ -293,7 +298,7 @@ class MPKSlackHandler(DisorderHandler):
 
     name = "mp-k-slack"
 
-    def __init__(self, initial_k: float = 0.0, safety_factor: float = 1.0) -> None:
+    def __init__(self, initial_k: DurationS = 0.0, safety_factor: float = 1.0) -> None:
         if initial_k < 0:
             raise ConfigurationError(f"initial K must be non-negative, got {initial_k}")
         if safety_factor < 1.0:
@@ -354,11 +359,11 @@ class MPKSlackHandler(DisorderHandler):
         return self._buffer.drain()
 
     @property
-    def frontier(self) -> float:
+    def frontier(self) -> EventTimeStamp:
         return self._front.value
 
     @property
-    def current_slack(self) -> float:
+    def current_slack(self) -> DurationS:
         return self.k
 
     def buffered_count(self) -> int:

@@ -24,6 +24,7 @@ from typing import Callable
 from repro.engine.handlers import DisorderHandler
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
+from repro.streams.timebase import DurationS
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,7 +39,7 @@ class JoinResult:
     emit_time: float
 
     @property
-    def latency(self) -> float:
+    def latency(self) -> DurationS:
         """Delay of the pair past the moment both events had happened."""
         return self.emit_time - max(self.left_time, self.right_time)
 
@@ -48,10 +49,10 @@ class IntervalJoinOperator:
 
     def __init__(
         self,
-        bound: float,
+        bound: DurationS,
         handler: DisorderHandler,
         side_selector: Callable[[StreamElement], str],
-        shadow_horizon: float = 0.0,
+        shadow_horizon: DurationS = 0.0,
     ) -> None:
         if bound < 0:
             raise ConfigurationError(f"bound must be non-negative, got {bound}")
@@ -191,7 +192,7 @@ class IntervalJoinOperator:
 
 def oracle_join_pairs(
     elements: list[StreamElement],
-    bound: float,
+    bound: DurationS,
     side_selector: Callable[[StreamElement], str],
 ) -> set[tuple[object, float, float]]:
     """All (key, left_time, right_time) pairs a complete join would emit."""

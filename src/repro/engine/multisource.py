@@ -18,7 +18,7 @@ from typing import Callable
 from repro.engine.handlers import DisorderHandler
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
-from repro.streams.timebase import MonotoneFrontier
+from repro.streams.timebase import DurationS, EventTimeStamp, MonotoneFrontier
 
 
 class MultiSourceWatermarkHandler(DisorderHandler):
@@ -29,8 +29,8 @@ class MultiSourceWatermarkHandler(DisorderHandler):
     def __init__(
         self,
         source_of: Callable[[StreamElement], object],
-        lag: float = 0.0,
-        idle_timeout: float = float("inf"),
+        lag: DurationS = 0.0,
+        idle_timeout: DurationS = float("inf"),
         expected_sources: set | None = None,
     ) -> None:
         """Args:
@@ -97,14 +97,14 @@ class MultiSourceWatermarkHandler(DisorderHandler):
         return []
 
     @property
-    def frontier(self) -> float:
+    def frontier(self) -> EventTimeStamp:
         return self._front.value
 
     def released_count(self) -> int:
         return self._released
 
     @property
-    def current_slack(self) -> float:
+    def current_slack(self) -> DurationS:
         return self.lag
 
     def source_count(self) -> int:

@@ -21,6 +21,7 @@ from typing import Callable
 from repro.engine.handlers import DisorderHandler
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
+from repro.streams.timebase import DurationS
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,7 +36,7 @@ class PatternMatch:
     emit_time: float
 
     @property
-    def latency(self) -> float:
+    def latency(self) -> DurationS:
         """Delay of the detection past the pattern's completion time."""
         return self.emit_time - self.second_time
 
@@ -49,7 +50,7 @@ class SequencePatternOperator:
         second_predicate: Callable[[StreamElement], bool],
         within: float,
         handler: DisorderHandler,
-        shadow_horizon: float = 0.0,
+        shadow_horizon: DurationS = 0.0,
     ) -> None:
         if within <= 0:
             raise ConfigurationError(f"within must be positive, got {within}")

@@ -16,6 +16,7 @@ from repro.engine.operator import Operator, WindowResult
 from repro.engine.windows import SessionWindowMerger, Window
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
+from repro.streams.timebase import DurationS
 
 
 class SessionAggregateOperator(Operator):
@@ -23,7 +24,7 @@ class SessionAggregateOperator(Operator):
 
     def __init__(
         self,
-        gap: float,
+        gap: DurationS,
         aggregate: AggregateFunction,
         handler: DisorderHandler,
     ) -> None:

@@ -19,7 +19,12 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
-from repro.streams.timebase import EventTimeFrontier, MonotoneFrontier
+from repro.streams.timebase import (
+    DurationS,
+    EventTimeFrontier,
+    EventTimeStamp,
+    MonotoneFrontier,
+)
 from repro.engine.handlers import Checkpoints, DisorderHandler
 
 
@@ -28,7 +33,7 @@ class FixedLagWatermarkHandler(DisorderHandler):
 
     name = "watermark-fixed"
 
-    def __init__(self, lag: float, period: float = 0.0) -> None:
+    def __init__(self, lag: DurationS, period: DurationS = 0.0) -> None:
         if lag < 0:
             raise ConfigurationError(f"lag must be non-negative, got {lag}")
         if period < 0:
@@ -70,11 +75,11 @@ class FixedLagWatermarkHandler(DisorderHandler):
         return []
 
     @property
-    def frontier(self) -> float:
+    def frontier(self) -> EventTimeStamp:
         return self._front.value
 
     @property
-    def current_slack(self) -> float:
+    def current_slack(self) -> DurationS:
         return self.lag
 
     def released_count(self) -> int:
@@ -98,7 +103,7 @@ class HeuristicWatermarkHandler(DisorderHandler):
         delay_quantile: float = 0.95,
         window_size: int = 1000,
         update_every: int = 100,
-        initial_lag: float = 0.0,
+        initial_lag: DurationS = 0.0,
     ) -> None:
         if not 0.0 <= delay_quantile <= 1.0:
             raise ConfigurationError(
@@ -148,11 +153,11 @@ class HeuristicWatermarkHandler(DisorderHandler):
         return []
 
     @property
-    def frontier(self) -> float:
+    def frontier(self) -> EventTimeStamp:
         return self._front.value
 
     @property
-    def current_slack(self) -> float:
+    def current_slack(self) -> DurationS:
         return self.lag
 
     def released_count(self) -> int:
@@ -232,7 +237,7 @@ class PerfectWatermarkHandler(DisorderHandler):
         return []
 
     @property
-    def frontier(self) -> float:
+    def frontier(self) -> EventTimeStamp:
         return self._front.value
 
     def released_count(self) -> int:

@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.streams.timebase import DurationS, EventTimeStamp
 
 
 @dataclass(frozen=True, order=True, slots=True)
@@ -29,10 +30,10 @@ class Window:
             )
 
     @property
-    def size(self) -> float:
+    def size(self) -> DurationS:
         return self.end - self.start
 
-    def contains(self, timestamp: float) -> bool:
+    def contains(self, timestamp: EventTimeStamp) -> bool:
         """Whether ``start <= timestamp < end``."""
         return self.start <= timestamp < self.end
 
@@ -44,11 +45,11 @@ class WindowAssigner(ABC):
     """Maps event timestamps to windows."""
 
     @abstractmethod
-    def assign(self, timestamp: float) -> list[Window]:
+    def assign(self, timestamp: EventTimeStamp) -> list[Window]:
         """All windows containing ``timestamp``, in ascending start order."""
 
     @abstractmethod
-    def windows_ending_in(self, start: float, end: float) -> list[Window]:
+    def windows_ending_in(self, start: EventTimeStamp, end: EventTimeStamp) -> list[Window]:
         """All windows whose end lies in ``(start, end]`` — used by oracles."""
 
     def describe(self) -> str:
@@ -64,7 +65,7 @@ class SlidingWindowAssigner(WindowAssigner):
     ``ceil(size / slide)`` windows (fewer near the stream start).
     """
 
-    def __init__(self, size: float, slide: float) -> None:
+    def __init__(self, size: DurationS, slide: DurationS) -> None:
         if size <= 0 or slide <= 0:
             raise ConfigurationError(
                 f"size and slide must be positive, got size={size}, slide={slide}"
@@ -76,7 +77,7 @@ class SlidingWindowAssigner(WindowAssigner):
         self.size = size
         self.slide = slide
 
-    def assign(self, timestamp: float) -> list[Window]:
+    def assign(self, timestamp: EventTimeStamp) -> list[Window]:
         if timestamp < 0:
             raise ConfigurationError(f"timestamp must be non-negative, got {timestamp}")
         # Window starts are i * slide.  Work in index space (one rounding per
@@ -101,7 +102,7 @@ class SlidingWindowAssigner(WindowAssigner):
         windows.reverse()
         return windows
 
-    def windows_ending_in(self, start: float, end: float) -> list[Window]:
+    def windows_ending_in(self, start: EventTimeStamp, end: EventTimeStamp) -> list[Window]:
         first_end = math.floor(start / self.slide) * self.slide + self.size
         while first_end <= start:
             first_end += self.slide
@@ -128,7 +129,7 @@ class TumblingWindowAssigner(SlidingWindowAssigner):
         return f"tumbling(size={self.size:g}s)"
 
 
-def sliding(size: float, slide: float) -> SlidingWindowAssigner:
+def sliding(size: DurationS, slide: DurationS) -> SlidingWindowAssigner:
     """Convenience constructor used by the fluent query API."""
     return SlidingWindowAssigner(size, slide)
 
@@ -148,14 +149,14 @@ class SessionWindowMerger:
     accumulator store.
     """
 
-    def __init__(self, gap: float) -> None:
+    def __init__(self, gap: DurationS) -> None:
         if gap <= 0:
             raise ConfigurationError(f"gap must be positive, got {gap}")
         self.gap = gap
         # key -> sorted list of (start, last_event_time)
         self._sessions: dict[object, list[tuple[float, float]]] = {}
 
-    def add(self, key: object, timestamp: float) -> tuple[float, float]:
+    def add(self, key: object, timestamp: EventTimeStamp) -> tuple[float, float]:
         """Fold ``timestamp`` into the sessions of ``key``.
 
         Returns the (start, last_event_time) of the session containing the
@@ -174,7 +175,7 @@ class SessionWindowMerger:
         sessions.sort()
         return (merged_start, merged_last)
 
-    def closable(self, key: object, frontier: float) -> list[tuple[float, float]]:
+    def closable(self, key: object, frontier: EventTimeStamp) -> list[tuple[float, float]]:
         """Sessions of ``key`` that can no longer grow given ``frontier``.
 
         A session is closable when ``last_event + gap <= frontier``: no

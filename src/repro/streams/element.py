@@ -47,7 +47,13 @@ class StreamElement:
             raise ConfigurationError(
                 f"event_time must be non-negative, got {self.event_time}"
             )
-        if self.arrival_time is not None and self.arrival_time < self.event_time:
+        # The one sanctioned cross-axis comparison: both axes share the
+        # simulation epoch and causality demands arrival >= event time —
+        # this check is what makes .delay non-negative by construction.
+        if (
+            self.arrival_time is not None
+            and self.arrival_time < self.event_time  # repro-lint: disable=R06
+        ):
             raise ConfigurationError(
                 "arrival_time must not precede event_time "
                 f"({self.arrival_time} < {self.event_time})"

@@ -1,0 +1,16 @@
+"""R08 fixture: duration/timestamp mixing in slack math (engine scope)."""
+
+
+class KSlackPolicy:
+    """Swapped-operand slips in the release-threshold computation."""
+
+    def __init__(self, k):
+        self.k = k
+
+    def overdue_by(self, frontier):
+        """VIOLATION: duration minus instant (operands swapped)."""
+        return self.k - frontier
+
+    def should_release(self, frontier):
+        """VIOLATION: slack duration ordered against the frontier instant."""
+        return self.k < frontier

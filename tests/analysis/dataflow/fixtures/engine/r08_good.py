@@ -1,0 +1,16 @@
+"""R08 fixture: correctly-anchored slack math (no findings)."""
+
+
+class KSlackPolicy:
+    """The canonical K-slack release computation."""
+
+    def __init__(self, k):
+        self.k = k
+
+    def release_threshold(self, frontier):
+        """Instant minus duration stays an instant: frontier - K."""
+        return frontier - self.k
+
+    def should_release(self, event_time, frontier):
+        """Instants compared on the same axis."""
+        return event_time <= frontier - self.k

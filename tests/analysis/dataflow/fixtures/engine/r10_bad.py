@@ -1,0 +1,19 @@
+"""R10 fixture: public time-typed APIs annotated with bare float."""
+
+
+class FixedLagPolicy:
+    """Time-named signatures without domain markers."""
+
+    def __init__(self, lag: float) -> None:
+        """VIOLATION: lag is a duration but annotated bare float."""
+        self.lag = lag
+
+    @property
+    def frontier(self) -> float:
+        """VIOLATION: frontier return is an event-time instant."""
+        return 0.0
+
+
+def shift(event_time: float, delay: float) -> float:
+    """VIOLATIONS: both parameters are time-typed bare floats."""
+    return event_time + delay

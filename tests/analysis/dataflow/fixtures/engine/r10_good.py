@@ -1,0 +1,26 @@
+"""R10 fixture: the same APIs carrying the timebase aliases (no findings)."""
+
+from repro.streams.timebase import DurationS, EventTimeStamp
+
+
+class FixedLagPolicy:
+    """Domain-marked signatures satisfy the rule."""
+
+    def __init__(self, lag: DurationS) -> None:
+        """The Annotated alias names the domain; mypy still sees float."""
+        self.lag = lag
+
+    @property
+    def frontier(self) -> EventTimeStamp:
+        """Marked event-time return."""
+        return 0.0
+
+
+def shift(event_time: EventTimeStamp, delay: DurationS) -> EventTimeStamp:
+    """Marked parameters and return."""
+    return event_time + delay
+
+
+def scale(value: float, factor: float) -> float:
+    """Bare float is fine for identifiers with no time-name convention."""
+    return value * factor

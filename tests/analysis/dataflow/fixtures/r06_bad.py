@@ -1,0 +1,13 @@
+"""R06 fixture: cross-domain arithmetic and comparisons (violations)."""
+
+
+class WindowPlanner:
+    """Two classic slips: instant+instant and a cross-axis ordering."""
+
+    def misplaced_midpoint(self, event_time, other_event_time):
+        """VIOLATION: adding two event-time instants."""
+        return (event_time + other_event_time) / 2.0
+
+    def compare_axes(self, event_time, arrival_time):
+        """VIOLATION: ordering event time against processing time."""
+        return event_time < arrival_time

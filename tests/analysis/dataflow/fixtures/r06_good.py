@@ -1,0 +1,21 @@
+"""R06 fixture: legitimate time arithmetic the analysis must not flag."""
+
+
+class DelayMath:
+    """Every sanctioned shape of mixing the domains."""
+
+    def delay_of(self, arrival_time, event_time):
+        """Instant - instant (even cross-axis) is a duration: the delay."""
+        return arrival_time - event_time
+
+    def shifted(self, event_time, slack):
+        """Instant + duration shifts along the same axis."""
+        return event_time + slack
+
+    def is_late(self, event_time, watermark):
+        """Ordering two event-time instants is fine."""
+        return event_time < watermark
+
+    def budget_left(self, slack, delay):
+        """Duration arithmetic stays in the duration domain."""
+        return slack - delay

@@ -1,0 +1,71 @@
+"""R07 fixture: every shape of frontier-contract violation."""
+
+
+class MonotoneFrontier:
+    """Stub of the engine's frontier store (recognized by simple name)."""
+
+    def __init__(self):
+        self._value = float("-inf")
+
+    @property
+    def value(self):
+        """Current frontier."""
+        return self._value
+
+    def advance(self, candidate):
+        """Clamped advance."""
+        if candidate > self._value:
+            self._value = candidate
+        return self._value
+
+
+class DisorderHandler:
+    """Stub of the engine ABC so the fixture set is self-contained."""
+
+
+class ClockAdvancingHandler(DisorderHandler):
+    """VIOLATION: advances the frontier from a processing-time value."""
+
+    def __init__(self):
+        self._front = MonotoneFrontier()
+
+    def offer(self, element):
+        """Feeds the arrival clock into an event-time frontier."""
+        self._front.advance(element.arrival_time)
+        return [element]
+
+
+class RebindingHandler(DisorderHandler):
+    """VIOLATION: replaces its frontier store outside __init__."""
+
+    def __init__(self):
+        self._front = MonotoneFrontier()
+
+    def flush(self):
+        """Resetting the store forgets its monotonicity history."""
+        self._front = MonotoneFrontier()
+        return []
+
+
+class RawWriteHandler(DisorderHandler):
+    """VIOLATION: writes the store's internal field directly."""
+
+    def __init__(self):
+        self._front = MonotoneFrontier()
+
+    def offer(self, element):
+        """Bypasses the advance clamp entirely."""
+        self._front._value = element.event_time
+        return [element]
+
+
+class ArrivalFrontierHandler(DisorderHandler):
+    """VIOLATION: frontier property reports a processing-time value."""
+
+    def __init__(self):
+        self._last_arrival = 0.0
+
+    @property
+    def frontier(self):
+        """Claims an event-time contract but returns arrival time."""
+        return self._last_arrival

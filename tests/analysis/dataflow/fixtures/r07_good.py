@@ -1,0 +1,51 @@
+"""R07 fixture: a contract-conforming handler the analysis must not flag."""
+
+
+class MonotoneFrontier:
+    """Stub of the engine's frontier store (recognized by simple name)."""
+
+    def __init__(self):
+        self._value = float("-inf")
+
+    @property
+    def value(self):
+        """Current frontier."""
+        return self._value
+
+    def advance(self, candidate):
+        """Clamped advance."""
+        if candidate > self._value:
+            self._value = candidate
+        return self._value
+
+    def close(self):
+        """End of stream."""
+        self._value = float("inf")
+        return self._value
+
+
+class DisorderHandler:
+    """Stub of the engine ABC so the fixture set is self-contained."""
+
+
+class ConformingHandler(DisorderHandler):
+    """Advances only through the store, only from event-time values."""
+
+    def __init__(self, k):
+        self.k = k
+        self._front = MonotoneFrontier()
+
+    def offer(self, element):
+        """Shifts the element's event time by the slack duration."""
+        self._front.advance(element.event_time - self.k)
+        return [element]
+
+    def flush(self):
+        """Closes via the sanctioned method instead of a raw write."""
+        self._front.close()
+        return []
+
+    @property
+    def frontier(self):
+        """Reports the store's event-time value."""
+        return self._front.value

@@ -1,0 +1,21 @@
+"""R09 fixture: RunMetrics fields assigned values from the wrong domain."""
+
+
+class RunMetrics:
+    """Stub of the engine's metrics record (recognized by simple name)."""
+
+    n_elements: int = 0
+    wall_time_s: float = 0.0
+
+
+def capture(event_time):
+    """VIOLATIONS: an event-time instant lands in duration/count fields."""
+    metrics = RunMetrics()
+    metrics.wall_time_s = event_time
+    metrics.n_elements = event_time
+    return metrics
+
+
+def capture_ctor(frontier):
+    """VIOLATION: event-time instant passed as the wall-time duration."""
+    return RunMetrics(wall_time_s=frontier)

@@ -1,0 +1,16 @@
+"""R09 fixture: domain-consistent RunMetrics usage (no findings)."""
+
+
+class RunMetrics:
+    """Stub of the engine's metrics record (recognized by simple name)."""
+
+    n_elements: int = 0
+    wall_time_s: float = 0.0
+
+
+def capture(first_arrival, last_arrival, n_elements):
+    """Durations into duration fields, counts into count fields."""
+    metrics = RunMetrics()
+    metrics.wall_time_s = last_arrival - first_arrival
+    metrics.n_elements = n_elements
+    return metrics

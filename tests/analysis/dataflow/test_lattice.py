@@ -1,0 +1,196 @@
+"""Unit tests for the time-domain lattice and the inference machinery."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.dataflow import analyse
+from repro.analysis.dataflow.lattice import (
+    Domain,
+    Violation,
+    add,
+    compare,
+    domain_of_name,
+    join,
+    join_all,
+    sub,
+)
+from repro.analysis.lint.model import Project, SourceFile
+
+
+def project_of(text: str, path: str = "engine/mod.py", tmp_path=None) -> Project:
+    """Build a one-file project from inline source."""
+    file = tmp_path / path
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(text, encoding="utf-8")
+    return Project([SourceFile.load(file, root=tmp_path)])
+
+
+# --------------------------------------------------------------------- #
+# lattice algebra
+
+
+def test_join_is_flat_with_top_conflicts():
+    assert join(Domain.BOTTOM, Domain.EVENT_TIME) is Domain.EVENT_TIME
+    assert join(Domain.EVENT_TIME, Domain.EVENT_TIME) is Domain.EVENT_TIME
+    assert join(Domain.EVENT_TIME, Domain.PROC_TIME) is Domain.TOP
+    assert join_all([]) is Domain.BOTTOM
+    assert join_all([Domain.DURATION, Domain.BOTTOM]) is Domain.DURATION
+
+
+def test_add_transfer_function():
+    domain, violation = add(Domain.EVENT_TIME, Domain.DURATION)
+    assert domain is Domain.EVENT_TIME and violation is None
+    domain, violation = add(Domain.EVENT_TIME, Domain.EVENT_TIME)
+    assert violation is Violation.INSTANT_PLUS_INSTANT
+    domain, violation = add(Domain.EVENT_TIME, Domain.PROC_TIME)
+    assert violation is Violation.INSTANT_PLUS_INSTANT
+    # Unknown operands never flag.
+    assert add(Domain.BOTTOM, Domain.EVENT_TIME)[1] is None
+    assert add(Domain.TOP, Domain.EVENT_TIME)[1] is None
+
+
+def test_sub_transfer_function():
+    # Cross-axis instant subtraction IS the delay — allowed, a duration.
+    domain, violation = sub(Domain.PROC_TIME, Domain.EVENT_TIME)
+    assert domain is Domain.DURATION and violation is None
+    domain, violation = sub(Domain.EVENT_TIME, Domain.DURATION)
+    assert domain is Domain.EVENT_TIME and violation is None
+    _, violation = sub(Domain.DURATION, Domain.EVENT_TIME)
+    assert violation is Violation.DURATION_VS_INSTANT
+
+
+def test_compare_transfer_function():
+    assert compare(Domain.EVENT_TIME, Domain.EVENT_TIME) is None
+    assert (
+        compare(Domain.EVENT_TIME, Domain.PROC_TIME)
+        is Violation.CROSS_AXIS_COMPARE
+    )
+    assert (
+        compare(Domain.DURATION, Domain.EVENT_TIME)
+        is Violation.DURATION_VS_INSTANT
+    )
+    assert compare(Domain.BOTTOM, Domain.EVENT_TIME) is None
+    assert compare(Domain.COUNT, Domain.EVENT_TIME) is None
+
+
+def test_naming_conventions():
+    assert domain_of_name("event_time") is Domain.EVENT_TIME
+    assert domain_of_name("_close_frontier") is Domain.EVENT_TIME
+    assert domain_of_name("arrival_time") is Domain.PROC_TIME
+    assert domain_of_name("slack") is Domain.DURATION
+    assert domain_of_name("window_size") is Domain.DURATION
+    assert domain_of_name("released_count") is Domain.COUNT
+    assert domain_of_name("payload") is Domain.BOTTOM
+
+
+# --------------------------------------------------------------------- #
+# propagation: evidence must flow across function boundaries
+
+
+def test_domains_propagate_through_calls(tmp_path):
+    project = project_of(
+        """
+def source(element):
+    shifted = element.event_time
+    return consume(shifted)
+
+def consume(position):
+    return position
+""",
+        tmp_path=tmp_path,
+    )
+    result = analyse(project)
+    consume = next(
+        f for f in result.table.functions.values() if f.simple_name == "consume"
+    )
+    # 'position' has no naming convention; its domain arrives from the
+    # call site and its return feeds back.
+    assert consume.param_domains["position"] is Domain.EVENT_TIME
+    assert consume.return_domain is Domain.EVENT_TIME
+
+
+def test_annotation_markers_beat_naming_conventions(tmp_path):
+    project = project_of(
+        """
+from typing import Annotated
+
+class Duration:
+    pass
+
+def hold(frontier: Annotated[float, Duration]):
+    return frontier
+""",
+        tmp_path=tmp_path,
+    )
+    result = analyse(project)
+    hold = next(
+        f for f in result.table.functions.values() if f.simple_name == "hold"
+    )
+    # The explicit marker overrides the 'frontier' naming convention.
+    assert hold.param_domains["frontier"] is Domain.DURATION
+
+
+def test_attribute_domains_seed_from_init(tmp_path):
+    project = project_of(
+        """
+class Tracker:
+    def __init__(self, element):
+        self._latest = element.event_time
+
+    def read(self):
+        return self._latest
+""",
+        tmp_path=tmp_path,
+    )
+    result = analyse(project)
+    tracker = result.table.classes["Tracker"]
+    # '_latest' has no convention; the domain comes from the assignment.
+    assert tracker.attr_domains["_latest"] is Domain.EVENT_TIME
+
+
+def test_call_graph_records_resolved_edges(tmp_path):
+    project = project_of(
+        """
+def outer():
+    return inner()
+
+def inner():
+    return 1
+""",
+        tmp_path=tmp_path,
+    )
+    result = analyse(project)
+    (outer_qual,) = [
+        q for q in result.table.functions if q.endswith(":outer")
+    ]
+    (inner_qual,) = [
+        q for q in result.table.functions if q.endswith(":inner")
+    ]
+    assert inner_qual in result.graph.callees(outer_qual)
+    assert inner_qual in result.graph.reachable_from(outer_qual)
+
+
+def test_analysis_converges_and_reports_rounds(tmp_path):
+    project = project_of("def noop():\n    return None\n", tmp_path=tmp_path)
+    result = analyse(project)
+    assert 1 <= result.rounds <= 10
+
+
+def test_scaling_arithmetic_never_flags(tmp_path):
+    # index * slide is window-index math; multiplication must stay silent
+    # even though the operands cross domains.
+    project = project_of(
+        """
+class Assigner:
+    def __init__(self, slide):
+        self.slide = slide
+
+    def start_of(self, index):
+        return index * self.slide
+""",
+        tmp_path=tmp_path,
+    )
+    result = analyse(project)
+    assert result.violations == []

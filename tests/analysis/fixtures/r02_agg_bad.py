@@ -1,0 +1,45 @@
+"""R02 fixture: scalar/batched parity violations on aggregate functions."""
+
+from abc import ABC, abstractmethod
+
+
+class AggregateFunction(ABC):
+    """Stub of the engine ABC so the fixture set is self-contained."""
+
+    @abstractmethod
+    def add(self, accumulator, value):
+        """Scalar entry point."""
+
+    def add_many(self, accumulator, values):
+        """Generic loop over :meth:`add` (safe to inherit)."""
+        for value in values:
+            accumulator = self.add(accumulator, value)
+        return accumulator
+
+
+class VectorizedBase(AggregateFunction):
+    """A concrete aggregate with its own bulk fold (both methods, fine)."""
+
+    def add(self, accumulator, value):
+        """Scalar fold."""
+        return accumulator + value
+
+    def add_many(self, accumulator, values):
+        """Vectorized fold replaying this class's scalar semantics."""
+        return accumulator + sum(values)
+
+
+class BatchedOnlySum(AggregateFunction):
+    """VIOLATION: overrides the batched fold but not the scalar one."""
+
+    def add_many(self, accumulator, values):
+        """Bulk fold with no matching scalar override."""
+        return accumulator + sum(values)
+
+
+class ScalarOverrideAggregate(VectorizedBase):
+    """VIOLATION: scalar override inherits the ancestor's specialized bulk fold."""
+
+    def add(self, accumulator, value):
+        """Changed scalar semantics the inherited add_many never sees."""
+        return accumulator + value * value

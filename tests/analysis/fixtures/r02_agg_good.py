@@ -1,0 +1,37 @@
+"""R02 fixture: parity-preserving aggregate functions (no findings)."""
+
+from abc import ABC, abstractmethod
+
+
+class AggregateFunction(ABC):
+    """Stub of the engine ABC so the fixture set is self-contained."""
+
+    @abstractmethod
+    def add(self, accumulator, value):
+        """Scalar entry point."""
+
+    def add_many(self, accumulator, values):
+        """Generic loop over :meth:`add` (safe to inherit)."""
+        for value in values:
+            accumulator = self.add(accumulator, value)
+        return accumulator
+
+
+class ScalarOnlyCount(AggregateFunction):
+    """Only the scalar fold: inheriting the abstract base's loop is safe."""
+
+    def add(self, accumulator, value):
+        """Count one element."""
+        return accumulator + 1
+
+
+class PairedSum(AggregateFunction):
+    """Both folds evolve together."""
+
+    def add(self, accumulator, value):
+        """Scalar fold."""
+        return accumulator + value
+
+    def add_many(self, accumulator, values):
+        """Vectorized fold, exactly equivalent to looping :meth:`add`."""
+        return accumulator + sum(values)

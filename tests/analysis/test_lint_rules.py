@@ -58,6 +58,23 @@ def test_r02_accepts_parity_preserving_classes():
     assert findings_for("r02_good.py", "R02") == []
 
 
+def test_r02_covers_aggregate_functions():
+    findings = findings_for("r02_agg_bad.py", "R02")
+    assert {f.rule for f in findings} == {"R02"}
+    messages = sorted(f.message for f in findings)
+    assert len(findings) == 2
+    assert any(
+        "BatchedOnlySum" in m and "without overriding" in m for m in messages
+    )
+    assert any(
+        "ScalarOverrideAggregate" in m and "specialized" in m for m in messages
+    )
+
+
+def test_r02_accepts_parity_preserving_aggregates():
+    assert findings_for("r02_agg_good.py", "R02") == []
+
+
 # --------------------------------------------------------------------- #
 # R03 — float timestamp equality
 
@@ -147,11 +164,16 @@ def test_cli_exit_codes(capsys):
     assert "R01" in out.out
 
 
-def test_fixture_directory_lints_with_findings_from_every_rule():
+def test_fixture_directory_lints_with_findings_from_every_core_rule():
     findings = run_lint([FIXTURES])
-    assert {f.rule for f in findings} == {"R01", "R02", "R03", "R04", "R05"}
+    # The dataflow rules (R06-R10) may legitimately fire on these fixtures
+    # too (they share the engine/ scoping); the core rules must all fire.
+    assert {f.rule for f in findings} >= {"R01", "R02", "R03", "R04", "R05"}
 
 
 def test_source_tree_is_lint_clean():
+    # No baseline applied: src/ must be clean under the FULL rule catalog,
+    # R06-R10 included.  Grandfathering new debt requires an explicit
+    # analysis/baseline.json entry and a justification in the PR.
     repo_root = Path(__file__).resolve().parents[2]
     assert run_lint([repo_root / "src"]) == []
