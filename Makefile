@@ -3,10 +3,12 @@
 
 PY ?= python
 
-.PHONY: install test lint lint-sarif baseline sanitize typecheck bench bench-quick experiments examples artifacts clean
+.PHONY: install test lint lint-sarif baseline sanitize typecheck docs docs-check linkcheck bench bench-quick experiments examples artifacts clean
 
+# Editable install; --no-build-isolation keeps it working offline (the
+# deprecated `setup.py develop` path is gone).
 install:
-	$(PY) setup.py develop
+	$(PY) -m pip install -e . --no-build-isolation
 
 test:
 	$(PY) -m pytest tests/
@@ -53,6 +55,18 @@ typecheck:
 	else \
 		echo "mypy not installed; skipping (pip install -e '.[lint]')"; \
 	fi
+
+# Regenerate the auto-generated API reference (docs/API.md) from the
+# source tree; `docs-check` is the CI staleness gate, `linkcheck`
+# validates relative links and anchors across README.md and docs/*.md.
+docs:
+	$(PY) -m repro.docs
+
+docs-check:
+	$(PY) -m repro.docs --check
+
+linkcheck:
+	$(PY) -m repro.docs --check-links
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

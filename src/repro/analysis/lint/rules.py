@@ -372,7 +372,7 @@ class MetricsRegistryRule(Rule):
     """R05 — RunMetrics fields must be declared before use.
 
     :class:`repro.engine.metrics.RunMetrics` is a plain (non-slotted)
-    dataclass, so assigning a misspelled field silently creates a new
+    class, so assigning a misspelled field silently creates a new
     attribute and the intended metric stays at its default — a wrong
     number in an experiment table, not an error.  The rule tracks local
     names bound to ``RunMetrics(...)`` (or annotated as ``RunMetrics``)
@@ -466,16 +466,17 @@ class MetricsRegistryRule(Rule):
                                     declared.add(target.id)
         if not declared:
             # Linting a fileset that does not contain metrics.py (e.g. the
-            # test fixtures): fall back to the installed class.
+            # test fixtures): fall back to the installed class.  RunMetrics
+            # is a plain class (a registry view), so dir() — which sees its
+            # properties, methods and class-body annotations — is the
+            # registry of record.
             try:
-                import dataclasses
-
                 from repro.engine.metrics import RunMetrics
 
-                declared = {f.name for f in dataclasses.fields(RunMetrics)}
-                declared |= {
+                declared = {
                     name for name in dir(RunMetrics) if not name.startswith("__")
                 }
+                declared |= set(getattr(RunMetrics, "__annotations__", ()))
             except Exception:  # pragma: no cover - repro always importable here
                 return set()
         return declared

@@ -54,6 +54,7 @@ from typing import Any, Iterable
 from repro.engine.handlers import Checkpoints, DisorderHandler
 from repro.engine.operator import Operator, WindowResult
 from repro.errors import ConfigurationError, SanitizerError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.streams.element import StreamElement
 
 #: Tolerance of the latency-consistency check: latencies are computed as
@@ -148,10 +149,17 @@ class SanitizingHandler(DisorderHandler):
             type(inner).buffered_count is not DisorderHandler.buffered_count
         )
 
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer to the proxy and the wrapped handler."""
+        self.tracer = tracer
+        self.inner.set_tracer(tracer)
+
     # ------------------------------------------------------------------ #
     # checks
 
     def _fail(self, check: str, message: str) -> None:
+        if self.tracer.enabled:
+            self.tracer.sanitizer_finding(self._last_arrival_time, check, message)
         raise SanitizerError(
             f"StreamSan[{check}] on {self.inner.describe()}: {message}"
         )
@@ -509,6 +517,9 @@ class SanitizingOperator(Operator):
     pipeline's instrumentation; any other attribute falls through.
     """
 
+    #: Attached tracer; a class attribute so reads never hit ``__getattr__``.
+    tracer: Tracer = NULL_TRACER
+
     def __init__(
         self, inner: Operator, config: SanitizerConfig | None = None
     ) -> None:
@@ -529,10 +540,24 @@ class SanitizingOperator(Operator):
         self._last_emit_time = float("-inf")
         self._chunks_processed = 0
 
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer to the proxy and the wrapped operator.
+
+        The wrapped operator forwards to its handler attribute — which the
+        constructor swapped for the :class:`SanitizingHandler`, so handler
+        findings and engine trace records all land in the same trace.
+        """
+        self.tracer = tracer
+        set_inner_tracer = getattr(self.inner, "set_tracer", None)
+        if set_inner_tracer is not None:
+            set_inner_tracer(tracer)
+
     # ------------------------------------------------------------------ #
     # checks
 
     def _fail(self, check: str, message: str) -> None:
+        if self.tracer.enabled:
+            self.tracer.sanitizer_finding(self._last_emit_time, check, message)
         raise SanitizerError(f"StreamSan[{check}]: {message}")
 
     def _check_results(

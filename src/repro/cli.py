@@ -124,7 +124,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         query = query.without_buffering()
 
-    run = query.run(assess=not args.no_assess)
+    recorder = None
+    if args.trace_out or args.trace_chrome:
+        from repro.obs.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+    run = query.run(assess=not args.no_assess, trace=recorder)
     print(f"elements  : {run.output.metrics.n_elements}")
     print(f"results   : {run.output.metrics.n_results}")
     print(f"latency   : mean {run.latency.mean:.3f}s  p95 {run.latency.p95:.3f}s")
@@ -134,6 +139,20 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"quality   : mean error {run.report.mean_error:.5f}  "
             f"p95 {run.report.p95_error:.5f}  recall {run.report.window_recall:.1%}"
         )
+    if recorder is not None:
+        if args.trace_out:
+            from repro.obs.export import write_jsonl
+
+            count = write_jsonl(recorder.events, args.trace_out)
+            print(f"trace     : {count} events -> {args.trace_out}")
+        if args.trace_chrome:
+            from repro.obs.export import write_chrome_trace
+
+            count = write_chrome_trace(recorder, args.trace_chrome)
+            print(
+                f"trace     : {count} Chrome entries -> {args.trace_chrome} "
+                "(open at https://ui.perfetto.dev)"
+            )
     if args.show_results:
         for result in run.results[: args.show_results]:
             print(
@@ -156,7 +175,12 @@ def cmd_query(args: argparse.Namespace) -> int:
     query = parse_query(args.sql).from_elements(stream)
     if args.sliced:
         query = query.sliced()
-    run = query.run(assess=not args.no_assess)
+    recorder = None
+    if args.trace_out:
+        from repro.obs.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+    run = query.run(assess=not args.no_assess, trace=recorder)
     print(f"elements  : {run.output.metrics.n_elements}")
     print(f"results   : {run.output.metrics.n_results}")
     print(f"latency   : mean {run.latency.mean:.3f}s  p95 {run.latency.p95:.3f}s")
@@ -166,6 +190,11 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"quality   : mean error {run.report.mean_error:.5f}  "
             f"recall {run.report.window_recall:.1%}"
         )
+    if recorder is not None:
+        from repro.obs.export import write_jsonl
+
+        count = write_jsonl(recorder.events, args.trace_out)
+        print(f"trace     : {count} events -> {args.trace_out}")
     return 0
 
 
@@ -221,6 +250,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--show-results", type=int, default=0, metavar="N", help="print first N rows"
     )
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record a structured trace and write it as JSONL "
+        "(inspect with `python -m repro.obs report`)",
+    )
+    run.add_argument(
+        "--trace-chrome",
+        default=None,
+        metavar="PATH",
+        help="record a structured trace and write Chrome trace_event JSON "
+        "(open at https://ui.perfetto.dev)",
+    )
     run.set_defaults(handler=cmd_run)
 
     sql = commands.add_parser(
@@ -234,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sql.add_argument("--sliced", action="store_true", help="sliced execution")
     sql.add_argument("--no-assess", action="store_true", help="skip the oracle")
+    sql.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record a structured trace and write it as JSONL",
+    )
     sql.set_defaults(handler=cmd_query)
 
     experiment = commands.add_parser("experiment", help="run evaluation experiments")

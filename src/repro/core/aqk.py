@@ -248,6 +248,7 @@ class AQKSlackHandler(DisorderHandler):
         self._run_adaptation(arrival_time)
 
     def _run_adaptation(self, arrival_time: float) -> None:
+        k_before = self.k
         if isinstance(self.target, QualityTarget):
             self._adapt_quality(arrival_time, self.target.threshold)
         elif isinstance(self.target, BoundedQualityTarget):
@@ -264,6 +265,20 @@ class AQKSlackHandler(DisorderHandler):
                 )
         else:
             self._adapt_budget(arrival_time, self.target.seconds)
+        if self.tracer.enabled:
+            record = self.adaptations[-1]
+            state = self.controller.state() if self.controller is not None else {}
+            self.tracer.adaptation(
+                arrival_time,
+                k_before=k_before,
+                k_after=record.k_applied,
+                k_estimate=record.k_estimate,
+                allowed_late_fraction=record.allowed_late_fraction,
+                error_ewma=record.observed_error_ewma,
+                gain=record.controller_gain,
+                residual=state.get("residual"),
+                target=self.target.describe(),
+            )
 
     # ------------------------------------------------------------------ #
     # DisorderHandler protocol

@@ -99,6 +99,7 @@ class PIController(SlackController):
         self.gain = 1.0
         self._error_ewma: float | None = None
         self.samples_seen = 0
+        self.last_residual = 0.0
 
     def observe_error(self, error: float) -> None:
         if error < 0:
@@ -118,6 +119,7 @@ class PIController(SlackController):
 
     def adjust(self, k_estimate: DurationS) -> float:
         residual = self._residual()
+        self.last_residual = residual
         self.gain *= math.exp(self.ki * residual)
         self.gain = max(self.gain_min, min(self.gain_max, self.gain))
         proportional = math.exp(self.kp * residual)
@@ -128,6 +130,7 @@ class PIController(SlackController):
             "gain": self.gain,
             "error_ewma": self._error_ewma,
             "samples": self.samples_seen,
+            "residual": self.last_residual,
         }
 
 

@@ -1,0 +1,25 @@
+"""Documentation tooling: API-reference generation and link checking.
+
+Stdlib-only (``ast`` + ``re``), import-free over the code it documents:
+the generator parses the source tree rather than importing it, so the
+output is byte-identical across interpreter versions and ``--check`` can
+gate staleness with a string comparison.  Entry point::
+
+    python -m repro.docs               # regenerate docs/API.md
+    python -m repro.docs --check       # exit 1 if docs/API.md is stale
+    python -m repro.docs --check-links # validate Markdown links/anchors
+"""
+
+from repro.docs.generator import (
+    GENERATED_BANNER,
+    generate_api_markdown,
+    iter_source_modules,
+)
+from repro.docs.linkcheck import check_links
+
+__all__ = [
+    "GENERATED_BANNER",
+    "check_links",
+    "generate_api_markdown",
+    "iter_source_modules",
+]

@@ -1,0 +1,94 @@
+"""CLI for the documentation tooling: ``python -m repro.docs``.
+
+With no flags, regenerates ``docs/API.md`` from the source tree.  With
+``--check``, compares the would-be output against the committed file and
+exits 1 on drift (the CI staleness gate).  With ``--check-links``,
+validates relative links and heading anchors across ``README.md`` and
+``docs/*.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+from pathlib import Path
+
+from repro.docs.generator import generate_api_markdown
+from repro.docs.linkcheck import check_links
+
+
+def _docs_targets(root: Path) -> list[Path]:
+    targets = [root / "README.md"]
+    targets.extend(sorted((root / "docs").glob("*.md")))
+    return [target for target in targets if target.exists()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.docs``; returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.docs",
+        description="Generate docs/API.md and check documentation health.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="repository root (must contain src/repro; default: cwd)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed docs/API.md instead of writing",
+    )
+    parser.add_argument(
+        "--check-links",
+        action="store_true",
+        help="validate Markdown links in README.md and docs/*.md",
+    )
+    args = parser.parse_args(argv)
+
+    root: Path = args.root
+    src_root = root / "src"
+    if not (src_root / "repro").is_dir():
+        print(f"error: {src_root}/repro not found; pass --root", file=sys.stderr)
+        return 2
+
+    if args.check_links:
+        problems = check_links(_docs_targets(root))
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if problems:
+            print(f"{len(problems)} broken link(s)", file=sys.stderr)
+            return 1
+        print(f"links ok across {len(_docs_targets(root))} documents")
+        return 0
+
+    generated = generate_api_markdown(src_root)
+    api_path = root / "docs" / "API.md"
+    if args.check:
+        current = api_path.read_text(encoding="utf-8") if api_path.exists() else ""
+        if current == generated:
+            print("docs/API.md is up to date")
+            return 0
+        diff = difflib.unified_diff(
+            current.splitlines(keepends=True),
+            generated.splitlines(keepends=True),
+            fromfile="docs/API.md (committed)",
+            tofile="docs/API.md (generated)",
+        )
+        sys.stderr.writelines(diff)
+        print(
+            "docs/API.md is stale; regenerate with `python -m repro.docs`",
+            file=sys.stderr,
+        )
+        return 1
+
+    api_path.parent.mkdir(parents=True, exist_ok=True)
+    api_path.write_text(generated, encoding="utf-8")
+    print(f"wrote {api_path} ({len(generated.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Markdown link checking for the repository documentation.
+
+Validates every inline link in the given Markdown files: relative links
+must point at files that exist, and fragment links (``#section`` — on
+their own or after a ``.md`` path) must match a heading slug in the
+target document.  External ``http(s)``/``mailto`` links are not fetched —
+CI runs offline — only well-formedness is assumed.  Links inside fenced
+code blocks are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+_LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE_PATTERN = re.compile(r"^(```|~~~)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = heading.strip().lower()
+    text = text.replace("`", "")
+    # Markdown emphasis/links contribute their text only.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = re.sub(r"[*_]", "", text)
+    text = re.sub(r"[^0-9a-zÀ-￿\s-]", "", text)
+    return re.sub(r"\s", "-", text)
+
+
+def _heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs a Markdown document exposes (with dedup suffixes)."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_PATTERN.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        heading = line.lstrip("#").strip()
+        slug = _slugify(heading)
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
+def _iter_links(path: Path) -> list[tuple[int, str]]:
+    """``(line_number, target)`` for every inline link outside code fences."""
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE_PATTERN.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Inline code spans may show link syntax as an example.
+        visible = re.sub(r"`[^`]*`", "", line)
+        for match in _LINK_PATTERN.finditer(visible):
+            links.append((number, match.group(1)))
+    return links
+
+
+def check_links(paths: list[Path]) -> list[str]:
+    """Validate Markdown links; returns human-readable problem strings.
+
+    An empty list means every relative link resolved and every fragment
+    matched a heading in its target document.
+    """
+    problems: list[str] = []
+    for path in paths:
+        for line_number, target in _iter_links(path):
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            location = f"{path}:{line_number}"
+            file_part, _, fragment = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{location}: broken link {target!r} "
+                        f"({resolved} does not exist)"
+                    )
+                    continue
+            else:
+                resolved = path.resolve()
+            if fragment and resolved.suffix == ".md":
+                if fragment not in _heading_slugs(resolved):
+                    problems.append(
+                        f"{location}: broken anchor {target!r} "
+                        f"(no heading '#{fragment}' in {resolved.name})"
+                    )
+    return problems

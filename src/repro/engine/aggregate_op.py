@@ -36,6 +36,7 @@ from repro.engine.handlers import DisorderHandler
 from repro.engine.operator import Operator, WindowResult
 from repro.engine.windows import SlidingWindowAssigner, Window, WindowAssigner
 from repro.errors import ConfigurationError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.streams.element import StreamElement
 from repro.streams.timebase import EventTimeStamp
 
@@ -148,6 +149,10 @@ class OperatorStats:
 class WindowAggregateOperator(Operator):
     """Sliding/tumbling window aggregation under a disorder handler."""
 
+    #: Attached tracer (see :mod:`repro.obs.trace`); the shared null tracer
+    #: keeps instrumented paths at one attribute check when tracing is off.
+    tracer: Tracer = NULL_TRACER
+
     def __init__(
         self,
         assigner: WindowAssigner,
@@ -182,9 +187,24 @@ class WindowAggregateOperator(Operator):
         self._last_arrival = 0.0
 
     # ------------------------------------------------------------------ #
+    # tracing
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer to this operator and its disorder handler."""
+        self.tracer = tracer
+        set_handler_tracer = getattr(self.handler, "set_tracer", None)
+        if set_handler_tracer is not None:
+            set_handler_tracer(tracer)
+
+    # ------------------------------------------------------------------ #
     # ingestion
 
     def _ingest(self, element: StreamElement) -> None:
+        tracer = self.tracer
+        if tracer.enabled and tracer.detail:
+            tracer.element_admitted(
+                self._last_arrival, element.event_time, element.key
+            )
         for window in self.assigner.assign(element.event_time):
             slot = (element.key, window)
             if window.end <= self._close_frontier:
@@ -200,6 +220,10 @@ class WindowAggregateOperator(Operator):
                     self._open_heap,
                     (window.end, self._heap_seq, element.key, window),
                 )
+                if tracer.enabled:
+                    tracer.window_open(
+                        self._last_arrival, element.key, window.start, window.end
+                    )
             self.aggregate.add(accumulator, element.value)
             self._open_counts[slot] += 1
 
@@ -210,6 +234,10 @@ class WindowAggregateOperator(Operator):
         window: Window,
     ) -> None:
         self.stats.late_dropped += 1
+        if self.tracer.enabled:
+            self.tracer.late_drop(
+                self._last_arrival, element.key, element.event_time, window.end
+            )
         if not self.track_feedback:
             return
         record = self._closed.get(slot)
@@ -240,6 +268,7 @@ class WindowAggregateOperator(Operator):
         self, frontier: float, emit_time: float, flushed: bool = False
     ) -> list[WindowResult]:
         results = []
+        tracing = self.tracer.enabled
         while self._open_heap and self._open_heap[0][0] <= frontier:
             end, __, key, window = heapq.heappop(self._open_heap)
             slot = (key, window)
@@ -259,6 +288,17 @@ class WindowAggregateOperator(Operator):
                     flushed=flushed,
                 )
             )
+            if tracing:
+                self.tracer.window_close(
+                    emit_time,
+                    key,
+                    window.start,
+                    end,
+                    value,
+                    count,
+                    emit_time - end,
+                    flushed,
+                )
             if self.track_feedback:
                 self._closed[slot] = _ClosedRecord(
                     accumulator=accumulator,
@@ -281,6 +321,7 @@ class WindowAggregateOperator(Operator):
         if not heap or not heap[0][0] <= retire_before:
             return
         closed = self._closed
+        tracing = self.tracer.enabled
         while heap and heap[0][0] <= retire_before:
             __, __, slot = heapq.heappop(heap)
             record = closed.pop(slot, None)
@@ -289,6 +330,18 @@ class WindowAggregateOperator(Operator):
             corrected = self.aggregate.result(record.accumulator)
             error = relative_error(record.emitted_value, corrected)
             self.stats.observed_errors.append(error)
+            if tracing:
+                key, window = slot
+                self.tracer.window_retire(
+                    self._last_arrival,
+                    key,
+                    window.start,
+                    record.end,
+                    record.emitted_value,
+                    corrected,
+                    error,
+                    record.late_updates,
+                )
             self.handler.observe_error(error)
 
     # ------------------------------------------------------------------ #
@@ -303,6 +356,10 @@ class WindowAggregateOperator(Operator):
         for out in released:
             self._ingest(out)
         frontier = self.handler.frontier
+        if self.tracer.enabled:
+            self.tracer.frontier_advance(
+                emit_time, frontier, self.handler.buffered_count()
+            )
         results = self._close_windows(frontier, emit_time)
         self._retire_records(frontier)
         return results
@@ -329,6 +386,8 @@ class WindowAggregateOperator(Operator):
         closed_heap = self._closed_heap
         track = self.track_feedback
         horizon = self.feedback_horizon
+        tracer = self.tracer
+        tracing = tracer.enabled
         results: list[WindowResult] = []
         last_arrival = self._last_arrival
 
@@ -368,6 +427,8 @@ class WindowAggregateOperator(Operator):
                 if not grouped:
                     self._ingest(out)
                     continue
+                if tracing and tracer.detail:
+                    tracer.element_admitted(last_arrival, out.event_time, out.key)
                 windows = assign(out.event_time)
                 group_key = (out.key, id(windows))
                 group = get_group(group_key)
@@ -388,6 +449,10 @@ class WindowAggregateOperator(Operator):
                                 open_heap,
                                 (window.end, self._heap_seq, out.key, window),
                             )
+                            if tracing:
+                                tracer.window_open(
+                                    last_arrival, out.key, window.start, window.end
+                                )
                     # Keep a reference to the cached list itself: the group
                     # key uses id(windows), which must stay un-recyclable
                     # for as long as the group exists.
@@ -396,6 +461,10 @@ class WindowAggregateOperator(Operator):
                 if group[2]:
                     for window in group[2]:
                         self._record_late((out.key, window), out, window)
+            if tracing:
+                tracer.frontier_advance(
+                    last_arrival, frontier, self.handler.buffered_count()
+                )
             if frontier > self._close_frontier:
                 if open_heap and open_heap[0][0] <= frontier:
                     flush_groups()

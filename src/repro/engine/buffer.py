@@ -19,11 +19,24 @@ from __future__ import annotations
 
 import heapq
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.streams.element import StreamElement
 
 
 class SortingBuffer:
-    """Min-heap of stream elements ordered by (event_time, seq)."""
+    """Min-heap of stream elements ordered by (event_time, seq).
+
+    When a :class:`~repro.obs.trace.Tracer` is attached (handlers propagate
+    theirs via ``set_tracer``), pushes, releases and the end-of-stream drain
+    emit ``buffer.*`` trace records.  Buffer records are stamped with the
+    **event-time** threshold of the operation (the buffer sits below the
+    arrival clock and never sees arrival timestamps); the trace schema
+    documents this domain caveat.
+    """
+
+    #: Attached tracer; the shared null tracer keeps the hot path at one
+    #: attribute check when tracing is off.
+    tracer: Tracer = NULL_TRACER
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, StreamElement]] = []
@@ -48,6 +61,8 @@ class SortingBuffer:
         heapq.heappush(self._heap, (element.event_time, element.seq, element))
         if len(self._heap) > self._max_size:
             self._max_size = len(self._heap)
+        if self.tracer.enabled:
+            self.tracer.buffer_push(element.event_time, 1, len(self._heap))
 
     def push_many(self, elements: list[StreamElement]) -> None:
         """Insert a batch of elements.
@@ -67,6 +82,10 @@ class SortingBuffer:
                 push(heap, (element.event_time, element.seq, element))
         if len(heap) > self._max_size:
             self._max_size = len(heap)
+        if elements and self.tracer.enabled:
+            self.tracer.buffer_push(
+                elements[-1].event_time, len(elements), len(heap)
+            )
 
     def peek_event_time(self) -> float | None:
         """Event time of the oldest buffered element, or ``None`` if empty."""
@@ -98,6 +117,8 @@ class SortingBuffer:
                 del heap[:split]
                 break
         self._released_total += len(released)
+        if released and self.tracer.enabled:
+            self.tracer.buffer_release(threshold, len(released), len(heap))
         return released
 
     def _split_index(self, threshold: float) -> int:
@@ -119,4 +140,6 @@ class SortingBuffer:
         released = [entry[2] for entry in heap]
         heap.clear()
         self._released_total += len(released)
+        if released and self.tracer.enabled:
+            self.tracer.buffer_flush(released[-1].event_time, len(released))
         return released

@@ -24,6 +24,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.streams.element import StreamElement
 from repro.streams.timebase import (
     DurationS,
@@ -85,6 +86,22 @@ class DisorderHandler(ABC):
     """Policy controlling element release and frontier advancement."""
 
     name = "handler"
+
+    #: Attached tracer (see :mod:`repro.obs.trace`); the shared null tracer
+    #: keeps instrumented paths at one attribute check when tracing is off.
+    tracer: Tracer = NULL_TRACER
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer to this handler (and its sorting buffer).
+
+        Handlers that own a :class:`~repro.engine.buffer.SortingBuffer`
+        store it as ``_buffer``; the buffer inherits the tracer so its
+        push/release records land in the same trace.
+        """
+        self.tracer = tracer
+        buffer = getattr(self, "_buffer", None)
+        if buffer is not None:
+            buffer.tracer = tracer
 
     @abstractmethod
     def offer(self, element: StreamElement) -> list[StreamElement]:

@@ -2,6 +2,13 @@
 
 The simulated processing clock is the arrival timestamp of the element being
 processed; wall-clock time is measured separately for throughput numbers.
+
+Observability: ``run_pipeline`` accepts a
+:class:`~repro.obs.trace.Tracer` (``trace=``) — attached to the operator,
+its handler and the sorting buffer for the duration of the run — and a
+:class:`~repro.obs.registry.MetricsRegistry` (``registry=``), which the
+run keeps current chunk-by-chunk so callers holding the registry can
+sample progress live.  Both default to off and cost nothing when unused.
 """
 
 from __future__ import annotations
@@ -12,6 +19,8 @@ from dataclasses import dataclass, field
 from repro.engine.metrics import LatencySummary, RunMetrics, SlackSample
 from repro.engine.operator import Operator, WindowResult
 from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.streams.element import StreamElement
 
 
@@ -39,6 +48,12 @@ class RunOutput:
         )
 
 
+def _sim_time_of(element: StreamElement) -> float:
+    """Arrival-time stamp of an element, NaN when it has none."""
+    arrival = element.arrival_time
+    return arrival if arrival is not None else float("nan")
+
+
 def run_pipeline(
     elements: list[StreamElement],
     operator: Operator,
@@ -46,6 +61,8 @@ def run_pipeline(
     batch_size: int = 0,
     sanitize: bool = False,
     sanitize_probe_every: int = 0,
+    trace: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> RunOutput:
     """Feed ``elements`` (arrival order) through ``operator`` to completion.
 
@@ -74,6 +91,17 @@ def run_pipeline(
             shadow-execute every N-th chunk through the scalar path on a
             deep copy of the operator and diff the emissions (0 disables
             the probe).
+        trace: A :class:`~repro.obs.trace.Tracer` (usually a
+            :class:`~repro.obs.trace.TraceRecorder`) attached to the
+            operator, handler and buffer for this run.  ``None`` (default)
+            leaves the shared null tracer in place — the hot path pays one
+            attribute check per hook site.  Trace content never influences
+            results: a traced run emits bit-identical windows.
+        registry: Back the run's :class:`RunMetrics` with this registry
+            and keep its instruments current while the run executes
+            (element/result counts per chunk, live buffer occupancy under
+            ``handler.buffered``).  ``None`` (default) uses a private
+            registry updated only at the end of the run.
 
     Returns:
         :class:`RunOutput` with all emitted window results and run metrics.
@@ -91,13 +119,29 @@ def run_pipeline(
         raise ConfigurationError(
             "sanitize_probe_every requires sanitize=True"
         )
-    metrics = RunMetrics()
+    tracer = trace if trace is not None else NULL_TRACER
+    if tracer.enabled:
+        set_tracer = getattr(operator, "set_tracer", None)
+        if set_tracer is not None:
+            set_tracer(tracer)
+    metrics = RunMetrics(registry)
     results: list[WindowResult] = []
     handler = getattr(operator, "handler", None)
     sampling = sample_every > 0 and handler is not None
     n = len(elements)
     sample_anchor = -1
     timeline = metrics.slack_timeline
+    live = registry is not None
+    if registry is not None:
+        live_elements = registry.counter("pipeline.elements_in")
+        live_results = registry.counter("pipeline.results_out")
+        live_buffered = registry.gauge("handler.buffered")
+
+    def update_live(processed: int) -> None:
+        live_elements.inc(processed)
+        live_results.set(len(results))
+        if handler is not None:
+            live_buffered.set(handler.buffered_count())
 
     def maybe_sample(index: int) -> None:
         nonlocal sample_anchor
@@ -119,6 +163,14 @@ def run_pipeline(
             )
         )
 
+    if tracer.enabled:
+        tracer.run_start(
+            _sim_time_of(elements[0]) if elements else float("-inf"),
+            handler.describe() if handler is not None else type(operator).__name__,
+            n,
+            batch_size,
+            sanitize,
+        )
     # Wall-clock reads are banned in engine code (R01); this pair only
     # feeds the throughput metric and never influences results.
     start = time.perf_counter()  # repro-lint: disable=R01
@@ -134,6 +186,8 @@ def run_pipeline(
                 # sampling anchor lands on the same element as a scalar run.
                 results.extend(process_many(elements[index : index + 1]))
                 maybe_sample(index)
+                if live:
+                    update_live(1)
                 index += 1
                 continue
             stop = min(index + batch_size, n)
@@ -149,14 +203,21 @@ def run_pipeline(
                 if cut is not None:
                     stop = cut
             results.extend(process_many(elements[index:stop]))
+            if tracer.enabled:
+                tracer.chunk(_sim_time_of(elements[stop - 1]), stop - index)
             if sampling:
                 maybe_sample(stop - 1)
+            if live:
+                update_live(stop - index)
             index = stop
-    elif sampling:
+    elif sampling or live:
         process = operator.process
         for index in range(n):
             results.extend(process(elements[index]))
-            maybe_sample(index)
+            if sampling:
+                maybe_sample(index)
+            if live:
+                update_live(1)
     else:
         process = operator.process
         extend = results.extend
@@ -177,4 +238,10 @@ def run_pipeline(
         metrics.late_dropped = getattr(stats, "late_dropped", 0)
         observed_errors = list(getattr(stats, "observed_errors", []))
 
+    if tracer.enabled:
+        tracer.run_end(
+            _sim_time_of(elements[-1]) if elements else float("-inf"),
+            len(results),
+            metrics.wall_time_s,
+        )
     return RunOutput(results=results, metrics=metrics, observed_errors=observed_errors)

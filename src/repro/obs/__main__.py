@@ -1,0 +1,114 @@
+"""CLI for the observability layer: ``python -m repro.obs <command>``.
+
+Commands:
+
+* ``report <trace.jsonl>`` — terminal summary of a recorded trace (top
+  frontier stalls, adaptation history, θ-violation windows).
+* ``chrome <trace.jsonl> -o <trace.json>`` — convert a JSONL trace to
+  Chrome ``trace_event`` JSON, loadable at https://ui.perfetto.dev.
+* ``demo -o <dir>`` — run the E4-style burst demo with tracing on and
+  write both formats (plus the report) into ``<dir>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import read_jsonl
+    from repro.obs.report import summarize
+
+    events = read_jsonl(args.trace)
+    print(summarize(events, theta=args.theta, top_stalls=args.stalls))
+    return 0
+
+
+def _cmd_chrome(args: argparse.Namespace) -> int:
+    from repro.obs.export import read_jsonl, write_chrome_trace
+
+    events = read_jsonl(args.trace)
+    written = write_chrome_trace(events, args.output, run_label=args.label)
+    print(f"wrote {written} trace entries to {args.output}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.obs.demo import burst_demo_run
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.obs.report import summarize
+
+    output_dir = Path(args.output)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    run, recorder = burst_demo_run(
+        duration=args.duration, theta=args.theta, seed=args.seed
+    )
+    jsonl_path = output_dir / "burst_trace.jsonl"
+    chrome_path = output_dir / "burst_trace.chrome.json"
+    write_jsonl(recorder.events, jsonl_path)
+    write_chrome_trace(recorder, chrome_path, run_label="repro burst demo")
+    print(
+        f"burst demo: {run.metrics.n_elements} elements -> "
+        f"{run.metrics.n_results} results, {len(recorder)} trace events"
+    )
+    print(f"wrote {jsonl_path} and {chrome_path}")
+    print()
+    print(summarize(recorder.events, theta=args.theta))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.obs``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and export repro trace recordings.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser("report", help="summarize a JSONL trace")
+    report.add_argument("trace", help="path to a trace written by write_jsonl")
+    report.add_argument(
+        "--theta",
+        type=float,
+        default=None,
+        help="quality target for the violation section (default: recover "
+        "from adaptation records)",
+    )
+    report.add_argument(
+        "--stalls", type=int, default=5, help="frontier stalls to show"
+    )
+    report.set_defaults(handler=_cmd_report)
+
+    chrome = commands.add_parser(
+        "chrome", help="convert a JSONL trace to Chrome trace_event JSON"
+    )
+    chrome.add_argument("trace", help="path to a trace written by write_jsonl")
+    chrome.add_argument("-o", "--output", required=True, help="output .json path")
+    chrome.add_argument(
+        "--label", default="repro-run", help="process label shown in Perfetto"
+    )
+    chrome.set_defaults(handler=_cmd_chrome)
+
+    demo = commands.add_parser(
+        "demo", help="run the traced E4-style burst demo and export it"
+    )
+    demo.add_argument("-o", "--output", required=True, help="output directory")
+    demo.add_argument("--duration", type=float, default=120.0)
+    demo.add_argument("--theta", type=float, default=0.05)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(handler=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    try:
+        return int(args.handler(args))
+    except BrokenPipeError:
+        # Reports are routinely piped into `head`/`less`; a closed pipe
+        # is a normal way for the reader to stop, not an error.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

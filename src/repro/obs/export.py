@@ -1,0 +1,321 @@
+"""Trace exporters: JSONL round-trip and Chrome ``trace_event`` (Perfetto).
+
+Two on-disk formats for a :class:`~repro.obs.trace.TraceRecorder`:
+
+* **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`) — one
+  :class:`~repro.obs.trace.TraceEvent` per line, lossless (non-finite
+  floats survive the round trip via an ``{"$float": ...}`` envelope,
+  which plain JSON cannot encode).
+* **Chrome trace** (:func:`chrome_trace` / :func:`write_chrome_trace`) —
+  the ``trace_event`` JSON array format that Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing`` load directly.  The
+  simulated clock maps to the trace clock (1 simulated second = 1e6
+  trace µs, rebased so the trace starts at 0); tracks:
+
+  - counter tracks for **slack K** (from adaptation rounds), **buffer
+    occupancy** and the **event-time frontier**;
+  - one lane per row of concurrently open **windows**, each window a
+    ``B``/``E`` duration slice from open to close (greedy lane packing
+    keeps slices on a lane non-overlapping, so every ``B`` nests);
+  - instant events for **adaptations**, **late drops** and **sanitizer
+    findings**.
+
+See ``docs/OBSERVABILITY.md`` for a textual walkthrough of the result.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.trace import TraceEvent, TraceRecorder
+
+#: pid used for all track groups of one exported run.
+_PID = 1
+
+#: tid layout: fixed tracks first, window lanes from ``_TID_LANE0`` up.
+_TID_ADAPT = 2
+_TID_EVENTS = 3
+_TID_LANE0 = 10
+
+
+def _encode_value(value: Any) -> Any:
+    """Make one payload value JSON-safe (non-finite floats enveloped)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return {"$float": "nan"}
+        return {"$float": "inf" if value > 0 else "-inf"}
+    if isinstance(value, dict):
+        return {key: _encode_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    """Reverse :func:`_encode_value`."""
+    if isinstance(value, dict):
+        if set(value) == {"$float"}:
+            return float(value["$float"])
+        return {key: _decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> int:
+    """Write events to ``path``, one JSON object per line.
+
+    Returns the number of events written.  Accepts any iterable of
+    :class:`~repro.obs.trace.TraceEvent` (``recorder.events`` included).
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": event.kind,
+                        "sim_time": _encode_value(event.sim_time),
+                        "wall_time": event.wall_time,
+                        "fields": _encode_value(event.fields),
+                    },
+                    separators=(",", ":"),
+                )
+            )
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load events written by :func:`write_jsonl` (lossless round trip)."""
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            events.append(
+                TraceEvent(
+                    kind=raw["kind"],
+                    sim_time=float(_decode_value(raw["sim_time"])),
+                    wall_time=float(raw["wall_time"]),
+                    fields=_decode_value(raw["fields"]),
+                )
+            )
+    return events
+
+
+def _window_label(fields: dict[str, Any]) -> str:
+    """Display name of one window slice."""
+    key = fields.get("key")
+    prefix = "window" if key is None else f"window[{key!r}]"
+    return f"{prefix} [{fields.get('start'):g}, {fields.get('end'):g})"
+
+
+def _assign_lanes(
+    spans: list[tuple[float, float, dict[str, Any]]]
+) -> list[tuple[int, float, float, dict[str, Any]]]:
+    """Greedy interval packing: first lane whose last span has ended.
+
+    Spans must be sorted by start time.  Returns ``(lane, start, end,
+    fields)`` rows; within one lane spans never overlap, so the emitted
+    ``B``/``E`` pairs nest trivially.
+    """
+    lane_ends: list[float] = []
+    placed: list[tuple[int, float, float, dict[str, Any]]] = []
+    for start, end, fields in spans:
+        for lane, lane_end in enumerate(lane_ends):
+            if lane_end <= start:
+                lane_ends[lane] = end
+                placed.append((lane, start, end, fields))
+                break
+        else:
+            lane_ends.append(end)
+            placed.append((len(lane_ends) - 1, start, end, fields))
+    return placed
+
+
+def chrome_trace(
+    events: list[TraceEvent], run_label: str = "repro-run"
+) -> list[dict[str, Any]]:
+    """Convert recorded events into a Chrome ``trace_event`` list.
+
+    The returned list serializes to the JSON array variant of the format
+    (what Perfetto's "Open trace file" accepts).  Events with non-finite
+    simulated timestamps are skipped — the trace clock must be real.
+    """
+    finite = [event for event in events if math.isfinite(event.sim_time)]
+    if not finite:
+        return []
+    origin = min(event.sim_time for event in finite)
+
+    def ts(sim_time: float) -> float:
+        return (sim_time - origin) * 1e6
+
+    out: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": run_label},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID_ADAPT,
+            "args": {"name": "adaptation rounds"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID_EVENTS,
+            "args": {"name": "late drops + findings"},
+        },
+    ]
+
+    body: list[dict[str, Any]] = []
+
+    def counter(name: str, sim_time: float, value: float) -> None:
+        if math.isfinite(value):
+            body.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts(sim_time),
+                    "pid": _PID,
+                    "tid": 0,
+                    "args": {name: value},
+                }
+            )
+
+    def instant(name: str, sim_time: float, tid: int, args: dict[str, Any]) -> None:
+        body.append(
+            {
+                "name": name,
+                "ph": "i",
+                "ts": ts(sim_time),
+                "pid": _PID,
+                "tid": tid,
+                "s": "t",
+                "args": args,
+            }
+        )
+
+    # Counter tracks + instants.
+    for event in finite:
+        kind = event.kind
+        fields = event.fields
+        if kind == "frontier.advance":
+            frontier = fields.get("frontier")
+            buffered = fields.get("buffered")
+            if isinstance(frontier, (int, float)):
+                counter("frontier", event.sim_time, float(frontier))
+            if isinstance(buffered, (int, float)):
+                counter("buffer occupancy", event.sim_time, float(buffered))
+        elif kind in ("buffer.push", "buffer.release"):
+            buffered = fields.get("buffered")
+            if isinstance(buffered, (int, float)):
+                counter("buffer occupancy", event.sim_time, float(buffered))
+        elif kind == "adaptation":
+            k_after = fields.get("k_after")
+            if isinstance(k_after, (int, float)):
+                counter("slack K", event.sim_time, float(k_after))
+            instant("adaptation", event.sim_time, _TID_ADAPT, dict(fields))
+        elif kind == "late.drop":
+            instant("late drop", event.sim_time, _TID_EVENTS, dict(fields))
+        elif kind == "sanitizer.finding":
+            instant("sanitizer finding", event.sim_time, _TID_EVENTS, dict(fields))
+
+    # Window lifetime lanes: pair each open with its close/flush.
+    opens: dict[tuple[Any, Any, Any], float] = {}
+    spans: list[tuple[float, float, dict[str, Any]]] = []
+    for event in finite:
+        fields = event.fields
+        slot = (
+            repr(fields.get("key")),
+            fields.get("start"),
+            fields.get("end"),
+        )
+        if event.kind == "window.open":
+            opens.setdefault(slot, event.sim_time)
+        elif event.kind in ("window.close", "window.flush"):
+            opened = opens.pop(slot, None)
+            if opened is None:
+                opened = event.sim_time
+            spans.append(
+                (opened, max(event.sim_time, opened), dict(fields))
+            )
+    spans.sort(key=lambda span: (span[0], span[1]))
+    lanes_used = 0
+    for lane, start, end, fields in _assign_lanes(spans):
+        tid = _TID_LANE0 + lane
+        lanes_used = max(lanes_used, lane + 1)
+        label = _window_label(fields)
+        body.append(
+            {
+                "name": label,
+                "ph": "B",
+                "ts": ts(start),
+                "pid": _PID,
+                "tid": tid,
+                "args": {},
+            }
+        )
+        body.append(
+            {
+                "name": label,
+                "ph": "E",
+                "ts": ts(end),
+                "pid": _PID,
+                "tid": tid,
+                "args": {
+                    key: _encode_value(value)
+                    for key, value in fields.items()
+                    if key in ("value", "count", "latency")
+                },
+            }
+        )
+    for lane in range(lanes_used):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": _TID_LANE0 + lane,
+                "args": {"name": f"windows (lane {lane})"},
+            }
+        )
+
+    # Stable sort: equal-ts events keep build order, so a window's B stays
+    # ahead of its E and a lane's E ahead of the next B at the same instant.
+    body.sort(key=lambda entry: entry["ts"])
+    out.extend(body)
+    return out
+
+
+def write_chrome_trace(
+    recorder_or_events: TraceRecorder | list[TraceEvent],
+    path: str | Path,
+    run_label: str = "repro-run",
+) -> int:
+    """Write a Chrome ``trace_event`` JSON file loadable in Perfetto.
+
+    Returns the number of trace entries written.
+    """
+    events = (
+        recorder_or_events.events
+        if isinstance(recorder_or_events, TraceRecorder)
+        else recorder_or_events
+    )
+    entries = chrome_trace(events, run_label=run_label)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entries, handle, separators=(",", ":"))
+    return len(entries)

@@ -1,0 +1,209 @@
+"""Terminal trace summaries: stalls, adaptation history, θ violations.
+
+:func:`summarize` turns a recorded (or reloaded) trace into the report
+printed by ``python -m repro.obs report``: the run header, the largest
+frontier stalls, the adaptation history of the quality-driven controller
+and the retired windows whose observed error exceeded the quality target
+θ.  The θ used for the violation section is taken from ``--theta`` when
+given, else parsed from the adaptation records' target label.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter as TallyCounter
+from typing import Any
+
+from repro.obs.trace import TraceEvent
+
+#: Adaptation records label quality targets ``error<=0.05`` (see
+#: ``repro.core.spec``); the report recovers θ from that label.
+_THETA_PATTERN = re.compile(r"error<=([0-9.eE+-]+)")
+
+
+def _fmt(value: Any, precision: int = 4) -> str:
+    """Compact numeric formatting with non-numeric fallthrough."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "nan"
+    return f"{value:.{precision}g}"
+
+
+def infer_theta(events: list[TraceEvent]) -> float | None:
+    """Quality target θ recovered from adaptation target labels, if any."""
+    for event in events:
+        if event.kind != "adaptation":
+            continue
+        target = event.fields.get("target")
+        if isinstance(target, str):
+            match = _THETA_PATTERN.search(target)
+            if match:
+                try:
+                    return float(match.group(1))
+                except ValueError:  # pragma: no cover - regex admits floats
+                    return None
+    return None
+
+
+def frontier_stalls(
+    events: list[TraceEvent], top: int = 5
+) -> list[tuple[float, float, float]]:
+    """The ``top`` largest gaps between consecutive frontier advances.
+
+    Returns ``(stall_seconds, from_sim_time, to_sim_time)`` rows sorted by
+    stall length, longest first.  A stall is simulated time during which
+    elements kept arriving but the frontier did not move — the intervals a
+    latency investigation should look at first.
+    """
+    advances = [
+        event
+        for event in events
+        if event.kind == "frontier.advance" and math.isfinite(event.sim_time)
+    ]
+    gaps: list[tuple[float, float, float]] = []
+    for before, after in zip(advances, advances[1:]):
+        gap = after.sim_time - before.sim_time
+        if gap > 0:
+            gaps.append((gap, before.sim_time, after.sim_time))
+    gaps.sort(key=lambda row: -row[0])
+    return gaps[:top]
+
+
+def theta_violations(
+    events: list[TraceEvent], theta: float
+) -> list[TraceEvent]:
+    """Retired windows whose observed error exceeded ``theta``."""
+    violations: list[TraceEvent] = []
+    for event in events:
+        if event.kind != "window.retire":
+            continue
+        error = event.fields.get("error")
+        if isinstance(error, (int, float)) and error > theta:
+            violations.append(event)
+    return violations
+
+
+def summarize(
+    events: list[TraceEvent],
+    theta: float | None = None,
+    top_stalls: int = 5,
+    max_rows: int = 20,
+) -> str:
+    """Render the terminal report for a recorded trace.
+
+    Args:
+        events: Trace events (from a recorder or :func:`~repro.obs.export.read_jsonl`).
+        theta: Quality target for the violation section; when ``None`` it
+            is recovered from the adaptation records, and the section is
+            skipped if no target can be found.
+        top_stalls: Number of frontier stalls to show.
+        max_rows: Cap on table rows per section (the totals always cover
+            the full trace).
+    """
+    lines: list[str] = []
+    tally = TallyCounter(event.kind for event in events)
+
+    lines.append("== run ==")
+    for event in events:
+        if event.kind == "run.start":
+            fields = event.fields
+            lines.append(
+                f"handler={fields.get('handler')}  "
+                f"elements={fields.get('n_elements')}  "
+                f"batch_size={fields.get('batch_size')}  "
+                f"sanitize={fields.get('sanitize')}"
+            )
+            break
+    for event in reversed(events):
+        if event.kind == "run.end":
+            fields = event.fields
+            lines.append(
+                f"results={fields.get('n_results')}  "
+                f"wall_time={_fmt(fields.get('wall_time_s'))}s"
+            )
+            break
+    lines.append(
+        "events: "
+        + "  ".join(f"{kind}={count}" for kind, count in sorted(tally.items()))
+    )
+
+    stalls = frontier_stalls(events, top=top_stalls)
+    lines.append("")
+    lines.append(f"== top frontier stalls (longest {top_stalls}) ==")
+    if stalls:
+        for gap, start, stop in stalls:
+            lines.append(
+                f"  {_fmt(gap)}s stalled  (t={_fmt(start)} .. {_fmt(stop)})"
+            )
+    else:
+        lines.append("  (no frontier advances recorded)")
+
+    adaptations = [event for event in events if event.kind == "adaptation"]
+    lines.append("")
+    lines.append(f"== adaptation history ({len(adaptations)} rounds) ==")
+    if adaptations:
+        lines.append(
+            "  t          K before   K after    estimate   p_late     "
+            "err_ewma   gain"
+        )
+        shown: list[TraceEvent | None]
+        if len(adaptations) > max_rows:
+            # Head and tail: the cold start and the (most interesting)
+            # recent rounds, with the middle elided.
+            head = adaptations[: max_rows // 2]
+            tail = adaptations[-(max_rows - len(head)) :]
+            shown = [*head, None, *tail]
+        else:
+            shown = [*adaptations]
+        for event in shown:
+            if event is None:
+                lines.append(
+                    f"  ... {len(adaptations) - max_rows} rounds elided ..."
+                )
+                continue
+            fields = event.fields
+            cells = "  ".join(
+                _fmt(fields.get(name)).ljust(9)
+                for name in (
+                    "k_before",
+                    "k_after",
+                    "k_estimate",
+                    "allowed_late_fraction",
+                    "error_ewma",
+                    "gain",
+                )
+            )
+            lines.append(f"  {_fmt(event.sim_time).ljust(9)}  {cells}")
+    else:
+        lines.append("  (no adaptation rounds recorded)")
+
+    if theta is None:
+        theta = infer_theta(events)
+    lines.append("")
+    if theta is None:
+        lines.append("== theta violations ==")
+        lines.append("  (no quality target found; pass --theta)")
+    else:
+        violations = theta_violations(events, theta)
+        retired = tally.get("window.retire", 0)
+        lines.append(
+            f"== theta violations (error > {_fmt(theta)}; "
+            f"{len(violations)} of {retired} retired windows) =="
+        )
+        for event in violations[:max_rows]:
+            fields = event.fields
+            lines.append(
+                f"  window [{_fmt(fields.get('start'))}, "
+                f"{_fmt(fields.get('end'))})  key={fields.get('key')!r}  "
+                f"emitted={_fmt(fields.get('emitted'))}  "
+                f"corrected={_fmt(fields.get('corrected'))}  "
+                f"error={_fmt(fields.get('error'))}  "
+                f"late_updates={fields.get('late_updates')}"
+            )
+        if len(violations) > max_rows:
+            lines.append(f"  ... {len(violations) - max_rows} more violations")
+    return "\n".join(lines)

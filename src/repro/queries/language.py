@@ -227,7 +227,13 @@ class ContinuousQuery:
             assigner=self._assigner, aggregate=aggregate, handler=handler
         )
 
-    def run(self, assess: bool = False, threshold: float | None = None) -> QueryRun:
+    def run(
+        self,
+        assess: bool = False,
+        threshold: float | None = None,
+        trace=None,
+        registry=None,
+    ) -> QueryRun:
         """Execute the query over the configured stream.
 
         Args:
@@ -235,11 +241,22 @@ class ContinuousQuery:
                 :class:`~repro.core.quality.QualityReport`.
             threshold: Violation threshold for the report; defaults to the
                 quality target when one was configured.
+            trace: Optional :class:`~repro.obs.trace.Tracer` (e.g. a
+                :class:`~repro.obs.trace.TraceRecorder`) attached for the
+                run; see ``docs/OBSERVABILITY.md``.
+            registry: Optional :class:`~repro.obs.registry.MetricsRegistry`
+                kept live during the run.
         """
         if self._elements is None:
             raise QueryError("query has no source; call .from_elements(...)")
         operator = self.build_operator()
-        output = run_pipeline(self._elements, operator, self._sample_every)
+        output = run_pipeline(
+            self._elements,
+            operator,
+            self._sample_every,
+            trace=trace,
+            registry=registry,
+        )
         report = None
         if assess:
             if threshold is None and isinstance(

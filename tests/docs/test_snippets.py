@@ -1,0 +1,97 @@
+"""Every code block in README.md and docs/TUTORIAL.md must execute.
+
+Python blocks of one document run top to bottom in a shared namespace —
+exactly how a reader follows the document in a fresh interpreter — so
+later snippets may reuse names earlier ones define.  Bash blocks are
+syntax-checked with ``bash -n`` (running them would re-install the
+package or launch full-scale experiments).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+DOCUMENTS = [ROOT / "README.md", ROOT / "docs" / "TUTORIAL.md"]
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def collect_blocks(path: Path) -> list[tuple[int, str, str]]:
+    """``(line_number, language, source)`` for each fenced block."""
+    blocks: list[tuple[int, str, str]] = []
+    language: str | None = None
+    start = 0
+    body: list[str] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _FENCE.match(line.strip())
+        if match and language is None:
+            language = match.group(1)
+            start = number
+            body = []
+        elif line.strip().startswith("```") and language is not None:
+            blocks.append((start, language, "\n".join(body)))
+            language = None
+        elif language is not None:
+            body.append(line)
+    assert language is None, f"{path}: unterminated code fence at line {start}"
+    return blocks
+
+
+def test_documents_contain_snippets():
+    for document in DOCUMENTS:
+        assert collect_blocks(document), f"{document} has no code blocks"
+
+
+@pytest.mark.parametrize(
+    "document", DOCUMENTS, ids=[doc.name for doc in DOCUMENTS]
+)
+def test_python_snippets_execute(document, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # snippets may write files (checkpoints)
+    namespace: dict[str, object] = {}
+    ran = 0
+    for line_number, language, source in collect_blocks(document):
+        if language != "python":
+            continue
+        compiled = compile(source, f"{document.name}:{line_number}", "exec")
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                exec(compiled, namespace)  # noqa: S102 - the point of the test
+        except Exception as error:  # pragma: no cover - failure reporting
+            pytest.fail(
+                f"{document.name} snippet at line {line_number} failed: "
+                f"{type(error).__name__}: {error}"
+            )
+        ran += 1
+    assert ran > 0, f"{document} has no python blocks"
+
+
+@pytest.mark.parametrize(
+    "document", DOCUMENTS, ids=[doc.name for doc in DOCUMENTS]
+)
+def test_bash_snippets_parse(document):
+    bash = "/bin/bash"
+    if not Path(bash).exists():  # pragma: no cover - exotic CI image
+        pytest.skip("bash not available")
+    for line_number, language, source in collect_blocks(document):
+        if language != "bash":
+            continue
+        proc = subprocess.run(
+            [bash, "-n"], input=source, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, (
+            f"{document.name} bash snippet at line {line_number} "
+            f"does not parse: {proc.stderr}"
+        )
+
+
+def test_snippets_run_under_current_interpreter():
+    """The docs promise ``python >= 3.10``; make sure the gate runs on it."""
+    assert sys.version_info >= (3, 10)

@@ -1,0 +1,13 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.demo import burst_demo_run
+
+
+@pytest.fixture(scope="package")
+def burst_run():
+    """One traced E4-style burst run shared by the obs test modules."""
+    return burst_demo_run(duration=60.0, rate=40.0, theta=0.05, seed=7)

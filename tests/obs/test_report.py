@@ -1,0 +1,79 @@
+"""Report acceptance: the terminal summary surfaces what matters.
+
+The acceptance criterion for ``python -m repro.obs report``: a traced
+burst run's summary must show the adaptation history and the θ-violation
+windows, with θ recovered from the trace itself when not supplied.
+"""
+
+import math
+
+from repro.obs.report import (
+    frontier_stalls,
+    infer_theta,
+    summarize,
+    theta_violations,
+)
+from repro.obs.trace import TraceEvent
+
+
+def test_infer_theta_from_adaptation_target(burst_run):
+    __, recorder = burst_run
+    assert infer_theta(recorder.events) == 0.05
+
+
+def test_infer_theta_without_adaptations_is_none():
+    assert infer_theta([]) is None
+
+
+def test_frontier_stalls_sorted_longest_first(burst_run):
+    __, recorder = burst_run
+    stalls = frontier_stalls(recorder.events, top=5)
+    assert 0 < len(stalls) <= 5
+    gaps = [gap for gap, __, __ in stalls]
+    assert gaps == sorted(gaps, reverse=True)
+    for gap, start, stop in stalls:
+        assert math.isclose(stop - start, gap)
+
+
+def test_theta_violations_filters_by_error():
+    def retire(error):
+        return TraceEvent(
+            "window.retire",
+            10.0,
+            0.0,
+            {"key": None, "start": 0.0, "end": 10.0, "error": error},
+        )
+
+    events = [retire(0.01), retire(0.2), retire(math.nan)]
+    violations = theta_violations(events, 0.05)
+    assert [event.fields["error"] for event in violations] == [0.2]
+
+
+def test_summary_surfaces_adaptations_and_violations(burst_run):
+    __, recorder = burst_run
+    text = summarize(recorder.events)
+    assert "== run ==" in text
+    assert "== adaptation history (" in text
+    assert "(no adaptation rounds recorded)" not in text
+    assert "== theta violations (error > 0.05" in text
+    assert "== top frontier stalls" in text
+    # The burst regime forces the adaptive slack above zero at some point.
+    adaptations = [e for e in recorder.events if e.kind == "adaptation"]
+    assert any(e.fields["k_after"] > 0 for e in adaptations)
+
+
+def test_summary_elides_long_adaptation_tables(burst_run):
+    __, recorder = burst_run
+    rounds = sum(1 for e in recorder.events if e.kind == "adaptation")
+    assert rounds > 6  # the fixture records a real history
+    text = summarize(recorder.events, max_rows=6)
+    assert f"... {rounds - 6} rounds elided ..." in text
+
+
+def test_summary_without_target_hints_at_theta_flag():
+    events = [
+        TraceEvent("run.start", 0.0, 0.0, {"handler": "h", "n_elements": 0}),
+        TraceEvent("run.end", 1.0, 0.0, {"n_results": 0, "wall_time_s": 0.1}),
+    ]
+    text = summarize(events)
+    assert "no quality target found; pass --theta" in text

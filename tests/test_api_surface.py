@@ -22,6 +22,8 @@ PACKAGES = [
     "repro.queries",
     "repro.workloads",
     "repro.bench",
+    "repro.obs",
+    "repro.docs",
 ]
 
 
