@@ -72,14 +72,14 @@ bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
 bench-quick:
-	$(PY) -m repro.bench.quick --scale 0.1 --out BENCH_e18.json
+	$(PY) -m repro.bench.quick --scale 0.1 --out BENCH_e18.json --out-e19 BENCH_e19.json
 
 experiments:
 	$(PY) -m repro.bench.experiments all
 
 artifacts:
 	$(PY) -m repro.cli experiment E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 \
-	    E11 E12 E13 E14 E15 E16 E17 E18 --out-dir results
+	    E11 E12 E13 E14 E15 E16 E17 E18 E19 --out-dir results
 
 examples:
 	$(PY) examples/quickstart.py --duration 60

@@ -1,0 +1,22 @@
+"""E19: tree execution beats sliced at high overlap; shared slices beat
+per-query pipelines — all with identical results."""
+
+from repro.bench.experiments import e19_tree_execution
+
+from benchmarks.conftest import run_and_render
+
+
+def test_e19_tree_execution(benchmark):
+    result = run_and_render(benchmark, e19_tree_execution, scale=0.3)
+
+    for row in result.rows:
+        # Neither the tree nor the shared store ever changes results.
+        assert row["results_equal"], row
+
+    by_config = {row["config"]: row for row in result.rows}
+    # The headline claims: the tree's O(log overlap) closes overtake the
+    # sliced operator's O(overlap) chain merges as overlap grows, and one
+    # shared slice store outruns a naive pipeline per query.
+    assert by_config["overlap=64"]["tree_over_sliced"] > 1.0
+    assert by_config["overlap=256"]["tree_over_sliced"] > 2.0
+    assert by_config["multi-query(4xAQ-K)"]["shared_over_naive"] > 2.0

@@ -1087,6 +1087,168 @@ def e18_batched_throughput(scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+# --------------------------------------------------------------------- #
+# E19: partial-aggregate tree execution and shared slices
+
+
+def e19_tree_execution(scale: float = 1.0) -> ExperimentResult:
+    """Table E19: tree execution vs naive/sliced, plus shared slices.
+
+    Two sections in one table.  The *overlap sweep* (``overlap=N`` rows)
+    holds the slide at 0.125s and grows the window, so per-close cost
+    dominates: the naive operator folds every element into ``overlap``
+    windows, the sliced operator merges an ``overlap``-long slice chain
+    per close, and the tree merges O(log overlap) cached partials.  The
+    *multi-query* row runs four concurrent AQ-K count queries (the E11
+    workload) three ways — one naive pipeline per query (what E11
+    measures today), one tree pipeline per query, and a single
+    :class:`~repro.engine.partial_tree.SharedSliceStore` — with eps
+    counting each element once per query it serves.
+    """
+    import time
+
+    from repro.engine.handlers import KSlackHandler
+    from repro.engine.partial_tree import (
+        SharedSliceStore,
+        TreeWindowAggregateOperator,
+        run_shared_slices,
+    )
+    from repro.engine.sliced_op import SlicedWindowAggregateOperator
+
+    stream = WorkloadSpec().scaled(scale).build()
+    slide = 0.125
+    result = ExperimentResult(
+        experiment_id="E19",
+        title="Tree execution and shared slices (count, K-slack 1s)",
+        columns=[
+            "config",
+            "naive_eps",
+            "sliced_eps",
+            "tree_eps",
+            "tree_over_sliced",
+            "shared_eps",
+            "shared_over_naive",
+            "results_equal",
+        ],
+        notes=[
+            workload_summary(stream),
+            "overlap rows: sliding (overlap*0.125s)/0.125s windows, "
+            "feedback off; tree_over_sliced = tree_eps / sliced_eps",
+            "multi-query row: four AQ-K count queries on the E11 workload; "
+            "eps counts each element once per query; shared_over_naive = "
+            "shared_eps / naive_eps (naive = one pipeline per query)",
+        ],
+    )
+
+    def result_map(results):
+        return {(r.key, r.window): round(r.value, 9) for r in results}
+
+    for overlap in (8, 64, 256):
+        assigner = SlidingWindowAssigner(size=overlap * slide, slide=slide)
+        operators = {
+            "naive": WindowAggregateOperator(
+                assigner,
+                make_aggregate("count"),
+                KSlackHandler(1.0),
+                track_feedback=False,
+            ),
+            "sliced": SlicedWindowAggregateOperator(
+                assigner,
+                make_aggregate("count"),
+                KSlackHandler(1.0),
+                track_feedback=False,
+            ),
+            "tree": TreeWindowAggregateOperator(
+                assigner,
+                make_aggregate("count"),
+                KSlackHandler(1.0),
+                track_feedback=False,
+            ),
+        }
+        outputs = {
+            name: run_pipeline(stream, operator)
+            for name, operator in operators.items()
+        }
+        maps = {name: result_map(out.results) for name, out in outputs.items()}
+        result.add_row(
+            config=f"overlap={overlap}",
+            naive_eps=outputs["naive"].metrics.throughput_eps,
+            sliced_eps=outputs["sliced"].metrics.throughput_eps,
+            tree_eps=outputs["tree"].metrics.throughput_eps,
+            tree_over_sliced=outputs["tree"].metrics.throughput_eps
+            / outputs["sliced"].metrics.throughput_eps,
+            shared_eps=None,
+            shared_over_naive=None,
+            results_equal=maps["naive"] == maps["sliced"] == maps["tree"],
+        )
+
+    # Multi-query section: the E11 workload (four concurrent AQ-K count
+    # queries over the standard 10s/2s window) served three ways.
+    thetas = [0.01, 0.02, 0.05, 0.2]
+    window_size, mq_slide = 10.0, 2.0
+    aggregate_name = "count"
+
+    def aqk(theta):
+        return AQKSlackHandler(
+            target=QualityTarget(theta),
+            aggregate=make_aggregate(aggregate_name),
+            window_size=window_size,
+        )
+
+    def independent(make_operator):
+        outputs = {}
+        wall = 0.0
+        for theta in thetas:
+            out = run_pipeline(stream, make_operator(aqk(theta)))
+            wall += out.metrics.wall_time_s
+            outputs[theta] = result_map(out.results)
+        return outputs, wall
+
+    naive_maps, naive_wall = independent(
+        lambda handler: WindowAggregateOperator(
+            standard_query(), make_aggregate(aggregate_name), handler
+        )
+    )
+    tree_maps, tree_wall = independent(
+        lambda handler: TreeWindowAggregateOperator(
+            standard_query(), make_aggregate(aggregate_name), handler
+        )
+    )
+
+    store = SharedSliceStore(mq_slide, make_aggregate(aggregate_name))
+    for theta in thetas:
+        store.register(f"q{theta}", window_size, advisor=aqk(theta))
+    start = time.perf_counter()
+    shared_results = run_shared_slices(stream, store)
+    shared_wall = time.perf_counter() - start
+    shared_maps = {
+        theta: result_map(shared_results[f"q{theta}"]) for theta in thetas
+    }
+
+    logical = len(stream) * len(thetas)
+    naive_eps = logical / naive_wall
+    shared_eps = logical / shared_wall
+    result.add_row(
+        config=f"multi-query({len(thetas)}xAQ-K)",
+        naive_eps=naive_eps,
+        sliced_eps=None,
+        tree_eps=logical / tree_wall,
+        tree_over_sliced=None,
+        shared_eps=shared_eps,
+        shared_over_naive=shared_eps / naive_eps,
+        results_equal=all(
+            shared_maps[theta] == tree_maps[theta] == naive_maps[theta]
+            for theta in thetas
+        ),
+    )
+    result.notes.append(
+        "shared store leak check: "
+        f"{store.slice_count()} slices / {store.node_count()} tree nodes "
+        "retained after finish (GC should leave 0/0)"
+    )
+    return result
+
+
 EXPERIMENTS = {
     "E1": e01_latency_vs_k,
     "E2": e02_error_vs_k,
@@ -1106,6 +1268,7 @@ EXPERIMENTS = {
     "E16": e16_pattern_quality,
     "E17": e17_sliced_execution,
     "E18": e18_batched_throughput,
+    "E19": e19_tree_execution,
 }
 
 

@@ -1,13 +1,19 @@
-"""Quick throughput check: E8 + E17 + E18 at reduced scale.
+"""Quick throughput check: E8 + E17 + E18 + E19 at reduced scale.
 
-CI convenience (``make bench-quick``): runs the three throughput-oriented
+CI convenience (``make bench-quick``): runs the throughput-oriented
 experiments small enough for a pull-request gate, prints their tables,
-and writes a machine-readable summary of the batched-execution numbers::
+and writes machine-readable summaries of the batched-execution (E18)
+and tree-execution (E19) numbers::
 
-    python -m repro.bench.quick --scale 0.1 --out BENCH_e18.json
+    python -m repro.bench.quick --scale 0.1 --out BENCH_e18.json \
+        --out-e19 BENCH_e19.json
 
-The JSON captures elements/second for the scalar and batched paths per
-operator so regressions in the bulk APIs show up as a diffable artifact.
+The JSON captures elements/second per execution path so regressions in
+the bulk APIs and the partial-aggregate tree show up as diffable
+artifacts.  The run fails (exit 1) when any path's results diverge, and
+when the tree is slower than sliced execution at overlap 64 — the
+operating point where the tree's O(log) closes must already have paid
+for their bookkeeping.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ import sys
 from repro.bench.experiments import run_experiment
 from repro.bench.report import ExperimentResult, render_table
 
-QUICK_EXPERIMENTS = ("E8", "E17", "E18")
+QUICK_EXPERIMENTS = ("E8", "E17", "E18", "E19")
 
 
 def summarize_e18(result: ExperimentResult) -> dict:
@@ -40,11 +46,38 @@ def summarize_e18(result: ExperimentResult) -> dict:
     }
 
 
+def summarize_e19(result: ExperimentResult) -> dict:
+    """Distill the E19 table into the JSON artifact schema."""
+    return {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "configs": [dict(row) for row in result.rows],
+    }
+
+
+def check_e19(summary: dict) -> list[str]:
+    """Gate conditions over the E19 summary; returns failure messages."""
+    failures = []
+    for row in summary["configs"]:
+        if not row["results_equal"]:
+            failures.append(f"E19 result mismatch at {row['config']}")
+        if (
+            row["config"] == "overlap=64"
+            and row["tree_over_sliced"] is not None
+            and row["tree_over_sliced"] < 1.0
+        ):
+            failures.append(
+                "E19 tree slower than sliced at overlap 64 "
+                f"(ratio {row['tree_over_sliced']:.3f} < 1.0)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.bench.quick``."""
     parser = argparse.ArgumentParser(
         prog="repro.bench.quick",
-        description="Run the quick throughput experiments (E8, E17, E18).",
+        description="Run the quick throughput experiments (E8, E17, E18, E19).",
     )
     parser.add_argument(
         "--scale",
@@ -57,28 +90,38 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_e18.json",
         help="path for the E18 JSON summary (default BENCH_e18.json)",
     )
+    parser.add_argument(
+        "--out-e19",
+        default="BENCH_e19.json",
+        help="path for the E19 JSON summary (default BENCH_e19.json)",
+    )
     args = parser.parse_args(argv)
 
-    e18_summary = None
+    summaries = {}
     for experiment_id in QUICK_EXPERIMENTS:
         result = run_experiment(experiment_id, scale=args.scale)
         print(render_table(result))
         print()
         if experiment_id == "E18":
-            e18_summary = summarize_e18(result)
+            summaries["E18"] = summarize_e18(result)
+        elif experiment_id == "E19":
+            summaries["E19"] = summarize_e19(result)
 
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(e18_summary, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.out}")
+    for path, summary in ((args.out, summaries["E18"]), (args.out_e19, summaries["E19"])):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {path}")
 
     failures = [
-        row["operator"]
-        for row in e18_summary["operators"]
+        f"E18 result mismatch for: {row['operator']}"
+        for row in summaries["E18"]["operators"]
         if not row["results_equal"]
     ]
+    failures.extend(check_e19(summaries["E19"]))
     if failures:
-        print(f"E18 result mismatch for: {', '.join(failures)}", file=sys.stderr)
+        for failure in failures:
+            print(failure, file=sys.stderr)
         return 1
     return 0
 

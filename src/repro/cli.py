@@ -123,6 +123,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         query = query.with_max_delay_slack()
     else:
         query = query.without_buffering()
+    query = query.mode(args.mode)
 
     recorder = None
     if args.trace_out or args.trace_chrome:
@@ -175,6 +176,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     query = parse_query(args.sql).from_elements(stream)
     if args.sliced:
         query = query.sliced()
+    if args.mode is not None:
+        query = query.mode(args.mode)
     recorder = None
     if args.trace_out:
         from repro.obs.trace import TraceRecorder
@@ -246,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
     policy.add_argument(
         "--max-delay-slack", action="store_true", help="conservative MP-K-slack"
     )
+    run.add_argument(
+        "--mode",
+        choices=["naive", "sliced", "tree"],
+        default="naive",
+        help="execution mode: naive per-window adds, shared slices, or "
+        "partial-aggregate tree (O(log) closes and late patches)",
+    )
     run.add_argument("--no-assess", action="store_true", help="skip the oracle")
     run.add_argument(
         "--show-results", type=int, default=0, metavar="N", help="print first N rows"
@@ -276,6 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
         'WITH QUALITY 0.05"',
     )
     sql.add_argument("--sliced", action="store_true", help="sliced execution")
+    sql.add_argument(
+        "--mode",
+        choices=["naive", "sliced", "tree"],
+        default=None,
+        help="execution mode (overrides --sliced when given)",
+    )
     sql.add_argument("--no-assess", action="store_true", help="skip the oracle")
     sql.add_argument(
         "--trace-out",

@@ -299,6 +299,29 @@ class AQKSlackHandler(DisorderHandler):
             self._front.advance(self._clock.value - self.k)
         )
 
+    def observe_only(self, element: StreamElement) -> DurationS:
+        """Feed the adaptation path without buffering; return current slack.
+
+        Shared drivers (:class:`~repro.core.shared.SharedAQKBuffer`,
+        :class:`~repro.engine.partial_tree.SharedSliceStore`) keep one copy
+        of the stream and run their own release schedule, so this handler's
+        private buffer and clock must stay untouched — but the advisor still
+        has to see every element to estimate delays and adapt ``K``.  This
+        is exactly the observation prefix of :meth:`offer` minus the
+        buffer/clock updates; the caller applies the returned slack against
+        its own shared clock.
+        """
+        if element.arrival_time is None:
+            raise ConfigurationError(
+                "AQKSlackHandler requires elements with arrival timestamps"
+            )
+        self._elements_seen += 1
+        self.delay_sample.observe(element.delay)
+        self._value_stats.observe(element.value)
+        self._rate.observe(element.event_time)
+        self._maybe_adapt(element.arrival_time)
+        return self.k
+
     def offer_many(
         self, elements: list[StreamElement]
     ) -> tuple[list[StreamElement], Checkpoints]:

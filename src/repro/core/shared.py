@@ -171,13 +171,9 @@ class SharedAQKBuffer:
             # Let each advisor observe the element and adapt its slack; the
             # advisor's own buffer is unused (we bypass it), so we feed the
             # observation path only.
-            advisor.delay_sample.observe(element.delay)
-            advisor._value_stats.observe(element.value)
-            advisor._rate.observe(element.event_time)
-            advisor._elements_seen += 1
-            advisor._maybe_adapt(element.arrival_time)
+            slack = advisor.observe_only(element)
             frontier = self._frontiers[query_id]
-            candidate = self._clock.value - advisor.k
+            candidate = self._clock.value - slack
             if candidate > frontier:
                 frontier = candidate
                 self._frontiers[query_id] = frontier

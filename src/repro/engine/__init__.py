@@ -31,6 +31,13 @@ from repro.engine.metrics import LatencySummary, RunMetrics, SlackSample
 from repro.engine.multisource import MultiSourceWatermarkHandler
 from repro.engine.operator import Operator, WindowResult
 from repro.engine.oracle import oracle_results
+from repro.engine.partial_tree import (
+    EXECUTION_MODES,
+    SharedSliceStore,
+    TreeWindowAggregateOperator,
+    make_window_operator,
+    run_shared_slices,
+)
 from repro.engine.pipeline import RunOutput, run_pipeline
 from repro.engine.retraction import (
     SpeculativeAggregateOperator,
@@ -77,6 +84,7 @@ __all__ = [
     "CountAggregate",
     "DisorderHandler",
     "DistinctCountAggregate",
+    "EXECUTION_MODES",
     "FixedLagWatermarkHandler",
     "HeuristicWatermarkHandler",
     "HyperLogLog",
@@ -103,6 +111,7 @@ __all__ = [
     "SequencePatternOperator",
     "SessionAggregateOperator",
     "SessionWindowMerger",
+    "SharedSliceStore",
     "SlackSample",
     "SlicedWindowAggregateOperator",
     "SlidingWindowAssigner",
@@ -112,6 +121,7 @@ __all__ = [
     "StdDevAggregate",
     "SumAggregate",
     "TopKCountAggregate",
+    "TreeWindowAggregateOperator",
     "TumblingWindowAssigner",
     "Window",
     "WindowAggregateOperator",
@@ -121,12 +131,14 @@ __all__ = [
     "initial_latencies",
     "load_checkpoint",
     "make_aggregate",
+    "make_window_operator",
     "oracle_join_pairs",
     "oracle_pattern_matches",
     "oracle_results",
     "pattern_recall",
     "relative_error",
     "run_pipeline",
+    "run_shared_slices",
     "save_checkpoint",
     "sliding",
     "tumbling",

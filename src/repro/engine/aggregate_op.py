@@ -123,7 +123,7 @@ def relative_error(emitted, truth, eps: float = 1e-9) -> float:
     return abs(emitted - truth) / max(abs(truth), eps)
 
 
-@dataclass
+@dataclass(slots=True)
 class _ClosedRecord:
     """Bookkeeping for a finalized window awaiting late corrections."""
 
@@ -134,7 +134,7 @@ class _ClosedRecord:
     late_updates: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class OperatorStats:
     """Counters and samples collected during a run."""
 

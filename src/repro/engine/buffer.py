@@ -34,14 +34,21 @@ class SortingBuffer:
     documents this domain caveat.
     """
 
-    #: Attached tracer; the shared null tracer keeps the hot path at one
-    #: attribute check when tracing is off.
-    tracer: Tracer = NULL_TRACER
+    __slots__ = ("tracer", "_heap", "_max_size", "_released_total", "_tail_key")
 
     def __init__(self) -> None:
+        #: Attached tracer; the shared null tracer keeps the hot path at one
+        #: attribute check when tracing is off.
+        self.tracer: Tracer = NULL_TRACER
         self._heap: list[tuple[float, int, StreamElement]] = []
         self._max_size = 0
         self._released_total = 0
+        # Upper bound on the largest sort key ever pushed.  A batch whose
+        # keys ascend from at least this bound extends the heap tail without
+        # re-heapifying (appending an ascending run above the current max
+        # keeps the heap invariant).  Never lowered on release: a released
+        # key was <= some pushed key, so the bound stays valid.
+        self._tail_key: tuple[float, int] = (float("-inf"), -(2**62))
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -58,6 +65,9 @@ class SortingBuffer:
 
     def push(self, element: StreamElement) -> None:
         """Insert one element (any event time, including below released)."""
+        key = (element.event_time, element.seq)
+        if key > self._tail_key:
+            self._tail_key = key
         heapq.heappush(self._heap, (element.event_time, element.seq, element))
         if len(self._heap) > self._max_size:
             self._max_size = len(self._heap)
@@ -67,19 +77,34 @@ class SortingBuffer:
     def push_many(self, elements: list[StreamElement]) -> None:
         """Insert a batch of elements.
 
-        For batches that are large relative to the heap, extending the backing
-        list and re-heapifying once (O(n + m)) beats m sift-ups.
+        A batch that is already in event-time order and starts at or above
+        every key pushed so far — the common shape during low-disorder
+        phases — extends the heap tail directly: no re-heapify, no sift-ups.
+        Otherwise, batches large relative to the heap extend the backing
+        list and re-heapify once (O(n + m), beats m sift-ups); small ones
+        sift per element.
         """
+        if not elements:
+            return
         heap = self._heap
-        if len(elements) * 8 > len(heap):
-            heap.extend(
-                (element.event_time, element.seq, element) for element in elements
-            )
-            heapq.heapify(heap)
+        entries = [(element.event_time, element.seq, element) for element in elements]
+        first_key = (entries[0][0], entries[0][1])
+        if first_key >= self._tail_key and all(
+            entries[i][:2] <= entries[i + 1][:2] for i in range(len(entries) - 1)
+        ):
+            heap.extend(entries)
+            batch_max = (entries[-1][0], entries[-1][1])
         else:
-            push = heapq.heappush
-            for element in elements:
-                push(heap, (element.event_time, element.seq, element))
+            if len(entries) * 8 > len(heap):
+                heap.extend(entries)
+                heapq.heapify(heap)
+            else:
+                push = heapq.heappush
+                for entry in entries:
+                    push(heap, entry)
+            batch_max = max(entry[:2] for entry in entries)
+        if batch_max > self._tail_key:
+            self._tail_key = batch_max
         if len(heap) > self._max_size:
             self._max_size = len(heap)
         if elements and self.tracer.enabled:

@@ -20,7 +20,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.streams.timebase import DurationS
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LatencySummary:
     """Distribution summary of per-window result latencies (seconds)."""
 
@@ -54,7 +54,7 @@ class LatencySummary:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlackSample:
     """One point of the handler timeline (for adaptation plots)."""
 

@@ -1,0 +1,1028 @@
+"""Partial-aggregate tree execution and the shared slice store.
+
+The sliced operator (:mod:`repro.engine.sliced_op`) already reduces
+per-element work to one accumulator add, but a *closing window* still pays a
+merge chain over all ``size/slide`` constituent slices, and every late
+element invalidates nothing — corrections re-merge the full chain again at
+retirement.  Following the FiBA line of work (Tangwongsan, Hirzel &
+Schneider: amortized O(1) in-order inserts, O(log d) out-of-order inserts),
+this module keeps the event-time-ordered slices as the leaves of a **dyadic
+partial-aggregate tree**:
+
+* node ``(level, i)`` caches the merged aggregate of slices
+  ``[i * 2^level, (i + 1) * 2^level)``; nodes are materialized lazily the
+  first time a window reads them and reused by every later window;
+* a closing window combines the ~``2 * log2(size/slide)`` cached nodes of
+  its dyadic decomposition instead of merging ``size/slide`` slices;
+* an in-order append touches one leaf slice and defers a single dirty-mark
+  walk — amortized O(1);
+* a late element patches only the O(log d) path of cached ancestors above
+  its slice; every other cached partial stays valid, and retirement
+  corrections reuse the patched partials.
+
+:class:`TreeWindowAggregateOperator` wires the tree into the standard
+operator protocol (``mode="tree"`` of :func:`make_window_operator`), with
+semantics identical to the naive and sliced operators — enforced by the
+property suite in ``tests/property/test_tree_equivalence.py``.
+
+:class:`SharedSliceStore` extends the sharing across *queries*: concurrent
+queries over the same stream whose windows are multiples of one common
+slide share a single slice stream and a single tree.  Each query keeps only
+its own close/retire cursors and release schedule (fixed slack or an
+adaptive advisor fed observation-only), so per-element aggregation work is
+paid once instead of once per query — the scaling experiment E19 measures
+both effects.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.engine.aggregate_op import OperatorStats, relative_error
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.handlers import DisorderHandler
+from repro.engine.operator import Operator, WindowResult
+from repro.engine.windows import SlidingWindowAssigner, Window
+from repro.errors import ConfigurationError
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.streams.element import StreamElement
+from repro.streams.timebase import (
+    ArrivalTimeStamp,
+    DurationS,
+    EventTimeFrontier,
+    EventTimeStamp,
+    MonotoneFrontier,
+)
+
+
+def _ignore_error(error: float) -> None:
+    """Error sink for shared queries without an adaptive advisor."""
+
+
+class _SliceTree:
+    """Dyadic tree of cached partial aggregates over event-time slices.
+
+    Leaves (level 0) are the slice accumulators — the source of truth,
+    updated in place by ingestion.  Interior nodes are created lazily at
+    query time and cached as ``[accumulator, count, dirty]``.  Two
+    invariants keep reads cheap and writes O(log):
+
+    1. a cached node whose covered slices changed is marked ``dirty``;
+    2. a cached *clean* node has only clean cached descendants (recomputes
+       refresh whole dirty subtrees, creations derive from fresh children).
+
+    Invariant 2 lets the dirty-mark walk stop at the first already-dirty
+    ancestor.  Marking itself is deferred: ingestion only records touched
+    slices in a set, and :meth:`flush_touched` walks them immediately
+    before any partials are read — so a burst of appends into one slice
+    costs one walk, not one per element.
+    """
+
+    __slots__ = (
+        "aggregate",
+        "slide",
+        "span",
+        "max_level",
+        "tracer",
+        "sim_time",
+        "patches",
+        "max_patch_depth",
+        "recomputes",
+        "_slices",
+        "_nodes",
+        "_touched",
+        "_slice_gc",
+        "_node_gc",
+        "_gc_seq",
+    )
+
+    def __init__(self, aggregate: AggregateFunction, slide: DurationS, span: int) -> None:
+        self.aggregate = aggregate
+        self.slide = slide
+        self.set_span(span)
+        self.tracer: Tracer = NULL_TRACER
+        #: Simulated-time stamp for trace records; the owning operator
+        #: refreshes it (only while tracing) before driving the tree.
+        self.sim_time = 0.0
+        self.patches = 0
+        self.max_patch_depth = 0
+        self.recomputes = 0
+        # (key, slice_index) -> [accumulator, count]
+        self._slices: dict[tuple[object, int], list] = {}
+        # (key, level, index) -> [accumulator, count, dirty]
+        self._nodes: dict[tuple[object, int, int], list] = {}
+        self._touched: set[tuple[object, int]] = set()
+        self._slice_gc: list[tuple[float, int, tuple[object, int]]] = []
+        self._node_gc: list[tuple[float, int, tuple[object, int, int]]] = []
+        self._gc_seq = 0
+
+    def set_span(self, span: int) -> None:
+        """Set the widest window extent (in slices) any reader uses.
+
+        The span bounds both garbage-collection expiries and the height of
+        the dirty-mark walk; :class:`SharedSliceStore` raises it as queries
+        register (before any element is ingested).
+        """
+        if span < 1:
+            raise ConfigurationError(f"span must be >= 1, got {span}")
+        self.span = span
+        # Decompositions of a span-length range use nodes up to one level
+        # above log2(span); the +1 absorbs the off-by-one of odd alignments.
+        self.max_level = max(1, (span - 1).bit_length() + 1)
+
+    # ------------------------------------------------------------------ #
+    # ingestion side
+
+    def slice_of(self, timestamp: EventTimeStamp) -> int:
+        """Slice index containing ``timestamp`` (FP-guarded floor)."""
+        slide = self.slide
+        index = math.floor(timestamp / slide)
+        while index * slide > timestamp:
+            index -= 1
+        while (index + 1) * slide <= timestamp:
+            index += 1
+        return index
+
+    def entry(self, key: object, slice_index: int) -> list:
+        """Get-or-create the leaf accumulator entry for a slice."""
+        slot = (key, slice_index)
+        entry = self._slices.get(slot)
+        if entry is None:
+            entry = [self.aggregate.create(), 0]
+            self._slices[slot] = entry
+            self._gc_seq += 1
+            heapq.heappush(
+                self._slice_gc,
+                ((slice_index + self.span) * self.slide, self._gc_seq, slot),
+            )
+        return entry
+
+    def touch(self, key: object, slice_index: int) -> None:
+        """Record that a slice's accumulator changed (mark walk deferred)."""
+        self._touched.add((key, slice_index))
+
+    def flush_touched(self) -> None:
+        """Dirty-mark the cached ancestors of every touched slice."""
+        touched = self._touched
+        if not touched:
+            return
+        nodes = self._nodes
+        max_level = self.max_level
+        tracer = self.tracer
+        tracing = tracer.enabled
+        for key, index in touched:
+            depth = 0
+            idx = index
+            for level in range(1, max_level + 1):
+                idx >>= 1
+                node = nodes.get((key, level, idx))
+                if node is not None:
+                    if node[2]:
+                        # Invariant 2: its cached ancestors are already dirty.
+                        break
+                    node[2] = True
+                    depth += 1
+            if depth:
+                self.patches += 1
+                if depth > self.max_patch_depth:
+                    self.max_patch_depth = depth
+                if tracing:
+                    tracer.tree_patch(self.sim_time, index, depth)
+        touched.clear()
+
+    # ------------------------------------------------------------------ #
+    # query side
+
+    def _node_value(self, key: object, level: int, index: int) -> list | None:
+        """Fresh value of node ``(level, index)``: ``[acc, count, ...]``.
+
+        Level 0 reads the slice store directly; interior nodes are served
+        from cache when clean and recomputed (recursively, refreshing the
+        whole dirty subtree) otherwise.  Returns ``None`` for uncovered
+        ranges; callers skip entries with a zero count.
+        """
+        if level == 0:
+            return self._slices.get((key, index))
+        slot = (key, level, index)
+        node = self._nodes.get(slot)
+        if node is not None and not node[2]:
+            return node
+        left = self._node_value(key, level - 1, index + index)
+        right = self._node_value(key, level - 1, index + index + 1)
+        aggregate = self.aggregate
+        accumulator = aggregate.create()
+        count = 0
+        if left is not None and left[1]:
+            aggregate.merge(accumulator, left[0])
+            count += left[1]
+        if right is not None and right[1]:
+            aggregate.merge(accumulator, right[0])
+            count += right[1]
+        self.recomputes += 1
+        if node is None:
+            node = [accumulator, count, False]
+            self._nodes[slot] = node
+            self._gc_seq += 1
+            last_slice = ((index + 1) << level) - 1
+            heapq.heappush(
+                self._node_gc,
+                ((last_slice + self.span) * self.slide, self._gc_seq, slot),
+            )
+        else:
+            node[0] = accumulator
+            node[1] = count
+            node[2] = False
+        return node
+
+    def assemble(self, key: object, lo: int, hi: int) -> tuple[object, int, int]:
+        """Combine cached partials covering slices ``[lo, hi)``.
+
+        Classic bottom-up dyadic decomposition: ~``2 * log2(hi - lo)``
+        node reads, each served from cache or recomputed along its dirty
+        path.  Returns ``(accumulator, count, nodes_combined)``; the
+        accumulator is fresh (cached partials are never mutated).
+        Callers must :meth:`flush_touched` first.
+        """
+        aggregate = self.aggregate
+        accumulator = aggregate.create()
+        count = 0
+        nodes_combined = 0
+        node_value = self._node_value
+        level = 0
+        while lo < hi:
+            if lo & 1:
+                entry = node_value(key, level, lo)
+                lo += 1
+                if entry is not None and entry[1]:
+                    aggregate.merge(accumulator, entry[0])
+                    count += entry[1]
+                    nodes_combined += 1
+            if hi & 1:
+                hi -= 1
+                entry = node_value(key, level, hi)
+                if entry is not None and entry[1]:
+                    aggregate.merge(accumulator, entry[0])
+                    count += entry[1]
+                    nodes_combined += 1
+            lo >>= 1
+            hi >>= 1
+            level += 1
+        return accumulator, count, nodes_combined
+
+    # ------------------------------------------------------------------ #
+    # retention
+
+    def gc_due(self, threshold: EventTimeStamp) -> bool:
+        """Whether :meth:`gc` would drop anything at this threshold."""
+        slice_gc = self._slice_gc
+        node_gc = self._node_gc
+        return bool(
+            (slice_gc and slice_gc[0][0] <= threshold)
+            or (node_gc and node_gc[0][0] <= threshold)
+        )
+
+    def gc(self, threshold: EventTimeStamp) -> None:
+        """Drop slices and nodes no reader can reach anymore.
+
+        An entry covering slices up to ``s`` expires once the last window
+        containing ``s`` (ending at ``(s + span) * slide``) is past the
+        threshold — the caller subtracts its feedback horizon first.
+        """
+        heap = self._slice_gc
+        slices = self._slices
+        pop = heapq.heappop
+        while heap and heap[0][0] <= threshold:
+            slices.pop(pop(heap)[2], None)
+        heap = self._node_gc
+        nodes = self._nodes
+        while heap and heap[0][0] <= threshold:
+            nodes.pop(pop(heap)[2], None)
+
+    def slice_count(self) -> int:
+        """Currently retained leaf slices (memory proxy)."""
+        return len(self._slices)
+
+    def node_count(self) -> int:
+        """Currently cached interior nodes (memory proxy)."""
+        return len(self._nodes)
+
+
+class _QueryWindowView:
+    """Per-query window close/retire cursors over a shared slice tree.
+
+    The sliced operator registers every window end of every new slice in a
+    global heap — O(size/slide) pushes per slice, which would cap the tree's
+    win exactly where overlap is high.  A view instead tracks, per key, the
+    contiguous range of window-end indices still to close
+    (``next_end..max_end``) plus one scheduling entry per key in a heap:
+    closing a window is O(1) amortized regardless of overlap.
+    """
+
+    __slots__ = (
+        "tree",
+        "size",
+        "span",
+        "feedback_horizon",
+        "track_feedback",
+        "stats",
+        "close_frontier",
+        "_next_end",
+        "_max_end",
+        "_scheduled",
+        "_pending",
+        "_heap_seq",
+        "_emitted",
+        "_emitted_heap",
+    )
+
+    def __init__(
+        self,
+        tree: _SliceTree,
+        size: DurationS,
+        span: int,
+        feedback_horizon: DurationS,
+        track_feedback: bool,
+    ) -> None:
+        self.tree = tree
+        self.size = size
+        self.span = span
+        self.feedback_horizon = feedback_horizon
+        self.track_feedback = track_feedback
+        self.stats = OperatorStats()
+        self.close_frontier = float("-inf")
+        self._next_end: dict[object, int] = {}
+        self._max_end: dict[object, int] = {}
+        self._scheduled: set[object] = set()
+        # One entry per key with closable windows: (next end time, seq, key).
+        self._pending: list[tuple[float, int, object]] = []
+        self._heap_seq = 0
+        # Emitted values awaiting feedback retirement: (key, end) -> value.
+        self._emitted: dict[tuple[object, float], float] = {}
+        self._emitted_heap: list[tuple[float, int, object]] = []
+
+    def late_count(self, slice_index: int) -> int:
+        """Already-closed windows containing the slice (lateness verdict).
+
+        Mirrors the sliced operator's accounting exactly: one drop per
+        closed window with a non-negative start.
+        """
+        close_frontier = self.close_frontier
+        slide = self.tree.slide
+        if (slice_index + 1) * slide > close_frontier:
+            return 0
+        size = self.size
+        late = 0
+        for offset in range(self.span):
+            end = (slice_index + 1 + offset) * slide
+            if end <= close_frontier and end - size >= 0:
+                late += 1
+        return late
+
+    def note_slice(self, key: object, slice_index: int) -> None:
+        """Extend the key's closable end range to cover a touched slice.
+
+        The range can grow at *both* ends: behind a sorting buffer only the
+        top moves, but the shared store ingests at raw arrival order, so an
+        out-of-order (yet not late) element may touch a slice below the
+        current range start.  The rewind is clamped to the first end above
+        the close frontier — everything at or below it is skipped by
+        ``close_windows``'s previous-frontier check anyway, and an unclamped
+        rewind would make every late element cost a re-walk proportional to
+        its lateness.  The clamp also means truly late elements (the common
+        case behind a sorting buffer) never lower ``_next_end`` at all.
+        """
+        first_end = slice_index + 1
+        last_end = slice_index + self.span
+        max_end_map = self._max_end
+        max_end = max_end_map.get(key)
+        if max_end is None:
+            max_end_map[key] = max_end = last_end
+            self._next_end[key] = first_end
+        else:
+            if last_end > max_end:
+                max_end_map[key] = max_end = last_end
+            elif first_end >= self._next_end[key]:
+                # Late data inside the known range: every containing window
+                # is either already pending or already closed.
+                return
+            if first_end < self._next_end[key]:
+                rewind_to = first_end
+                close_frontier = self.close_frontier
+                if close_frontier > float("-inf"):
+                    slide = self.tree.slide
+                    floor = int(close_frontier / slide)
+                    while floor * slide <= close_frontier:
+                        floor += 1
+                    if floor > rewind_to:
+                        rewind_to = floor
+                if rewind_to < self._next_end[key]:
+                    self._next_end[key] = rewind_to
+                    # Any queued entry for this key now has a stale (too
+                    # high) priority; drop the guard so a fresh entry is
+                    # pushed below.
+                    self._scheduled.discard(key)
+        if key not in self._scheduled and self._next_end[key] <= max_end:
+            self._heap_seq += 1
+            heapq.heappush(
+                self._pending,
+                (self._next_end[key] * self.tree.slide, self._heap_seq, key),
+            )
+            self._scheduled.add(key)
+
+    def close_windows(
+        self,
+        frontier: EventTimeStamp,
+        emit_time: ArrivalTimeStamp,
+        tracer: Tracer,
+        flushed: bool = False,
+    ) -> list[WindowResult]:
+        """Emit every window with ``end <= frontier`` not yet closed."""
+        pending = self._pending
+        if not pending or pending[0][0] > frontier:
+            if frontier > self.close_frontier:
+                self.close_frontier = frontier
+            return []
+        tree = self.tree
+        tree.flush_touched()
+        aggregate = tree.aggregate
+        slide = tree.slide
+        size = self.size
+        span = self.span
+        previous_frontier = self.close_frontier
+        track = self.track_feedback
+        tracing = tracer.enabled
+        results: list[WindowResult] = []
+        while pending and pending[0][0] <= frontier:
+            __, __, key = heapq.heappop(pending)
+            self._scheduled.discard(key)
+            next_end = self._next_end[key]
+            max_end = self._max_end[key]
+            while next_end <= max_end:
+                end = next_end * slide
+                if end > frontier:
+                    break
+                end_index = next_end
+                next_end += 1
+                if end <= previous_frontier:
+                    continue  # closed before this key's data appeared
+                start = end - size
+                if start < 0:
+                    continue
+                lo = end_index - span
+                accumulator, count, nodes_combined = tree.assemble(
+                    key, lo if lo > 0 else 0, end_index
+                )
+                if tracing:
+                    tracer.tree_assemble(emit_time, key, end, nodes_combined)
+                if count == 0:
+                    continue
+                value = aggregate.result(accumulator)
+                results.append(
+                    WindowResult(
+                        key=key,
+                        window=Window(start, end),
+                        value=value,
+                        count=count,
+                        emit_time=emit_time,
+                        latency=emit_time - end,
+                        flushed=flushed,
+                    )
+                )
+                if tracing:
+                    tracer.window_close(
+                        emit_time, key, start, end, value, count,
+                        emit_time - end, flushed,
+                    )
+                if track:
+                    self._emitted[(key, end)] = value
+                    self._heap_seq += 1
+                    heapq.heappush(self._emitted_heap, (end, self._heap_seq, key))
+            self._next_end[key] = next_end
+            if next_end <= max_end:
+                self._heap_seq += 1
+                heapq.heappush(pending, (next_end * slide, self._heap_seq, key))
+                self._scheduled.add(key)
+        if frontier > self.close_frontier:
+            self.close_frontier = frontier
+        self.stats.results_out += len(results)
+        return results
+
+    def retire_due(self, frontier: EventTimeStamp) -> bool:
+        """Whether retirement at this frontier would score any window."""
+        heap = self._emitted_heap
+        return bool(
+            self.track_feedback
+            and heap
+            and heap[0][0] <= frontier - self.feedback_horizon
+        )
+
+    def retire(self, frontier: EventTimeStamp, observe_error) -> None:
+        """Score emitted-vs-corrected error for windows leaving the horizon.
+
+        Corrections reuse the tree: the patched partials above late slices
+        serve every correction in O(log) instead of a fresh merge chain.
+        """
+        if not self.track_feedback:
+            return
+        heap = self._emitted_heap
+        retire_before = frontier - self.feedback_horizon
+        if not heap or heap[0][0] > retire_before:
+            return
+        tree = self.tree
+        tree.flush_touched()
+        aggregate = tree.aggregate
+        slide = tree.slide
+        span = self.span
+        while heap and heap[0][0] <= retire_before:
+            end, __, key = heapq.heappop(heap)
+            emitted = self._emitted.pop((key, end), None)
+            if emitted is None:
+                continue
+            end_index = int(round(end / slide))
+            lo = end_index - span
+            accumulator, count, __ = tree.assemble(
+                key, lo if lo > 0 else 0, end_index
+            )
+            corrected = aggregate.result(accumulator) if count else math.nan
+            error = relative_error(emitted, corrected)
+            self.stats.observed_errors.append(error)
+            observe_error(error)
+
+
+class TreeWindowAggregateOperator(Operator):
+    """Sliding-window aggregation over a partial-aggregate slice tree.
+
+    Drop-in alternative to the naive and sliced operators (``mode="tree"``):
+    same results, same late/feedback semantics, but closing a window costs
+    O(log(size/slide)) cached-partial merges instead of a full slice chain,
+    and late elements invalidate only their O(log) ancestor path.  Requires
+    the slide to divide the window size and a mergeable aggregate — the
+    same preconditions as sliced execution.
+    """
+
+    #: Attached tracer (see :mod:`repro.obs.trace`); the shared null tracer
+    #: keeps instrumented paths at one attribute check when tracing is off.
+    tracer: Tracer = NULL_TRACER
+
+    def __init__(
+        self,
+        assigner: SlidingWindowAssigner,
+        aggregate: AggregateFunction,
+        handler: DisorderHandler,
+        feedback_horizon: DurationS | None = None,
+        track_feedback: bool = True,
+    ) -> None:
+        if not isinstance(assigner, SlidingWindowAssigner):
+            raise ConfigurationError(
+                "tree execution requires a sliding/tumbling window assigner"
+            )
+        ratio = assigner.size / assigner.slide
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ConfigurationError(
+                "tree execution requires slide to divide size "
+                f"(got size={assigner.size}, slide={assigner.slide}); "
+                "use WindowAggregateOperator for unaligned windows"
+            )
+        self.assigner = assigner
+        self.aggregate = aggregate
+        self.handler = handler
+        self.slices_per_window = int(round(ratio))
+        if feedback_horizon is None:
+            feedback_horizon = 5.0 * assigner.size
+        if feedback_horizon < 0:
+            raise ConfigurationError(
+                f"feedback_horizon must be non-negative, got {feedback_horizon}"
+            )
+        self.feedback_horizon = feedback_horizon
+        self.track_feedback = track_feedback
+        self._tree = _SliceTree(aggregate, assigner.slide, self.slices_per_window)
+        self._view = _QueryWindowView(
+            self._tree,
+            assigner.size,
+            self.slices_per_window,
+            feedback_horizon,
+            track_feedback,
+        )
+        self.stats = self._view.stats
+        self._last_arrival = 0.0
+
+    # ------------------------------------------------------------------ #
+    # tracing
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer to this operator, its tree and its handler."""
+        self.tracer = tracer
+        self._tree.tracer = tracer
+        set_handler_tracer = getattr(self.handler, "set_tracer", None)
+        if set_handler_tracer is not None:
+            set_handler_tracer(tracer)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+
+    def _ingest(self, element: StreamElement) -> None:
+        tree = self._tree
+        slice_index = tree.slice_of(element.event_time)
+        key = element.key
+        entry = tree.entry(key, slice_index)
+        late = self._view.late_count(slice_index)
+        if late:
+            self.stats.late_dropped += late
+        self.aggregate.add(entry[0], element.value)
+        entry[1] += 1
+        tree.touch(key, slice_index)
+        self._view.note_slice(key, slice_index)
+
+    def _retire(self, frontier: EventTimeStamp) -> None:
+        self._view.retire(frontier, self.handler.observe_error)
+        horizon = self.feedback_horizon if self.track_feedback else 0.0
+        self._tree.gc(frontier - horizon)
+
+    # ------------------------------------------------------------------ #
+    # Operator protocol
+
+    def process(self, element: StreamElement) -> list[WindowResult]:
+        self.stats.elements_in += 1
+        arrival = element.arrival_time
+        if arrival is not None and arrival > self._last_arrival:
+            self._last_arrival = arrival
+        emit_time = self._last_arrival
+        tracer = self.tracer
+        if tracer.enabled:
+            self._tree.sim_time = emit_time
+        for out in self.handler.offer(element):
+            self._ingest(out)
+        frontier = self.handler.frontier
+        results = self._view.close_windows(frontier, emit_time, tracer)
+        self._retire(frontier)
+        return results
+
+    def process_many(self, elements: list[StreamElement]) -> list[WindowResult]:
+        """Batched ingest: equivalent to ``process`` element-for-element.
+
+        Released elements are grouped by (key, slice); each group's values
+        fold into the leaf accumulator once per close/retire boundary via
+        ``add_many``.  Per-element frontier checkpoints from the handler
+        replay closes and retirement at exactly the scalar steps.
+        """
+        if not elements:
+            return []
+        self.stats.elements_in += len(elements)
+        released, checkpoints = self.handler.offer_many(elements)
+        aggregate = self.aggregate
+        tree = self._tree
+        view = self._view
+        pending = view._pending
+        track = self.track_feedback
+        gc_horizon = self.feedback_horizon if track else 0.0
+        slice_of = tree.slice_of
+        tracer = self.tracer
+        tracing = tracer.enabled
+        results: list[WindowResult] = []
+        last_arrival = self._last_arrival
+        # group: [slice_entry, values, late_count]
+        groups: dict[tuple[object, int], list] = {}
+        get_group = groups.get
+
+        def flush_groups() -> None:
+            for group in groups.values():
+                values = group[1]
+                if values:
+                    entry = group[0]
+                    aggregate.add_many(entry[0], values)
+                    entry[1] += len(values)
+            groups.clear()
+
+        prev_offset = 0
+        for index, element in enumerate(elements):
+            arrival = element.arrival_time
+            if arrival is not None and arrival > last_arrival:
+                last_arrival = arrival
+            end_offset, frontier = checkpoints[index]
+            while prev_offset < end_offset:
+                out = released[prev_offset]
+                prev_offset += 1
+                slice_index = slice_of(out.event_time)
+                group_key = (out.key, slice_index)
+                group = get_group(group_key)
+                if group is None:
+                    entry = tree.entry(out.key, slice_index)
+                    tree.touch(out.key, slice_index)
+                    view.note_slice(out.key, slice_index)
+                    groups[group_key] = group = [
+                        entry,
+                        [],
+                        view.late_count(slice_index),
+                    ]
+                group[1].append(out.value)
+                if group[2]:
+                    self.stats.late_dropped += group[2]
+            if frontier > view.close_frontier:
+                if tracing:
+                    tree.sim_time = last_arrival
+                if pending and pending[0][0] <= frontier:
+                    flush_groups()
+                    results.extend(view.close_windows(frontier, last_arrival, tracer))
+                else:
+                    view.close_frontier = frontier
+                if view.retire_due(frontier) or tree.gc_due(frontier - gc_horizon):
+                    flush_groups()
+                    self._retire(frontier)
+        flush_groups()
+        self._last_arrival = last_arrival
+        return results
+
+    def finish(self) -> list[WindowResult]:
+        emit_time = self._last_arrival
+        tracer = self.tracer
+        if tracer.enabled:
+            self._tree.sim_time = emit_time
+        for out in self.handler.flush():
+            self._ingest(out)
+        results = self._view.close_windows(
+            float("inf"), emit_time, tracer, flushed=True
+        )
+        self._retire(float("inf"))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def slice_count(self) -> int:
+        """Currently retained leaf slices (memory proxy)."""
+        return self._tree.slice_count()
+
+    def node_count(self) -> int:
+        """Currently cached interior partial-aggregate nodes."""
+        return self._tree.node_count()
+
+    @property
+    def patch_count(self) -> int:
+        """Dirty-path patches applied (one per touched slice with cached
+        ancestors)."""
+        return self._tree.patches
+
+    @property
+    def max_patch_depth(self) -> int:
+        """Deepest ancestor path invalidated by a single patch."""
+        return self._tree.max_patch_depth
+
+    @property
+    def recompute_count(self) -> int:
+        """Interior nodes computed or recomputed at query time."""
+        return self._tree.recomputes
+
+
+class _SharedQuery:
+    """Registration record of one query inside a :class:`SharedSliceStore`."""
+
+    __slots__ = ("query_id", "view", "advisor", "slack", "frontier", "observe_error")
+
+    def __init__(
+        self,
+        query_id: str,
+        view: _QueryWindowView,
+        advisor: object | None,
+        slack: DurationS,
+    ) -> None:
+        self.query_id = query_id
+        self.view = view
+        self.advisor = advisor
+        self.slack = slack
+        self.frontier = MonotoneFrontier()
+        self.observe_error = (
+            advisor.observe_error
+            if advisor is not None and hasattr(advisor, "observe_error")
+            else _ignore_error
+        )
+
+
+class SharedSliceStore:
+    """One slice stream and one partial-aggregate tree, many queries.
+
+    Concurrent queries over the same stream whose window sizes are
+    multiples of a common ``slide`` (the E11 scenario) duplicate all
+    aggregation state when run independently.  The store ingests every
+    element **once** into a shared :class:`_SliceTree`; each registered
+    query keeps only its own release schedule (a fixed slack, or an
+    adaptive advisor such as :class:`~repro.core.aqk.AQKSlackHandler` fed
+    through its ``observe_only`` hook) and its own close/retire cursors.
+    Per-element aggregation work is therefore O(1) total instead of
+    O(queries), and window results per query are identical to running that
+    query alone — elements are ingested at arrival rather than at release,
+    which is safe because a buffered element is always released no later
+    than the close of any window containing it (its event time precedes
+    every such window's end, and release happens before closes within a
+    step).
+
+    Results accumulate in :attr:`results` (``query_id -> [WindowResult]``);
+    drive the store with :func:`run_shared_slices`.
+    """
+
+    def __init__(
+        self,
+        slide: DurationS,
+        aggregate: AggregateFunction,
+        track_feedback: bool = True,
+    ) -> None:
+        if slide <= 0:
+            raise ConfigurationError(f"slide must be positive, got {slide}")
+        self.slide = slide
+        self.aggregate = aggregate
+        self.track_feedback = track_feedback
+        self._tree = _SliceTree(aggregate, slide, 1)
+        self._queries: dict[str, _SharedQuery] = {}
+        self._clock = EventTimeFrontier()
+        self._last_arrival = 0.0
+        self.results: dict[str, list[WindowResult]] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+
+    def register(
+        self,
+        query_id: str,
+        size: DurationS,
+        slack: DurationS | None = None,
+        advisor: object | None = None,
+        feedback_horizon: DurationS | None = None,
+    ) -> _QueryWindowView:
+        """Register a query reading windows of ``size`` seconds.
+
+        Exactly one of ``slack`` (fixed K-slack release schedule) or
+        ``advisor`` (an object exposing ``observe_only(element) -> k``,
+        e.g. an :class:`~repro.core.aqk.AQKSlackHandler`) must be given.
+        Returns the query's view, whose ``stats`` mirror an operator's.
+        """
+        if query_id in self._queries:
+            raise ConfigurationError(f"query id {query_id!r} already registered")
+        if self._clock.count:
+            raise ConfigurationError("register all queries before offering elements")
+        if (slack is None) == (advisor is None):
+            raise ConfigurationError(
+                "exactly one of slack= or advisor= must be provided"
+            )
+        if advisor is not None and not hasattr(advisor, "observe_only"):
+            raise ConfigurationError(
+                "advisor must expose observe_only(element) -> slack "
+                "(see AQKSlackHandler.observe_only)"
+            )
+        if slack is not None and slack < 0:
+            raise ConfigurationError(f"slack must be non-negative, got {slack}")
+        ratio = size / self.slide
+        if size <= 0 or abs(ratio - round(ratio)) > 1e-9:
+            raise ConfigurationError(
+                "shared slices require the common slide to divide each "
+                f"window size (got size={size}, slide={self.slide})"
+            )
+        span = int(round(ratio))
+        if span > self._tree.span:
+            self._tree.set_span(span)
+        if feedback_horizon is None:
+            feedback_horizon = 5.0 * size
+        view = _QueryWindowView(
+            self._tree, size, span, feedback_horizon, self.track_feedback
+        )
+        self._queries[query_id] = _SharedQuery(
+            query_id, view, advisor, 0.0 if slack is None else slack
+        )
+        self.results[query_id] = []
+        return view
+
+    def stats_for(self, query_id: str) -> OperatorStats:
+        """Operator-style counters of one registered query."""
+        return self._queries[query_id].view.stats
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer to the shared tree."""
+        self._tree.tracer = tracer
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+
+    def offer(self, element: StreamElement) -> None:
+        """Ingest one arriving element and advance every query's schedule."""
+        if not self._queries:
+            raise ConfigurationError("no queries registered")
+        if element.arrival_time is None:
+            raise ConfigurationError("shared slices require arrival timestamps")
+        tree = self._tree
+        slice_index = tree.slice_of(element.event_time)
+        key = element.key
+        entry = tree.entry(key, slice_index)
+        self.aggregate.add(entry[0], element.value)
+        entry[1] += 1
+        tree.touch(key, slice_index)
+        clock = self._clock.observe(element.event_time)
+        arrival = element.arrival_time
+        if arrival > self._last_arrival:
+            self._last_arrival = arrival
+        emit_time = self._last_arrival
+        tracer = tree.tracer
+        if tracer.enabled:
+            tree.sim_time = emit_time
+        results = self.results
+        gc_threshold = None
+        horizon_tracked = self.track_feedback
+        for query in self._queries.values():
+            view = query.view
+            view.stats.elements_in += 1
+            advisor = query.advisor
+            slack = query.slack if advisor is None else advisor.observe_only(element)
+            frontier = query.frontier.advance(clock - slack)
+            late = view.late_count(slice_index)
+            if late:
+                view.stats.late_dropped += late
+            view.note_slice(key, slice_index)
+            closed = view.close_windows(frontier, emit_time, tracer)
+            if closed:
+                results[query.query_id].extend(closed)
+            view.retire(frontier, query.observe_error)
+            threshold = frontier - (view.feedback_horizon if horizon_tracked else 0.0)
+            if gc_threshold is None or threshold < gc_threshold:
+                gc_threshold = threshold
+        if gc_threshold is not None:
+            tree.gc(gc_threshold)
+
+    def finish(self) -> None:
+        """Stream ended: close and retire everything for every query."""
+        emit_time = self._last_arrival
+        tracer = self._tree.tracer
+        if tracer.enabled:
+            self._tree.sim_time = emit_time
+        for query in self._queries.values():
+            view = query.view
+            query.frontier.close()
+            closed = view.close_windows(
+                float("inf"), emit_time, tracer, flushed=True
+            )
+            if closed:
+                self.results[query.query_id].extend(closed)
+            view.retire(float("inf"), query.observe_error)
+        self._tree.gc(float("inf"))
+
+    def slice_count(self) -> int:
+        """Currently retained leaf slices of the shared tree."""
+        return self._tree.slice_count()
+
+    def node_count(self) -> int:
+        """Currently cached interior nodes of the shared tree."""
+        return self._tree.node_count()
+
+
+def run_shared_slices(
+    elements: list[StreamElement], store: SharedSliceStore
+) -> dict[str, list[WindowResult]]:
+    """Drive a shared slice store over an arrival-ordered stream.
+
+    Returns ``query_id -> list of WindowResult`` for every registered query.
+    """
+    offer = store.offer
+    for element in elements:
+        offer(element)
+    store.finish()
+    return store.results
+
+
+#: Names accepted by :func:`make_window_operator` and the query builder.
+EXECUTION_MODES = ("naive", "sliced", "tree")
+
+
+def make_window_operator(
+    mode: str,
+    assigner,
+    aggregate: AggregateFunction,
+    handler: DisorderHandler,
+    feedback_horizon: DurationS | None = None,
+    track_feedback: bool = True,
+) -> Operator:
+    """Build a window aggregation operator for the given execution mode.
+
+    ``"naive"`` adds every element to each containing window; ``"sliced"``
+    shares one accumulator per slice (requires slide | size); ``"tree"``
+    additionally caches dyadic partial aggregates over the slices.  All
+    three produce identical results.
+    """
+    if mode == "naive":
+        from repro.engine.aggregate_op import WindowAggregateOperator
+
+        return WindowAggregateOperator(
+            assigner, aggregate, handler,
+            feedback_horizon=feedback_horizon, track_feedback=track_feedback,
+        )
+    if mode == "sliced":
+        from repro.engine.sliced_op import SlicedWindowAggregateOperator
+
+        return SlicedWindowAggregateOperator(
+            assigner, aggregate, handler,
+            feedback_horizon=feedback_horizon, track_feedback=track_feedback,
+        )
+    if mode == "tree":
+        return TreeWindowAggregateOperator(
+            assigner, aggregate, handler,
+            feedback_horizon=feedback_horizon, track_feedback=track_feedback,
+        )
+    raise ConfigurationError(
+        f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+    )

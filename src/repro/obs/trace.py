@@ -48,6 +48,8 @@ EVENT_KINDS = (
     "window.flush",  # key, start, end, value, count, latency
     "window.retire",  # key, start, end, emitted, corrected, error, late_updates
     "late.drop",  # key, event_time, window_end
+    "tree.patch",  # slice_index, depth (partial-aggregate path invalidated)
+    "tree.assemble",  # key, end, nodes (cached partials combined per window)
     "adaptation",  # k_before, k_after, k_estimate, allowed_late_fraction,
     #               error_ewma, gain, residual, target
     "sanitizer.finding",  # check, message
@@ -159,6 +161,14 @@ class Tracer:
         self, sim_time: float, key: object, event_time: float, window_end: float
     ) -> None:
         """An element arrived after its window closed and was dropped."""
+
+    def tree_patch(self, sim_time: float, slice_index: int, depth: int) -> None:
+        """A touched slice dirty-marked ``depth`` cached ancestors."""
+
+    def tree_assemble(
+        self, sim_time: float, key: object, end: float, nodes: int
+    ) -> None:
+        """A window was assembled from ``nodes`` cached partials."""
 
     def adaptation(
         self,
@@ -373,6 +383,17 @@ class TraceRecorder(Tracer):
             sim_time,
             {"key": key, "event_time": event_time, "window_end": window_end},
         )
+
+    def tree_patch(self, sim_time: float, slice_index: int, depth: int) -> None:
+        """Record one dirty-path patch of the partial-aggregate tree."""
+        self._emit("tree.patch", sim_time, {"slice_index": slice_index, "depth": depth})
+
+    def tree_assemble(
+        self, sim_time: float, key: object, end: float, nodes: int
+    ) -> None:
+        """Record one window assembly from cached partials (detail mode)."""
+        if self.detail:
+            self._emit("tree.assemble", sim_time, {"key": key, "end": end, "nodes": nodes})
 
     def adaptation(
         self,

@@ -29,7 +29,6 @@ from dataclasses import dataclass
 from repro.core.aqk import AQKSlackHandler
 from repro.core.quality import QualityReport, assess_quality
 from repro.core.spec import BoundedQualityTarget, LatencyBudget, QualityTarget
-from repro.engine.aggregate_op import WindowAggregateOperator
 from repro.engine.aggregates import AggregateFunction, make_aggregate
 from repro.engine.handlers import (
     DisorderHandler,
@@ -38,6 +37,7 @@ from repro.engine.handlers import (
     NoBufferHandler,
 )
 from repro.engine.metrics import LatencySummary
+from repro.engine.operator import Operator
 from repro.engine.oracle import oracle_results
 from repro.engine.pipeline import RunOutput, run_pipeline
 from repro.engine.watermarks import FixedLagWatermarkHandler
@@ -53,7 +53,7 @@ class QueryRun:
     output: RunOutput
     report: QualityReport | None
     handler: DisorderHandler
-    operator: object  # WindowAggregateOperator or SlicedWindowAggregateOperator
+    operator: object  # naive, sliced or tree window aggregate operator
 
     @property
     def results(self):
@@ -80,7 +80,7 @@ class ContinuousQuery:
         self._handler_factory = None
         self._handler_label: str | None = None
         self._sample_every = 0
-        self._sliced = False
+        self._mode = "naive"
 
     # ------------------------------------------------------------------ #
     # inputs
@@ -192,13 +192,32 @@ class ContinuousQuery:
         self._sample_every = every
         return self
 
+    def mode(self, mode: str) -> "ContinuousQuery":
+        """Choose the execution mode: ``"naive"``, ``"sliced"`` or ``"tree"``.
+
+        ``"sliced"`` shares one accumulator per slice (one add per element);
+        ``"tree"`` additionally caches dyadic partial aggregates over the
+        slices so closing windows and patching late elements are O(log)
+        instead of O(size/slide).  Both require the slide to divide the
+        window size and a mergeable aggregate; all modes produce identical
+        results.
+        """
+        from repro.engine.partial_tree import EXECUTION_MODES
+
+        if mode not in EXECUTION_MODES:
+            raise QueryError(
+                f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+            )
+        self._mode = mode
+        return self
+
     def sliced(self, enabled: bool = True) -> "ContinuousQuery":
-        """Use slice-based execution (one accumulator add per element).
+        """Use slice-based execution (alias for ``.mode("sliced")``).
 
         Requires the slide to divide the window size and a mergeable
         aggregate; semantics are identical to the default execution path.
         """
-        self._sliced = enabled
+        self._mode = "sliced" if enabled else "naive"
         return self
 
     def _require_aggregate(self) -> AggregateFunction:
@@ -206,7 +225,7 @@ class ContinuousQuery:
             raise QueryError("query has no aggregate; call .aggregate(...)")
         return self._aggregate
 
-    def build_operator(self) -> WindowAggregateOperator:
+    def build_operator(self) -> Operator:
         """Materialize the operator without running (for custom drivers)."""
         if self._assigner is None:
             raise QueryError("query has no window; call .window(...)")
@@ -217,14 +236,10 @@ class ContinuousQuery:
                 ".with_slack(...), .without_buffering(), ..."
             )
         handler = self._handler_factory(self)
-        if self._sliced:
-            from repro.engine.sliced_op import SlicedWindowAggregateOperator
+        from repro.engine.partial_tree import make_window_operator
 
-            return SlicedWindowAggregateOperator(
-                assigner=self._assigner, aggregate=aggregate, handler=handler
-            )
-        return WindowAggregateOperator(
-            assigner=self._assigner, aggregate=aggregate, handler=handler
+        return make_window_operator(
+            self._mode, self._assigner, aggregate, handler
         )
 
     def run(

@@ -126,6 +126,8 @@ class SimulatedClock:
     frontier from the maximum timestamp seen so far.
     """
 
+    __slots__ = ("_now",)
+
     def __init__(self, start: ArrivalTimeStamp = 0.0) -> None:
         if start < 0:
             raise ConfigurationError(f"clock start must be non-negative, got {start}")
@@ -157,6 +159,8 @@ class EventTimeFrontier:
     frontier itself is the most aggressive (zero-slack) watermark available
     without future knowledge.
     """
+
+    __slots__ = ("_max_event_time", "_count")
 
     def __init__(self) -> None:
         self._max_event_time = float("-inf")

@@ -1,0 +1,474 @@
+"""Tests for partial-aggregate tree execution and the shared slice store.
+
+The contract is semantic equivalence with the naive and sliced operators;
+most tests run two operators over the same stream and compare results
+exactly.  Tree-specific behavior (O(log) patches, node caching, GC bounds,
+trace events) is covered separately.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.aqk import AQKSlackHandler
+from repro.core.spec import QualityTarget
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import (
+    CountAggregate,
+    DistinctCountAggregate,
+    MaxAggregate,
+    MeanAggregate,
+    MinAggregate,
+    SumAggregate,
+    make_aggregate,
+)
+from repro.engine.handlers import KSlackHandler, NoBufferHandler
+from repro.engine.partial_tree import (
+    EXECUTION_MODES,
+    SharedSliceStore,
+    TreeWindowAggregateOperator,
+    make_window_operator,
+    run_shared_slices,
+)
+from repro.engine.pipeline import run_pipeline
+from repro.engine.sliced_op import SlicedWindowAggregateOperator
+from repro.engine.windows import SlidingWindowAssigner, TumblingWindowAssigner
+from repro.errors import ConfigurationError
+from repro.obs.trace import TraceRecorder
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.element import StreamElement
+from repro.streams.generators import generate_stream
+
+
+def make_stream(rng, duration=60, rate=50, mean_delay=0.5, keys=None):
+    return inject_disorder(
+        generate_stream(duration=duration, rate=rate, rng=rng, keys=keys),
+        ExponentialDelay(mean_delay),
+        rng,
+    )
+
+
+def result_map(results):
+    return {
+        (r.key, r.window): (r.value, r.count, r.latency, r.flushed) for r in results
+    }
+
+
+def assert_equivalent(stream, assigner, aggregate_factory, handler_factory):
+    naive = WindowAggregateOperator(assigner, aggregate_factory(), handler_factory())
+    tree = TreeWindowAggregateOperator(assigner, aggregate_factory(), handler_factory())
+    naive_map = result_map(run_pipeline(stream, naive).results)
+    tree_map = result_map(run_pipeline(stream, tree).results)
+    assert set(naive_map) == set(tree_map)
+    for slot, (value, count, latency, flushed) in naive_map.items():
+        t_value, t_count, t_latency, t_flushed = tree_map[slot]
+        assert t_count == count
+        assert t_latency == latency
+        assert t_flushed == flushed
+        assert t_value == value or abs(t_value - value) <= 1e-9 * max(1.0, abs(value))
+
+
+# --------------------------------------------------------------------- #
+# construction
+
+
+def test_rejects_non_sliding_assigner():
+    from repro.engine.windows import SessionWindowMerger
+
+    with pytest.raises(ConfigurationError):
+        TreeWindowAggregateOperator(
+            SessionWindowMerger(gap=1.0), SumAggregate(), KSlackHandler(1.0)
+        )
+
+
+def test_rejects_non_divisible_slide():
+    with pytest.raises(ConfigurationError):
+        TreeWindowAggregateOperator(
+            SlidingWindowAssigner(10, 3), SumAggregate(), KSlackHandler(1.0)
+        )
+
+
+def test_rejects_negative_feedback_horizon():
+    with pytest.raises(ConfigurationError):
+        TreeWindowAggregateOperator(
+            SlidingWindowAssigner(10, 2),
+            SumAggregate(),
+            KSlackHandler(1.0),
+            feedback_horizon=-1.0,
+        )
+
+
+def test_make_window_operator_modes():
+    def build(mode):
+        return make_window_operator(
+            mode, SlidingWindowAssigner(10, 2), SumAggregate(), KSlackHandler(1.0)
+        )
+
+    assert isinstance(build("naive"), WindowAggregateOperator)
+    assert isinstance(build("sliced"), SlicedWindowAggregateOperator)
+    assert isinstance(build("tree"), TreeWindowAggregateOperator)
+    assert set(EXECUTION_MODES) == {"naive", "sliced", "tree"}
+    with pytest.raises(ConfigurationError):
+        build("bogus")
+
+
+# --------------------------------------------------------------------- #
+# equivalence with the naive operator
+
+
+@pytest.mark.parametrize("size,slide", [(10, 2), (8, 1), (5, 5), (4, 0.5)])
+def test_tree_equals_naive_sliding(size, slide):
+    rng = np.random.default_rng(11)
+    stream = make_stream(rng)
+    assert_equivalent(
+        stream,
+        SlidingWindowAssigner(size, slide),
+        SumAggregate,
+        lambda: KSlackHandler(1.0),
+    )
+
+
+@pytest.mark.parametrize(
+    "aggregate_cls",
+    [CountAggregate, SumAggregate, MeanAggregate, MinAggregate, MaxAggregate],
+)
+def test_tree_equals_naive_across_aggregates(aggregate_cls):
+    rng = np.random.default_rng(12)
+    stream = make_stream(rng)
+    assert_equivalent(
+        stream, SlidingWindowAssigner(10, 2), aggregate_cls, lambda: KSlackHandler(1.5)
+    )
+
+
+def test_tree_equals_naive_tumbling():
+    rng = np.random.default_rng(13)
+    stream = make_stream(rng)
+    assert_equivalent(
+        stream, TumblingWindowAssigner(5), SumAggregate, lambda: KSlackHandler(1.0)
+    )
+
+
+def test_tree_equals_naive_keyed():
+    rng = np.random.default_rng(14)
+    stream = make_stream(rng, keys=["a", "b", "c"])
+    assert_equivalent(
+        stream, SlidingWindowAssigner(10, 2), SumAggregate, lambda: KSlackHandler(1.0)
+    )
+
+
+def test_tree_equals_naive_no_buffering():
+    rng = np.random.default_rng(15)
+    stream = make_stream(rng, mean_delay=1.5)
+    assert_equivalent(
+        stream, SlidingWindowAssigner(10, 2), SumAggregate, NoBufferHandler
+    )
+
+
+def test_tree_equals_naive_with_aqk():
+    rng = np.random.default_rng(16)
+    stream = make_stream(rng, mean_delay=1.0)
+    assert_equivalent(
+        stream,
+        SlidingWindowAssigner(10, 2),
+        CountAggregate,
+        lambda: AQKSlackHandler(
+            target=QualityTarget(0.05),
+            aggregate=make_aggregate("count"),
+            window_size=10.0,
+        ),
+    )
+
+
+def test_tree_matches_sliced_stats_and_errors():
+    rng = np.random.default_rng(17)
+    stream = make_stream(rng, mean_delay=1.5)
+    sliced = SlicedWindowAggregateOperator(
+        SlidingWindowAssigner(10, 2), CountAggregate(), KSlackHandler(0.5)
+    )
+    tree = TreeWindowAggregateOperator(
+        SlidingWindowAssigner(10, 2), CountAggregate(), KSlackHandler(0.5)
+    )
+    run_pipeline(stream, sliced)
+    run_pipeline(stream, tree)
+    assert tree.stats.elements_in == sliced.stats.elements_in
+    assert tree.stats.results_out == sliced.stats.results_out
+    assert tree.stats.late_dropped == sliced.stats.late_dropped
+    assert len(tree.stats.observed_errors) == len(sliced.stats.observed_errors)
+    for a, b in zip(
+        sorted(sliced.stats.observed_errors), sorted(tree.stats.observed_errors)
+    ):
+        assert (math.isnan(a) and math.isnan(b)) or a == b
+
+
+# --------------------------------------------------------------------- #
+# batched execution parity
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 64, 512])
+def test_batched_equals_scalar(batch_size):
+    rng = np.random.default_rng(21)
+    stream = make_stream(rng)
+
+    def build():
+        return TreeWindowAggregateOperator(
+            SlidingWindowAssigner(10, 2), SumAggregate(), KSlackHandler(1.0)
+        )
+
+    scalar_op, batched_op = build(), build()
+    scalar = run_pipeline(stream, scalar_op).results
+    batched = run_pipeline(stream, batched_op, batch_size=batch_size).results
+    assert [(r.key, r.window, r.count, r.flushed) for r in scalar] == [
+        (r.key, r.window, r.count, r.flushed) for r in batched
+    ]
+    for a, b in zip(scalar, batched):
+        assert a.value == b.value or abs(a.value - b.value) <= 1e-9 * max(
+            1.0, abs(a.value)
+        )
+    assert batched_op.stats.late_dropped == scalar_op.stats.late_dropped
+    assert len(batched_op.stats.observed_errors) == len(scalar_op.stats.observed_errors)
+
+
+# --------------------------------------------------------------------- #
+# tree internals: patches, caching, GC
+
+
+def test_in_order_stream_never_patches():
+    elements = [
+        StreamElement(event_time=i * 0.1, value=1.0, arrival_time=i * 0.1, seq=i)
+        for i in range(500)
+    ]
+    operator = TreeWindowAggregateOperator(
+        SlidingWindowAssigner(4, 0.5), CountAggregate(), NoBufferHandler()
+    )
+    run_pipeline(elements, operator)
+    assert operator.patch_count == 0
+
+
+def test_late_elements_patch_logarithmically():
+    rng = np.random.default_rng(31)
+    stream = make_stream(rng, mean_delay=2.0)
+    span = int(round(8 / 0.5))
+    operator = TreeWindowAggregateOperator(
+        SlidingWindowAssigner(8, 0.5), CountAggregate(), KSlackHandler(0.25)
+    )
+    run_pipeline(stream, operator)
+    assert operator.patch_count > 0
+    # The patch path is bounded by the tree height over the window span.
+    assert operator.max_patch_depth <= math.ceil(math.log2(span)) + 1
+
+
+def test_interior_nodes_are_cached_and_reused():
+    elements = [
+        StreamElement(event_time=i * 0.01, value=1.0, arrival_time=i * 0.01, seq=i)
+        for i in range(2000)
+    ]
+    operator = TreeWindowAggregateOperator(
+        SlidingWindowAssigner(6.4, 0.1),
+        CountAggregate(),
+        NoBufferHandler(),
+        track_feedback=False,
+    )
+    run_pipeline(elements, operator)
+    windows = operator.stats.results_out
+    span = 64
+    # Without caching every window would recompute ~span interior nodes;
+    # with caching the whole run stays well under one span's worth per
+    # window.
+    assert operator.recompute_count < windows * math.ceil(math.log2(span)) * 2
+
+
+def test_gc_bounds_retained_state():
+    elements = [
+        StreamElement(event_time=i * 0.01, value=1.0, arrival_time=i * 0.01, seq=i)
+        for i in range(5000)
+    ]
+    operator = TreeWindowAggregateOperator(
+        SlidingWindowAssigner(2, 0.25),
+        CountAggregate(),
+        NoBufferHandler(),
+        feedback_horizon=4.0,
+    )
+    run_pipeline(elements, operator)
+    # 50s of stream, 0.25s slices, horizon 4s + window 2s: far fewer than
+    # the ~200 slices the full stream would retain without GC.
+    assert operator.slice_count() < 60
+    assert operator.node_count() < 120
+
+
+def test_tree_trace_events():
+    rng = np.random.default_rng(32)
+    stream = make_stream(rng, mean_delay=1.5)
+    operator = TreeWindowAggregateOperator(
+        SlidingWindowAssigner(8, 0.5), CountAggregate(), KSlackHandler(0.25)
+    )
+    recorder = TraceRecorder(detail=True)
+    run_pipeline(stream, operator, trace=recorder)
+    patches = list(recorder.of_kind("tree.patch"))
+    assembles = list(recorder.of_kind("tree.assemble"))
+    assert len(patches) == operator.patch_count
+    assert assembles, "detail mode records per-window assembly"
+    for event in patches:
+        assert event.fields["depth"] >= 1
+    for event in assembles:
+        assert event.fields["nodes"] >= 0
+    # Traced run emits identical results to an untraced one.
+    untraced = TreeWindowAggregateOperator(
+        SlidingWindowAssigner(8, 0.5), CountAggregate(), KSlackHandler(0.25)
+    )
+    assert result_map(run_pipeline(stream, untraced).results) == result_map(
+        run_pipeline(stream, operator.__class__(
+            SlidingWindowAssigner(8, 0.5), CountAggregate(), KSlackHandler(0.25)
+        )).results
+    )
+
+
+# --------------------------------------------------------------------- #
+# shared slice store
+
+
+def test_shared_store_registration_errors():
+    store = SharedSliceStore(2.0, CountAggregate())
+    with pytest.raises(ConfigurationError):
+        store.register("q", 7.0, slack=1.0)  # slide does not divide size
+    with pytest.raises(ConfigurationError):
+        store.register("q", 10.0)  # neither slack nor advisor
+    with pytest.raises(ConfigurationError):
+        store.register("q", 10.0, slack=1.0, advisor=object())  # both
+    with pytest.raises(ConfigurationError):
+        store.register("q", 10.0, advisor=object())  # no observe_only
+    store.register("q", 10.0, slack=1.0)
+    with pytest.raises(ConfigurationError):
+        store.register("q", 10.0, slack=1.0)  # duplicate id
+    with pytest.raises(ConfigurationError):
+        SharedSliceStore(0.0, CountAggregate())
+
+
+def test_shared_store_requires_registration_before_offer():
+    store = SharedSliceStore(2.0, CountAggregate())
+    element = StreamElement(event_time=0.0, value=1.0, arrival_time=0.0, seq=0)
+    with pytest.raises(ConfigurationError):
+        store.offer(element)
+    store.register("q", 10.0, slack=1.0)
+    store.offer(element)
+    with pytest.raises(ConfigurationError):
+        store.register("late", 10.0, slack=1.0)
+
+
+def test_shared_store_matches_private_pipelines_fixed_slack():
+    rng = np.random.default_rng(41)
+    stream = make_stream(rng, mean_delay=1.0)
+    store = SharedSliceStore(2.0, CountAggregate())
+    configs = [("q8", 8.0, 2.0), ("q16", 16.0, 0.5), ("q10", 10.0, 1.0)]
+    for qid, size, slack in configs:
+        store.register(qid, size, slack=slack)
+    shared = run_shared_slices(stream, store)
+    for qid, size, slack in configs:
+        solo = TreeWindowAggregateOperator(
+            SlidingWindowAssigner(size, 2.0), CountAggregate(), KSlackHandler(slack)
+        )
+        solo_results = run_pipeline(stream, solo).results
+        assert result_map(shared[qid]) == result_map(solo_results)
+        assert store.stats_for(qid).late_dropped == solo.stats.late_dropped
+
+
+def test_shared_store_matches_private_pipelines_aqk():
+    rng = np.random.default_rng(42)
+    stream = make_stream(rng, mean_delay=1.0)
+    thetas = [0.02, 0.05, 0.2]
+    store = SharedSliceStore(2.0, CountAggregate())
+    for theta in thetas:
+        advisor = AQKSlackHandler(
+            target=QualityTarget(theta),
+            aggregate=make_aggregate("count"),
+            window_size=10.0,
+        )
+        store.register(f"q{theta}", 10.0, advisor=advisor)
+    shared = run_shared_slices(stream, store)
+    for theta in thetas:
+        handler = AQKSlackHandler(
+            target=QualityTarget(theta),
+            aggregate=make_aggregate("count"),
+            window_size=10.0,
+        )
+        solo = TreeWindowAggregateOperator(
+            SlidingWindowAssigner(10.0, 2.0), CountAggregate(), handler
+        )
+        solo_results = run_pipeline(stream, solo).results
+        assert result_map(shared[f"q{theta}"]) == result_map(solo_results)
+
+
+def test_shared_store_single_tree_memory():
+    rng = np.random.default_rng(43)
+    stream = make_stream(rng)
+    store = SharedSliceStore(2.0, CountAggregate(), track_feedback=False)
+    for i, size in enumerate([8.0, 10.0, 16.0, 20.0]):
+        store.register(f"q{i}", size, slack=1.0)
+    run_shared_slices(stream, store)
+    # One shared tree: retained slices scale with the widest window, not
+    # with the number of queries.
+    assert store.slice_count() <= 16
+
+
+# --------------------------------------------------------------------- #
+# builder and CLI wiring
+
+
+def test_query_builder_mode_tree():
+    from repro.queries.language import ContinuousQuery
+
+    rng = np.random.default_rng(51)
+    stream = make_stream(rng)
+
+    def build(mode):
+        return (
+            ContinuousQuery()
+            .from_elements(stream)
+            .window(SlidingWindowAssigner(10, 2))
+            .aggregate("count")
+            .with_slack(1.0)
+            .mode(mode)
+            .run()
+        )
+
+    naive = build("naive")
+    tree = build("tree")
+    assert isinstance(tree.operator, TreeWindowAggregateOperator)
+    assert result_map(naive.results) == result_map(tree.results)
+    from repro.errors import QueryError
+
+    with pytest.raises(QueryError):
+        ContinuousQuery().mode("bogus")
+
+
+def test_query_builder_sliced_alias():
+    from repro.queries.language import ContinuousQuery
+
+    query = ContinuousQuery().sliced()
+    assert query._mode == "sliced"
+    assert ContinuousQuery().sliced(False)._mode == "naive"
+
+
+def test_distinct_count_bit_identical_under_disorder():
+    rng = np.random.default_rng(52)
+    base = generate_stream(duration=60, rate=50, rng=rng)
+    spiky = [
+        StreamElement(
+            event_time=el.event_time,
+            value=float(int(el.value * 10)),
+            key=el.key,
+            seq=el.seq,
+        )
+        for el in base
+    ]
+    stream = inject_disorder(spiky, ExponentialDelay(2.0), rng)
+    naive = WindowAggregateOperator(
+        SlidingWindowAssigner(10, 2), DistinctCountAggregate(), KSlackHandler(0.5)
+    )
+    tree = TreeWindowAggregateOperator(
+        SlidingWindowAssigner(10, 2), DistinctCountAggregate(), KSlackHandler(0.5)
+    )
+    naive_map = result_map(run_pipeline(stream, naive).results)
+    tree_map = result_map(run_pipeline(stream, tree).results)
+    assert naive_map == tree_map
