@@ -3,7 +3,7 @@
 
 PY ?= python
 
-.PHONY: install test lint lint-sarif baseline sanitize typecheck docs docs-check linkcheck bench bench-quick experiments examples artifacts clean
+.PHONY: install test lint lint-sarif baseline sanitize race-stress typecheck docs docs-check linkcheck bench bench-quick experiments examples artifacts clean
 
 # Editable install; --no-build-isolation keeps it working offline (the
 # deprecated `setup.py develop` path is gone).
@@ -13,9 +13,10 @@ install:
 test:
 	$(PY) -m pytest tests/
 
-# Engine-specific invariant linter: syntactic rules R01-R05 plus the
-# time-domain dataflow rules R06-R10 (see docs/ANALYSIS.md).  Applies
-# analysis/baseline.json automatically when it exists.
+# Engine-specific invariant linter: syntactic rules R01-R05, the
+# time-domain dataflow rules R06-R10 and the concurrency rules R11-R15
+# (see docs/ANALYSIS.md).  Applies analysis/baseline.json automatically
+# when it exists.
 lint:
 	$(PY) -m repro.analysis.lint src/
 
@@ -46,6 +47,13 @@ sanitize:
 	op = WindowAggregateOperator(SlidingWindowAssigner(size=4, slide=1), make_aggregate('mean'), KSlackHandler(1.0)); \
 	out = run_pipeline(stream, op, batch_size=256, sanitize=True, sanitize_probe_every=4); \
 	print('StreamSan smoke run clean:', len(out.results), 'results')"
+
+# Deterministic concurrent stress harness against the shared slice store:
+# guarded runs must match the single-threaded reference bit-for-bit with
+# zero RaceSan findings, and the unguarded fixture must be caught
+# (see docs/ANALYSIS.md, "Concurrency analysis").
+race-stress:
+	$(PY) -m repro.analysis.concur stress --threads 8 --seeds 0,1,2
 
 # mypy is optional tooling: strict-check the simulated-time core when the
 # environment has it, skip gracefully when it does not.

@@ -1,0 +1,95 @@
+"""RaceSan overhead guard: off is free, on stays within budget.
+
+``run_pipeline(sanitize=False)`` performs no wrapping at all — RaceSan
+costs literally zero when disabled — so the "off" budget (< 2%) is
+asserted as off-vs-off run-to-run noise, the same methodology as the
+tracing guard in ``test_obs_overhead.py``.  With ``sanitize="race"`` the
+GuardedProxy records one lockset check per operator method call (not per
+attribute access), which must stay under 25% on the E18-style quick
+workload (sliding 20s/1s, mean, K-slack 1s).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import make_aggregate
+from repro.engine.handlers import KSlackHandler
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import SlidingWindowAssigner
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.generators import generate_stream
+
+N = 8000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(18)
+    return inject_disorder(
+        generate_stream(duration=N / 200, rate=200, rng=rng),
+        ExponentialDelay(0.3),
+        rng,
+    )
+
+
+def make_operator():
+    return WindowAggregateOperator(
+        SlidingWindowAssigner(size=20.0, slide=1.0),
+        make_aggregate("mean"),
+        KSlackHandler(1.0),
+    )
+
+
+def run_once(stream, sanitize):
+    return run_pipeline(list(stream), make_operator(), sanitize=sanitize)
+
+
+def test_pipeline_racesan_off(benchmark, stream):
+    """Baseline medians with sanitize=False (for the docs table)."""
+    output = benchmark(lambda: run_once(stream, False))
+    assert output.metrics.n_elements == len(stream)
+
+
+def test_pipeline_racesan_on(benchmark, stream):
+    output = benchmark(lambda: run_once(stream, "race"))
+    assert output.metrics.n_elements == len(stream)
+
+
+def _median_seconds(stream, sanitize, repeats=9):
+    timings = []
+    for __ in range(repeats):
+        start = time.perf_counter()
+        run_once(stream, sanitize)
+        timings.append(time.perf_counter() - start)
+    timings.sort()
+    return timings[len(timings) // 2]
+
+
+def test_racesan_results_identical(stream):
+    """The guarded run emits bit-identical results (cheap re-assertion)."""
+    assert run_once(stream, "race").results == run_once(stream, False).results
+
+
+def test_racesan_overhead_within_budget(stream):
+    """Race mode stays under 25%; off-vs-off noise bounds the off budget."""
+    for __ in range(2):  # warm caches and the allocator
+        run_once(stream, False)
+        run_once(stream, "race")
+
+    off_a = _median_seconds(stream, False)
+    on = _median_seconds(stream, "race")
+    off_b = _median_seconds(stream, False)
+
+    off = min(off_a, off_b)
+    noise = abs(off_a - off_b) / off
+    on_overhead = on / off - 1.0
+
+    # sanitize=False adds no wrapper, no hook, no branch beyond the one
+    # dispatch check — the < 2% off budget holds as long as two disjoint
+    # off medians agree to within it.
+    assert noise < 0.02, f"off-vs-off noise {noise:.1%} exceeds 2%"
+    assert on_overhead < 0.25, f"race-mode overhead {on_overhead:.1%} >= 25%"

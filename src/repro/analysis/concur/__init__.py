@@ -1,0 +1,48 @@
+"""Concurrency-safety analysis for the shared execution layer.
+
+The shared-state layer (:class:`~repro.engine.partial_tree.SharedSliceStore`,
+:class:`~repro.core.shared.SharedAQKBuffer`, the partial-aggregate tree,
+buffers, metrics, traces) is the substrate the ROADMAP's parallel executor
+will drive from multiple threads.  This package proves — statically and
+dynamically — that the substrate's locking discipline holds:
+
+* :mod:`repro.analysis.concur.inventory` infers the **shared-state
+  inventory**: every class (and module global) reachable from the shared
+  roots through attribute types and constructor calls, plus each class's
+  declared ``__concurrency__`` ownership annotation and owned locks.
+* :mod:`repro.analysis.concur.rules` turns the inventory into lint rules
+  **R11-R15** (lock-guarded mutation, ``with``/try-finally acquire
+  discipline, acyclic lock-order graph, mandatory ownership annotations,
+  no blocking calls under a lock), reported through the standard
+  repro-lint reporters, suppressions and baseline.
+* :mod:`repro.analysis.concur.racesan` is **RaceSan**, a runtime
+  lockset-based race detector (an Eraser-style mini-TSan) enabled via
+  ``run_pipeline(sanitize="race")`` or explicit instrumentation.
+* :mod:`repro.analysis.concur.stress` drives N threads of compatible-slide
+  queries against one shared store under deterministic barrier schedules,
+  asserting single-threaded result parity and that RaceSan catches an
+  intentionally unguarded fixture: ``python -m repro.analysis.concur
+  stress``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.concur.inventory import (
+    OWNERSHIP_VALUES,
+    ROOT_CLASSES,
+    SharedStateInventory,
+    inventory_for,
+)
+from repro.analysis.concur.racesan import GuardedProxy, RaceFinding, RaceSan
+from repro.analysis.concur.rules import CONCUR_RULES
+
+__all__ = [
+    "CONCUR_RULES",
+    "GuardedProxy",
+    "OWNERSHIP_VALUES",
+    "ROOT_CLASSES",
+    "RaceFinding",
+    "RaceSan",
+    "SharedStateInventory",
+    "inventory_for",
+]

@@ -1,0 +1,129 @@
+"""CLI for the concurrency analysis: stress harness and inventory dump.
+
+``python -m repro.analysis.concur stress`` runs the deterministic
+barrier-schedule stress harness twice per seed — once guarded (asserting
+single-threaded parity and zero RaceSan findings) and once against the
+intentionally unguarded fixture (asserting RaceSan reports the seeded
+race).  Exit status 1 when any phase misses its contract.
+
+``python -m repro.analysis.concur inventory`` prints the shared-state
+inventory the R11-R15 lint rules govern: every reachable class, how it
+was reached, its declared ownership and its locks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.concur.stress import run_stress
+from repro.errors import ReproError
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    failures = 0
+    for seed in seeds:
+        report = run_stress(
+            args.threads, seed, n_elements=args.elements, n_queries=args.queries
+        )
+        status = "ok" if report.ok else "FAIL"
+        print(
+            f"guarded  threads={report.n_threads} seed={seed}: parity="
+            f"{report.parity_ok} findings={len(report.findings)} [{status}]"
+        )
+        if not report.ok:
+            failures += 1
+            for finding in report.findings[:5]:
+                print(f"  unexpected: {finding.message}")
+    if not args.skip_buggy:
+        for seed in seeds:
+            report = run_stress(
+                args.threads,
+                seed,
+                n_elements=args.elements,
+                n_queries=args.queries,
+                buggy=True,
+            )
+            status = "ok" if report.ok else "FAIL"
+            print(
+                f"unguarded threads={report.n_threads} seed={seed}: "
+                f"findings={len(report.findings)} "
+                f"(seeded race {'caught' if report.ok else 'MISSED'}) [{status}]"
+            )
+            if not report.ok:
+                failures += 1
+    if failures:
+        print(f"concur-stress: {failures} failing phase(s)", file=sys.stderr)
+        return 1
+    print("concur-stress: all phases ok")
+    return 0
+
+
+def _cmd_inventory(args: argparse.Namespace) -> int:
+    from repro.analysis.concur.inventory import build_inventory
+    from repro.analysis.lint.model import Project, SourceFile, discover_files
+
+    root = Path(args.path)
+    files = [
+        SourceFile.load(path, root=root if root.is_dir() else None)
+        for path in discover_files([root])
+    ]
+    inventory = build_inventory(Project(files))
+    width = max((len(name) for name in inventory.classes), default=10)
+    for name in sorted(inventory.classes):
+        record = inventory.classes[name]
+        locks = ",".join(sorted(record.locks)) or "-"
+        via = record.via or "(root)"
+        print(
+            f"{name:<{width}}  {record.declared or '?':<13} "
+            f"locks={locks:<18} via {via}  [{record.module}:{record.line}]"
+        )
+    if inventory.globals:
+        print()
+        for (module, name), line in sorted(inventory.globals.items()):
+            print(f"global {name}  [{module}:{line}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.concur",
+        description="Concurrency analysis tools (stress harness, inventory).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stress = sub.add_parser("stress", help="run the concurrent stress harness")
+    stress.add_argument("--threads", type=int, default=4)
+    stress.add_argument("--seeds", default="0,1,2", help="comma-separated seeds")
+    stress.add_argument("--elements", type=int, default=300)
+    stress.add_argument(
+        "--queries", type=int, default=None, help="default: 2 * threads"
+    )
+    stress.add_argument(
+        "--skip-buggy",
+        action="store_true",
+        help="skip the unguarded-fixture detection phase",
+    )
+    stress.set_defaults(func=_cmd_stress)
+
+    inventory = sub.add_parser(
+        "inventory", help="print the shared-state inventory"
+    )
+    inventory.add_argument(
+        "path", nargs="?", default="src", help="source root to analyze"
+    )
+    inventory.set_defaults(func=_cmd_inventory)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"concur: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

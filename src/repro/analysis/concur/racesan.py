@@ -1,0 +1,431 @@
+"""RaceSan: a lockset-based dynamic race detector (Eraser-style mini-TSan).
+
+RaceSan watches attribute accesses on *instrumented* objects and lock
+acquire/release on *tracked* locks, and maintains the classic Eraser
+state machine per ``(object, attribute)`` location:
+
+* **Exclusive** — only one thread has ever touched the location.  No
+  checking happens; single-threaded runs can never report a finding, by
+  construction.
+* **Shared** — a second thread touches the location.  The location's
+  *candidate lockset* is initialised to the locks that thread holds, and
+  every later access intersects the candidate set with the accessing
+  thread's held locks.
+* **Report** — the candidate lockset is empty at a write (write/write
+  race) or at a read of a location some thread already wrote in the
+  shared phase (read/write race).  Each location reports at most once.
+
+Two instrumentation levels trade accuracy for overhead:
+
+* :meth:`RaceSan.instrument` swaps an object's ``__class__`` for a
+  generated subclass whose ``__getattribute__``/``__setattr__`` record
+  every data-attribute access — precise, used by the concurrent stress
+  harness (:mod:`repro.analysis.concur.stress`).
+* :meth:`RaceSan.guard` wraps an object in a :class:`GuardedProxy` that
+  records one access per *method call* (classified read or write by
+  name) — cheap enough for ``run_pipeline(sanitize="race")``, whose
+  overhead budget is enforced by ``benchmarks/test_racesan_overhead.py``.
+
+Findings surface exactly like StreamSan's: a
+:class:`~repro.errors.SanitizerError` whose message is prefixed
+``RaceSan[lockset]``, mirrored to ``tracer.sanitizer_finding`` when a
+tracer is attached, and collected on :attr:`RaceSan.findings` when
+``raise_on_finding`` is off (the stress harness inspects the list after
+joining its workers instead of blowing up mid-barrier).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import SanitizerError
+from repro.obs.trace import NULL_TRACER, Tracer
+
+__all__ = ["GuardedProxy", "RaceFinding", "RaceSan", "TrackedLock"]
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One detected lockset violation on a shared location."""
+
+    kind: str  # "write/write" or "read/write"
+    label: str  # instrumentation label of the object
+    attr: str
+    first_thread: int
+    second_thread: int
+    message: str
+
+
+class TrackedLock:
+    """A ``threading.Lock``/``RLock`` wrapper that reports to RaceSan.
+
+    Only locks wrapped through :meth:`RaceSan.wrap_lock` count towards a
+    thread's lockset; untracked locks are invisible, which is exactly how
+    the intentionally buggy stress fixture models "forgot the lock".
+    """
+
+    __slots__ = ("_inner", "_san", "name")
+
+    def __init__(self, inner: Any, san: "RaceSan", name: str) -> None:
+        self._inner = inner
+        self._san = san
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the wrapped lock, adding it to the holder's lockset."""
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._san.note_acquire(id(self))
+        return acquired
+
+    def release(self) -> None:
+        """Release the wrapped lock, dropping it from the lockset."""
+        self._san.note_release(id(self))
+        self._inner.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self.name!r})"
+
+
+class _LocationState:
+    """Eraser state of one ``(object, attribute)`` location."""
+
+    __slots__ = ("owner", "written", "lockset", "shared_written", "reported")
+
+    def __init__(self, owner: int, written: bool) -> None:
+        self.owner = owner
+        self.written = written
+        #: None while exclusive; the candidate lockset once shared.
+        self.lockset: frozenset[int] | None = None
+        self.shared_written = False
+        self.reported = False
+
+
+#: id(obj) -> (sanitizer, label) for every currently instrumented object.
+#: Module-global so generated subclasses need no per-class state.
+_INSTRUMENTED: dict[int, tuple["RaceSan", str]] = {}
+
+#: Original class -> generated instrumented subclass.
+_SUBCLASS_CACHE: dict[type, type] = {}
+
+
+def _instrumented_subclass(cls: type) -> type:
+    """Build (and cache) the recording subclass for ``cls``."""
+    cached = _SUBCLASS_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    # Methods, properties and other class-level callables are not data:
+    # recording their lookup would swamp the report with method fetches.
+    skip = set()
+    for klass in cls.__mro__:
+        for name, value in vars(klass).items():
+            if callable(value) or isinstance(
+                value, (classmethod, staticmethod, property)
+            ):
+                skip.add(name)
+    holder: dict[str, type] = {}
+
+    def __getattribute__(self: Any, name: str) -> Any:
+        value = super(holder["sub"], self).__getattribute__(name)
+        if name.startswith("__") or name in skip:
+            return value
+        entry = _INSTRUMENTED.get(id(self))
+        if entry is not None:
+            san, label = entry
+            san.record(label, id(self), name, is_write=False)
+        return value
+
+    def __setattr__(self: Any, name: str, value: Any) -> None:
+        if not name.startswith("__"):
+            entry = _INSTRUMENTED.get(id(self))
+            if entry is not None:
+                san, label = entry
+                san.record(label, id(self), name, is_write=True)
+        super(holder["sub"], self).__setattr__(name, value)
+
+    sub = type(
+        "Instrumented" + cls.__name__,
+        (cls,),
+        {
+            "__slots__": (),
+            "__getattribute__": __getattribute__,
+            "__setattr__": __setattr__,
+        },
+    )
+    holder["sub"] = sub
+    sub._racesan_base = cls  # type: ignore[attr-defined]
+    _SUBCLASS_CACHE[cls] = sub
+    return sub
+
+
+class RaceSan:
+    """Lockset-based dynamic race detector over instrumented objects.
+
+    Thread-safe: the detector's own tables are protected by a private
+    mutex (held only for dictionary updates, never while running user
+    code, so it cannot participate in a deadlock with tracked locks).
+    """
+
+    def __init__(
+        self,
+        raise_on_finding: bool = True,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.raise_on_finding = raise_on_finding
+        self.tracer = tracer
+        self.findings: list[RaceFinding] = []
+        self._mu = threading.Lock()
+        self._states: dict[tuple[int, str], _LocationState] = {}
+        #: thread ident -> {id(TrackedLock): recursive hold count}.
+        self._held: dict[int, dict[int, int]] = {}
+        self._lock_names: dict[int, str] = {}
+        self._my: list[int] = []  # ids this sanitizer instrumented
+
+    # ---------------------------------------------------------------- locks
+
+    def wrap_lock(self, lock: Any, name: str = "lock") -> TrackedLock:
+        """Wrap ``lock`` so holding it counts towards locksets."""
+        if isinstance(lock, TrackedLock):
+            return lock
+        tracked = TrackedLock(lock, self, name)
+        with self._mu:
+            self._lock_names[id(tracked)] = name
+        return tracked
+
+    def note_acquire(self, lock_id: int) -> None:
+        """A tracked lock was acquired by the calling thread."""
+        tid = threading.get_ident()
+        with self._mu:
+            counts = self._held.setdefault(tid, {})
+            counts[lock_id] = counts.get(lock_id, 0) + 1
+
+    def note_release(self, lock_id: int) -> None:
+        """A tracked lock was released by the calling thread."""
+        tid = threading.get_ident()
+        with self._mu:
+            counts = self._held.get(tid, {})
+            remaining = counts.get(lock_id, 0) - 1
+            if remaining > 0:
+                counts[lock_id] = remaining
+            else:
+                counts.pop(lock_id, None)
+
+    def locks_held(self) -> frozenset[int]:
+        """Lock ids the calling thread currently holds (for tests)."""
+        with self._mu:
+            return frozenset(self._held.get(threading.get_ident(), ()))
+
+    # -------------------------------------------------------------- accesses
+
+    def record(self, label: str, obj_id: int, attr: str, is_write: bool) -> None:
+        """Note one attribute access; raises on a lockset violation."""
+        tid = threading.get_ident()
+        finding: RaceFinding | None = None
+        with self._mu:
+            key = (obj_id, attr)
+            state = self._states.get(key)
+            if state is None:
+                self._states[key] = _LocationState(tid, is_write)
+                return
+            if state.lockset is None:
+                if state.owner == tid:
+                    state.written = state.written or is_write
+                    return
+                # Second thread: enter the shared phase.  Writes from the
+                # exclusive phase only matter if the shared phase writes
+                # too (the classic initialise-then-publish refinement).
+                held = frozenset(self._held.get(tid, ()))
+                state.lockset = held
+                state.shared_written = is_write and state.written
+            else:
+                held = frozenset(self._held.get(tid, ()))
+                state.lockset &= held
+                if is_write:
+                    state.shared_written = True
+            if state.shared_written and not state.lockset and not state.reported:
+                state.reported = True
+                kind = "write/write" if is_write else "read/write"
+                message = (
+                    f"RaceSan[lockset]: {kind} race on {label}.{attr} — "
+                    f"thread {tid} accessed it with no lock in common with "
+                    f"thread {state.owner} (candidate lockset is empty)"
+                )
+                finding = RaceFinding(
+                    kind=kind,
+                    label=label,
+                    attr=attr,
+                    first_thread=state.owner,
+                    second_thread=tid,
+                    message=message,
+                )
+                self.findings.append(finding)
+        if finding is not None:
+            if self.tracer.enabled:
+                self.tracer.sanitizer_finding(
+                    float("nan"), "race.lockset", finding.message
+                )
+            if self.raise_on_finding:
+                raise SanitizerError(finding.message)
+
+    # -------------------------------------------- attribute instrumentation
+
+    def instrument(self, obj: Any, label: str) -> Any:
+        """Record every data-attribute access on ``obj`` (in place).
+
+        Swaps ``obj.__class__`` for a generated recording subclass with an
+        empty ``__slots__`` (layout-compatible with slotted classes).
+        Returns ``obj`` for chaining.
+        """
+        if id(obj) in _INSTRUMENTED:
+            return obj
+        obj.__class__ = _instrumented_subclass(type(obj))
+        _INSTRUMENTED[id(obj)] = (self, label)
+        self._my.append(id(obj))
+        return obj
+
+    def uninstrument(self, obj: Any) -> Any:
+        """Undo :meth:`instrument` (restores the original class)."""
+        entry = _INSTRUMENTED.pop(id(obj), None)
+        if entry is not None:
+            obj.__class__ = type(obj)._racesan_base
+        return obj
+
+    def reset(self) -> None:
+        """Drop all state and detach every object this sanitizer watches."""
+        with self._mu:
+            self._states.clear()
+            self._held.clear()
+            self.findings.clear()
+            my, self._my = self._my, []
+        for obj_id in my:
+            _INSTRUMENTED.pop(obj_id, None)
+
+    # ------------------------------------------------ method-level guarding
+
+    def guard(
+        self,
+        obj: Any,
+        label: str,
+        reads: Iterable[str] = (),
+        writes: Iterable[str] = (),
+        wrap_attrs: Iterable[str] = ("handler",),
+    ) -> "GuardedProxy":
+        """Wrap ``obj`` in a :class:`GuardedProxy` (one record per call)."""
+        return GuardedProxy(
+            obj,
+            self,
+            label,
+            reads=frozenset(reads),
+            writes=frozenset(writes),
+            wrap_attrs=frozenset(wrap_attrs),
+        )
+
+    def guard_operator(self, operator: Any) -> "GuardedProxy":
+        """Guard a pipeline operator (``run_pipeline(sanitize="race")``)."""
+        return self.guard(operator, type(operator).__name__)
+
+
+#: Method-name prefixes classified as reads by :class:`GuardedProxy`.
+_READ_PREFIXES: tuple[str, ...] = (
+    "get",
+    "is_",
+    "has_",
+    "peek",
+    "describe",
+    "snapshot",
+    "stats",
+    "count",
+    "buffered",
+    "released",
+    "max_",
+    "slice",
+    "node",
+    "current",
+    "frontier",
+    "latency",
+)
+
+
+class GuardedProxy:
+    """Transparent wrapper recording one RaceSan access per method call.
+
+    Attribute reads of plain data are recorded as reads and returned
+    unwrapped; attributes named in ``wrap_attrs`` (by default the
+    operator's ``handler``) are wrapped in nested proxies so their calls
+    are tracked too.  Method calls record a read or a write according to
+    the method's name (``_READ_PREFIXES``), overridable per proxy via the
+    explicit ``reads``/``writes`` sets.
+    """
+
+    __slots__ = ("_inner", "_san", "_label", "_reads", "_writes", "_wrap", "_cache")
+
+    def __init__(
+        self,
+        inner: Any,
+        san: RaceSan,
+        label: str,
+        reads: frozenset[str] = frozenset(),
+        writes: frozenset[str] = frozenset(),
+        wrap_attrs: frozenset[str] = frozenset(),
+    ) -> None:
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "_san", san)
+        object.__setattr__(self, "_label", label)
+        object.__setattr__(self, "_reads", reads)
+        object.__setattr__(self, "_writes", writes)
+        object.__setattr__(self, "_wrap", wrap_attrs)
+        object.__setattr__(self, "_cache", {})
+
+    def _is_read(self, name: str) -> bool:
+        if name in self._writes:
+            return False
+        if name in self._reads:
+            return True
+        return name.startswith(_READ_PREFIXES)
+
+    def __getattr__(self, name: str) -> Any:
+        cache = self._cache
+        cached = cache.get(name)
+        if cached is not None:
+            return cached
+        inner = self._inner
+        san = self._san
+        label = self._label
+        value = getattr(inner, name)
+        if name in self._wrap and value is not None:
+            wrapped = GuardedProxy(
+                value, san, f"{label}.{name}", self._reads, self._writes
+            )
+            cache[name] = wrapped
+            return wrapped
+        if callable(value) and not isinstance(value, type):
+            is_write = not self._is_read(name)
+            inner_id = id(inner)
+
+            def call(*args: Any, **kwargs: Any) -> Any:
+                san.record(label, inner_id, name, is_write)
+                return value(*args, **kwargs)
+
+            call.__name__ = name
+            cache[name] = call
+            return call
+        san.record(label, id(inner), name, is_write=False)
+        return value
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        inner = self._inner
+        self._san.record(self._label, id(inner), name, is_write=True)
+        self._cache.pop(name, None)
+        setattr(inner, name, value)
+
+    def __repr__(self) -> str:
+        return f"GuardedProxy({self._inner!r})"

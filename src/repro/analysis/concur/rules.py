@@ -1,0 +1,726 @@
+"""Concurrency lint rules R11-R15 over the shared-state inventory.
+
+========  ============================================================
+R11       inventoried shared state is mutated only while holding the
+          owning ``threading.Lock``/``RLock`` (``guarded`` classes) or
+          never after ``__init__`` (``immutable`` classes); no writes
+          to inventoried module globals
+R12       raw ``lock.acquire()`` must sit in a ``try`` whose ``finally``
+          releases the same lock (prefer ``with lock:``)
+R13       the static lock-order graph must be acyclic; a non-reentrant
+          ``Lock`` must not be re-acquired while already held
+R14       inventoried shared classes declare
+          ``__concurrency__ = "guarded" | "single-thread" | "immutable"``
+R15       no ``time.sleep``/blocking I/O while holding a lock
+========  ============================================================
+
+R11, R13 and R15 are *lexical* analyses: a lock counts as held inside a
+``with self._lock:`` block (plus, for R13, one level of same-class method
+calls).  Helper methods that mutate guarded state should therefore acquire
+the class's ``RLock`` themselves — re-entry is cheap and keeps the
+discipline checkable.  See ``docs/ANALYSIS.md`` ("Concurrency analysis")
+for the full contract and examples.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator
+
+# Bound at call time (``inventory.inventory_for`` etc.): this module is
+# imported from inside ``repro.analysis.lint.__init__`` while the concur
+# package may still be mid-initialization, so import-time name binding
+# would fail depending on which package entered the cycle first.
+from repro.analysis.concur import inventory as _inventory
+from repro.analysis.lint.model import Finding, Project, SourceFile
+from repro.analysis.lint.rules import Rule, _dotted
+
+#: Methods allowed to mutate state without holding a lock: construction
+#: happens before the instance can be shared.
+_EXEMPT_METHODS = frozenset(
+    {"__init__", "__post_init__", "__new__", "__init_subclass__"}
+)
+
+#: Receiver method names treated as in-place mutations of the receiver.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "update",
+        "add",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Module functions that mutate their first argument in place.
+_MUTATOR_FUNCTIONS = frozenset(
+    {"heappush", "heappop", "heapify", "heappushpop", "heapreplace"}
+)
+
+#: Call targets considered blocking under a lock (R15).
+_BLOCKING_DOTTED = frozenset({"time.sleep", "sleep", "os.system", "open", "input"})
+_BLOCKING_ROOTS = frozenset({"socket", "requests", "urllib", "subprocess", "http"})
+_BLOCKING_ATTRS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes", "wait"}
+)
+
+
+def _self_path(node: ast.expr) -> str:
+    """Dotted display of an attribute/subscript chain rooted at ``self``."""
+    if isinstance(node, ast.Name):
+        return "self" if node.id == "self" else ""
+    if isinstance(node, ast.Attribute):
+        base = _self_path(node.value)
+        return f"{base}.{node.attr}" if base else ""
+    if isinstance(node, ast.Subscript):
+        base = _self_path(node.value)
+        return f"{base}[...]" if base else ""
+    return ""
+
+
+def _looks_like_lock(name: str) -> bool:
+    return "lock" in name.lower() or "mutex" in name.lower()
+
+
+def _self_lock_attr(node: ast.expr, lock_names: frozenset[str]) -> str:
+    """The lock attribute acquired by a ``with self.X`` context expression."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (node.attr in lock_names or _looks_like_lock(node.attr))
+    ):
+        return node.attr
+    return ""
+
+
+def _mutations(node: ast.AST) -> list[tuple[ast.AST, str]]:
+    """Mutations of ``self`` state performed directly by ``node``."""
+    found: list[tuple[ast.AST, str]] = []
+
+    def target_paths(target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                target_paths(element)
+            return
+        path = _self_path(target)
+        if path and path != "self":
+            found.append((target, f"assignment to {path}"))
+
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            target_paths(target)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        if not (isinstance(node, ast.AnnAssign) and node.value is None):
+            target_paths(node.target)
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            path = _self_path(target)
+            if path and path != "self":
+                found.append((target, f"deletion of {path}"))
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS:
+            path = _self_path(func.value)
+            if path and path != "self":
+                found.append((node, f"call to {path}.{func.attr}()"))
+        else:
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if name in _MUTATOR_FUNCTIONS and node.args:
+                path = _self_path(node.args[0])
+                if path and path != "self":
+                    found.append((node, f"{name}() on {path}"))
+    return found
+
+
+def _walk_held(
+    node: ast.AST,
+    held: frozenset[str],
+    lock_of: Callable[[ast.expr], str],
+    visit: Callable[[ast.AST, frozenset[str]], None],
+) -> None:
+    """DFS that tracks which locks are lexically held at each node."""
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        visit(node, held)
+        acquired: set[str] = set()
+        for item in node.items:
+            lock_id = lock_of(item.context_expr)
+            if lock_id:
+                acquired.add(lock_id)
+            for child in ast.iter_child_nodes(item):
+                _walk_held(child, held, lock_of, visit)
+        inner = held | acquired if acquired else held
+        for statement in node.body:
+            _walk_held(statement, inner, lock_of, visit)
+        return
+    visit(node, held)
+    for child in ast.iter_child_nodes(node):
+        _walk_held(child, held, lock_of, visit)
+
+
+def _methods(class_node: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for item in class_node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield item
+
+
+class GuardedMutationRule(Rule):
+    """R11 — shared state is mutated only under its owning lock.
+
+    A class annotated ``__concurrency__ = "guarded"`` owns at least one
+    ``threading.Lock``/``RLock`` attribute, and every mutation of its
+    ``self`` state outside ``__init__`` happens lexically inside a
+    ``with self.<lock>:`` block.  A class annotated ``"immutable"`` never
+    mutates itself after ``__init__`` at all.  Writing an inventoried
+    module global through a ``global`` statement from any inventoried
+    class is likewise flagged — module state reachable from shared
+    instances is shared state.
+
+    The check is lexical on purpose: a helper that mutates guarded state
+    should re-acquire the class ``RLock`` itself rather than rely on its
+    callers (re-entry is cheap, unlocked helpers are future races).
+    """
+
+    id = "R11"
+    summary = (
+        "mutation of inventoried shared state outside the owning "
+        "threading.Lock/RLock (guarded) or after __init__ (immutable)"
+    )
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        inventory = _inventory.inventory_for(project)
+        module_globals = inventory.module_globals(source.display_path)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            record = inventory.class_in(node.name, source.display_path)
+            if record is None:
+                continue
+            if record.declared == "guarded":
+                yield from self._check_guarded(source, node, record.locks)
+            elif record.declared == "immutable":
+                yield from self._check_immutable(source, node)
+            yield from self._check_globals(source, node, module_globals)
+
+    def _check_guarded(
+        self, source: SourceFile, node: ast.ClassDef, locks: dict[str, str]
+    ) -> Iterator[Finding]:
+        if not locks:
+            yield self._finding(
+                source,
+                node,
+                f"guarded class {node.name} owns no threading.Lock/RLock "
+                "attribute; declare one (e.g. self._lock = threading.RLock()) "
+                "or annotate the class single-thread",
+            )
+            return
+        lock_names = frozenset(locks)
+        lock_display = ", ".join(f"self.{name}" for name in sorted(locks))
+        for method in _methods(node):
+            if method.name in _EXEMPT_METHODS:
+                continue
+            findings: list[Finding] = []
+
+            def visit(child: ast.AST, held: frozenset[str]) -> None:
+                if held:
+                    return
+                for anchor, description in _mutations(child):
+                    findings.append(
+                        self._finding(
+                            source,
+                            anchor,
+                            f"{description} in {node.name}.{method.name}() "
+                            f"without holding {lock_display}; guarded state "
+                            "must be mutated inside `with "
+                            f"self.{sorted(locks)[0]}:`",
+                        )
+                    )
+
+            _walk_held(
+                method,
+                frozenset(),
+                lambda expr: _self_lock_attr(expr, lock_names),
+                visit,
+            )
+            yield from findings
+
+    def _check_immutable(
+        self, source: SourceFile, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for method in _methods(node):
+            if method.name in _EXEMPT_METHODS:
+                continue
+            for child in ast.walk(method):
+                for anchor, description in _mutations(child):
+                    yield self._finding(
+                        source,
+                        anchor,
+                        f"{description} in {node.name}.{method.name}() "
+                        f"mutates a class annotated __concurrency__ = "
+                        '"immutable"',
+                    )
+
+    def _check_globals(
+        self, source: SourceFile, node: ast.ClassDef, module_globals: set[str]
+    ) -> Iterator[Finding]:
+        if not module_globals:
+            return
+        for method in _methods(node):
+            declared: set[str] = set()
+            for child in ast.walk(method):
+                if isinstance(child, ast.Global):
+                    declared.update(child.names)
+            if not declared:
+                continue
+            writable = declared & module_globals
+            if not writable:
+                continue
+            for child in ast.walk(method):
+                targets: list[ast.expr] = []
+                if isinstance(child, ast.Assign):
+                    targets = child.targets
+                elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [child.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in writable:
+                        yield self._finding(
+                            source,
+                            target,
+                            f"write to module global {target.id} from "
+                            f"{node.name}.{method.name}(); globals reachable "
+                            "from shared state must not be reassigned",
+                        )
+
+
+class LockAcquireDisciplineRule(Rule):
+    """R12 — raw ``acquire()`` calls need a try/finally ``release()``.
+
+    ``with lock:`` is exception-safe by construction; a bare
+    ``lock.acquire()`` is only accepted when a ``try`` releases the *same*
+    dotted receiver in its ``finally`` block — either an enclosing try, or
+    the statement immediately after the acquire (the canonical
+    acquire-then-try idiom).  Receivers are recognized by name: any
+    attribute or variable whose last segment contains ``lock``/``mutex``.
+    """
+
+    id = "R12"
+    summary = (
+        "lock acquired without `with` or a try/finally release of the "
+        "same receiver"
+    )
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        del project
+        self._sanctioned = self._preceding_acquires(source.tree)
+        yield from self._walk(source, source.tree, [])
+
+    @classmethod
+    def _preceding_acquires(cls, tree: ast.AST) -> frozenset[int]:
+        """Acquire calls sanctioned by the canonical acquire-then-try idiom.
+
+        ``lock.acquire()`` immediately followed by a ``try`` whose
+        ``finally`` releases the same receiver is the textbook
+        exception-safe pattern (acquiring *inside* the try would release
+        an unheld lock if the acquire itself raised), so the acquire
+        statement sits one position before the try, not within it.
+        """
+        sanctioned: set[int] = set()
+        for node in ast.walk(tree):
+            for name in ("body", "orelse", "finalbody"):
+                statements = getattr(node, name, None)
+                if not isinstance(statements, list):
+                    continue
+                for before, after in zip(statements, statements[1:]):
+                    if (
+                        isinstance(before, ast.Expr)
+                        and isinstance(before.value, ast.Call)
+                        and isinstance(before.value.func, ast.Attribute)
+                        and before.value.func.attr == "acquire"
+                        and isinstance(after, ast.Try)
+                        and cls._releases(
+                            after, _dotted(before.value.func.value)
+                        )
+                    ):
+                        sanctioned.add(id(before.value))
+        return frozenset(sanctioned)
+
+    def _walk(
+        self, source: SourceFile, node: ast.AST, tries: list[ast.Try]
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Try):
+            inner = tries + [node]
+            for part in (node.body, node.handlers, node.orelse):
+                for child in part:
+                    yield from self._walk(source, child, inner)
+            for child in node.finalbody:
+                yield from self._walk(source, child, tries)
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "acquire":
+                receiver = _dotted(func.value)
+                segment = receiver.rsplit(".", 1)[-1]
+                if receiver and _looks_like_lock(segment):
+                    if id(node) not in self._sanctioned and not any(
+                        self._releases(guard, receiver) for guard in tries
+                    ):
+                        yield self._finding(
+                            source,
+                            node,
+                            f"{receiver}.acquire() without `with` or a "
+                            f"try/finally {receiver}.release(); a raised "
+                            "exception would leak the lock",
+                        )
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(source, child, tries)
+
+    @staticmethod
+    def _releases(guard: ast.Try, receiver: str) -> bool:
+        for statement in guard.finalbody:
+            for child in ast.walk(statement):
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "release"
+                    and _dotted(child.func.value) == receiver
+                ):
+                    return True
+        return False
+
+
+class _LockEdge:
+    """One recorded acquisition edge ``src -> dst`` of the lock-order graph."""
+
+    __slots__ = ("src", "dst", "path", "line", "col", "context")
+
+    def __init__(
+        self, src: str, dst: str, path: str, line: int, col: int, context: str
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.path = path
+        self.line = line
+        self.col = col
+        self.context = context
+
+
+def _ast_class_locks(node: ast.ClassDef) -> dict[str, str]:
+    """``self.X = threading.Lock()/RLock()`` attributes of one class body."""
+    locks: dict[str, str] = {}
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Assign) or not isinstance(
+            child.value, ast.Call
+        ):
+            continue
+        func = child.value.func
+        factory = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if factory not in _inventory.LOCK_FACTORIES:
+            continue
+        for target in child.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                locks[target.attr] = factory
+    return locks
+
+
+def _lock_graph_for(project: Project) -> tuple[list[_LockEdge], dict[str, str]]:
+    """Project-wide lock-order edges plus lock-kind map, cached."""
+    cached = getattr(project, "_concur_lock_graph", None)
+    if cached is None:
+        cached = _build_lock_graph(project)
+        project._concur_lock_graph = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def _method_acquisitions(
+    method: ast.AST, lock_names: frozenset[str]
+) -> list[tuple[str, ast.expr]]:
+    """Every ``with self.X`` lock acquisition anywhere inside ``method``."""
+    acquired: list[tuple[str, ast.expr]] = []
+    for child in ast.walk(method):
+        if isinstance(child, (ast.With, ast.AsyncWith)):
+            for item in child.items:
+                attr = _self_lock_attr(item.context_expr, lock_names)
+                if attr:
+                    acquired.append((attr, item.context_expr))
+    return acquired
+
+
+def _build_lock_graph(project: Project) -> tuple[list[_LockEdge], dict[str, str]]:
+    edges: list[_LockEdge] = []
+    kinds: dict[str, str] = {}
+    for source in project.files:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            locks = _ast_class_locks(node)
+            lock_names = frozenset(locks) | frozenset(
+                attr
+                for method in _methods(node)
+                for attr, _ in _method_acquisitions(method, frozenset())
+            )
+            for attr, kind in locks.items():
+                kinds[f"{node.name}.{attr}"] = kind
+            method_index = {method.name: method for method in _methods(node)}
+            for method in _methods(node):
+
+                def visit(child: ast.AST, held: frozenset[str]) -> None:
+                    if not held:
+                        return
+                    # Direct nested acquisition.
+                    if isinstance(child, (ast.With, ast.AsyncWith)):
+                        for item in child.items:
+                            attr = _self_lock_attr(item.context_expr, lock_names)
+                            if attr:
+                                for held_attr in sorted(held):
+                                    edges.append(
+                                        _LockEdge(
+                                            f"{node.name}.{held_attr}",
+                                            f"{node.name}.{attr}",
+                                            source.display_path,
+                                            item.context_expr.lineno,
+                                            item.context_expr.col_offset + 1,
+                                            f"{node.name}.{method.name}()",
+                                        )
+                                    )
+                    # One level of same-class calls: with A held, calling a
+                    # method that acquires B orders A before B.
+                    elif isinstance(child, ast.Call):
+                        func = child.func
+                        if (
+                            isinstance(func, ast.Attribute)
+                            and isinstance(func.value, ast.Name)
+                            and func.value.id == "self"
+                            and func.attr in method_index
+                            and func.attr != method.name
+                        ):
+                            callee = method_index[func.attr]
+                            for attr, _ in _method_acquisitions(
+                                callee, lock_names
+                            ):
+                                for held_attr in sorted(held):
+                                    edges.append(
+                                        _LockEdge(
+                                            f"{node.name}.{held_attr}",
+                                            f"{node.name}.{attr}",
+                                            source.display_path,
+                                            child.lineno,
+                                            child.col_offset + 1,
+                                            f"{node.name}.{method.name}() -> "
+                                            f"self.{func.attr}()",
+                                        )
+                                    )
+
+                _walk_held(
+                    method,
+                    frozenset(),
+                    lambda expr: _self_lock_attr(expr, lock_names),
+                    visit,
+                )
+    return edges, kinds
+
+
+def _reaches(edges: list[_LockEdge], start: str, goal: str) -> bool:
+    adjacency: dict[str, set[str]] = {}
+    for edge in edges:
+        adjacency.setdefault(edge.src, set()).add(edge.dst)
+    seen = {start}
+    queue = [start]
+    while queue:
+        here = queue.pop()
+        for nxt in sorted(adjacency.get(here, ())):
+            if nxt == goal:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return False
+
+
+class LockOrderRule(Rule):
+    """R13 — the static lock-acquisition-order graph must be acyclic.
+
+    Nodes are class-level lock attributes (``Class.attr``); an edge
+    ``A -> B`` is recorded when ``B`` is acquired lexically inside a
+    ``with A`` block, or when a method called on ``self`` while holding
+    ``A`` acquires ``B`` (one call level deep).  Any edge on a cycle is a
+    potential deadlock and is flagged at its acquisition site.  A
+    self-edge on a non-reentrant ``threading.Lock`` — re-acquiring a lock
+    the thread already holds — deadlocks unconditionally and is always
+    flagged; re-entering an ``RLock`` is legal and ignored.
+    """
+
+    id = "R13"
+    summary = (
+        "static lock-order graph must be acyclic; non-reentrant locks "
+        "must not be re-acquired while held"
+    )
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        edges, kinds = _lock_graph_for(project)
+        cross_edges = [edge for edge in edges if edge.src != edge.dst]
+        for edge in edges:
+            if edge.path != source.display_path:
+                continue
+            if edge.src == edge.dst:
+                if kinds.get(edge.src, "RLock") == "Lock":
+                    yield Finding(
+                        rule=self.id,
+                        path=edge.path,
+                        line=edge.line,
+                        col=edge.col,
+                        message=(
+                            f"non-reentrant lock {edge.src} re-acquired "
+                            f"while already held in {edge.context}; this "
+                            "self-deadlocks (use threading.RLock or "
+                            "restructure)"
+                        ),
+                    )
+                continue
+            if _reaches(cross_edges, edge.dst, edge.src):
+                yield Finding(
+                    rule=self.id,
+                    path=edge.path,
+                    line=edge.line,
+                    col=edge.col,
+                    message=(
+                        f"lock-order cycle: {edge.src} -> {edge.dst} in "
+                        f"{edge.context}, but {edge.dst} -> {edge.src} is "
+                        "also acquired elsewhere; pick one global order"
+                    ),
+                )
+
+
+class OwnershipAnnotationRule(Rule):
+    """R14 — every inventoried shared class declares its ownership.
+
+    The ``__concurrency__`` class attribute is a machine-checked contract:
+    ``"guarded"`` (lock-protected, see R11), ``"single-thread"``
+    (externally serialized; RaceSan verifies dynamically) or
+    ``"immutable"`` (never mutated after construction).  Missing or
+    invalid annotations are flagged on the class.
+    """
+
+    id = "R14"
+    summary = (
+        'inventoried shared classes declare __concurrency__ = "guarded" '
+        '| "single-thread" | "immutable"'
+    )
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        inventory = _inventory.inventory_for(project)
+        valid = ", ".join(f'"{value}"' for value in _inventory.OWNERSHIP_VALUES)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            record = inventory.class_in(node.name, source.display_path)
+            if record is None:
+                continue
+            origin = f"reached via {record.via}" if record.via else "inventory root"
+            if record.declared is None:
+                yield self._finding(
+                    source,
+                    node,
+                    f"class {node.name} is shared state ({origin}) but "
+                    f"declares no __concurrency__ annotation; add "
+                    f"__concurrency__ = one of {valid}",
+                )
+            elif record.declared not in _inventory.OWNERSHIP_VALUES:
+                yield Finding(
+                    rule=self.id,
+                    path=source.display_path,
+                    line=record.declared_line or node.lineno,
+                    col=1,
+                    message=(
+                        f"class {node.name} declares __concurrency__ = "
+                        f"{record.declared!r}; expected a string literal, "
+                        f"one of {valid}"
+                    ),
+                )
+
+
+class NoBlockingUnderLockRule(Rule):
+    """R15 — critical sections must not block.
+
+    ``time.sleep``, console/file I/O (``open``/``input``/``Path.read_*``),
+    sockets/HTTP/subprocesses and ``.wait()`` calls while lexically inside
+    a ``with <lock>:`` block stall every thread contending for the lock —
+    and under the shared store's coarse lock, the whole pipeline.  Move
+    the blocking work outside the critical section.
+    """
+
+    id = "R15"
+    summary = "no time.sleep or blocking I/O while holding a lock"
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        del project
+        findings: list[Finding] = []
+
+        def lock_of(expr: ast.expr) -> str:
+            dotted = _dotted(expr)
+            segment = dotted.rsplit(".", 1)[-1] if dotted else ""
+            return dotted if segment and _looks_like_lock(segment) else ""
+
+        def visit(child: ast.AST, held: frozenset[str]) -> None:
+            if not held or not isinstance(child, ast.Call):
+                return
+            label = self._blocking_label(child)
+            if label:
+                holder = sorted(held)[0]
+                findings.append(
+                    self._finding(
+                        source,
+                        child,
+                        f"blocking call {label} while holding lock "
+                        f"{holder}; move I/O and sleeps outside the "
+                        "critical section",
+                    )
+                )
+
+        _walk_held(source.tree, frozenset(), lock_of, visit)
+        findings.sort(key=Finding.sort_key)
+        yield from findings
+
+    @staticmethod
+    def _blocking_label(node: ast.Call) -> str:
+        dotted = _dotted(node.func)
+        if dotted in _BLOCKING_DOTTED:
+            return f"{dotted}()"
+        root = dotted.split(".", 1)[0] if dotted else ""
+        if root in _BLOCKING_ROOTS and "." in dotted:
+            return f"{dotted}()"
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BLOCKING_ATTRS
+        ):
+            return f".{node.func.attr}()"
+        return ""
+
+
+#: The concurrency rule catalog, appended to ``repro.analysis.lint.ALL_RULES``.
+CONCUR_RULES: tuple[Rule, ...] = (
+    GuardedMutationRule(),
+    LockAcquireDisciplineRule(),
+    LockOrderRule(),
+    OwnershipAnnotationRule(),
+    NoBlockingUnderLockRule(),
+)

@@ -1,0 +1,271 @@
+"""Seeded-schedule concurrent stress harness for the shared slice store.
+
+The harness drives N threads of compatible-slide queries against one
+:class:`~repro.engine.partial_tree.SharedSliceStore` under a
+**deterministic barrier schedule**: every element is ingested by exactly
+one thread (chosen by a seeded permuted round-robin), two barriers per
+element separate ingestion from query advancement, and each query is
+advanced only by its owner thread.  Determinism means a failure
+reproduces from its ``(n_threads, seed)`` pair alone.
+
+Two assertions come out of one run:
+
+* **Parity** — the threaded run's per-query window results are
+  bit-identical to a single-threaded :func:`run_shared_slices` reference
+  over the same elements (the store's ingest/advance split replays
+  ingest-time clocks, so interleaving must not matter).
+* **Detection** — with ``buggy=True`` the store's lock is replaced by a
+  do-nothing stand-in *before* RaceSan instrumentation, modelling
+  "forgot the lock".  RaceSan must report at least one lockset finding
+  (rotating ingester threads write ``_last_arrival``, the event-time
+  clock and the tree's GC sequence with an empty candidate lockset).
+
+Run it as ``python -m repro.analysis.concur stress``; the CI job sweeps
+8 threads over several seeds.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.analysis.concur.racesan import RaceFinding, RaceSan
+from repro.engine.aggregates import MeanAggregate
+from repro.engine.partial_tree import SharedSliceStore, run_shared_slices
+from repro.streams.element import StreamElement
+
+__all__ = [
+    "StressReport",
+    "build_elements",
+    "build_store",
+    "instrument_shared_store",
+    "run_stress",
+]
+
+#: Seconds a worker waits on a barrier before declaring the run wedged.
+_BARRIER_TIMEOUT_S = 60.0
+
+#: Window sizes (in slides) cycled over registered queries; mixing spans
+#: exercises both shallow and deep dyadic decompositions of the tree.
+_SPANS = (1, 2, 4, 8)
+
+#: Fixed release slacks cycled over registered queries.
+_SLACKS = (0.5, 1.0, 1.5, 2.0, 2.5)
+
+
+class _UnguardedLock:
+    """Intentionally broken lock: acquires nothing, excludes nobody.
+
+    Installed by the ``buggy=True`` stress fixture in place of the
+    store's ``RLock`` so every "critical section" runs unprotected —
+    the seeded race RaceSan is required to catch.
+    """
+
+    def __enter__(self) -> "_UnguardedLock":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Pretend to lock; returns True immediately."""
+        return True
+
+    def release(self) -> None:
+        """Pretend to unlock."""
+        return None
+
+
+@dataclass
+class StressReport:
+    """Outcome of one :func:`run_stress` invocation."""
+
+    n_threads: int
+    seed: int
+    n_elements: int
+    n_queries: int
+    buggy: bool
+    parity_ok: bool
+    findings: list[RaceFinding] = field(default_factory=list)
+    #: Worker exceptions (thread index, repr).  Tolerated in buggy mode —
+    #: an unguarded store may trip over its own corrupted state — and a
+    #: hard failure otherwise.
+    worker_errors: list[tuple[int, str]] = field(default_factory=list)
+    results_per_query: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Did the run meet its contract (parity clean, or bug caught)?"""
+        if self.buggy:
+            return bool(self.findings)
+        return self.parity_ok and not self.findings and not self.worker_errors
+
+
+def build_elements(seed: int, n_elements: int) -> list[StreamElement]:
+    """A seeded arrival-ordered stream with exponential-ish disorder."""
+    rng = random.Random(seed)
+    elements: list[StreamElement] = []
+    arrival = 0.0
+    for seq in range(n_elements):
+        arrival += rng.expovariate(1.0 / 0.05)
+        delay = rng.expovariate(1.0 / 0.4) if rng.random() < 0.4 else 0.0
+        event = max(arrival - delay, 0.0)
+        elements.append(
+            StreamElement(
+                event_time=event,
+                value=rng.uniform(-1.0, 1.0),
+                key=None,
+                arrival_time=arrival,
+                seq=seq,
+            )
+        )
+    return elements
+
+
+def build_store(n_queries: int, slide: float = 1.0) -> SharedSliceStore:
+    """A store with ``n_queries`` fixed-slack queries of mixed spans."""
+    store = SharedSliceStore(slide, MeanAggregate())
+    for index in range(n_queries):
+        store.register(
+            f"q{index}",
+            size=slide * _SPANS[index % len(_SPANS)],
+            slack=_SLACKS[index % len(_SLACKS)],
+        )
+    return store
+
+
+def instrument_shared_store(store: SharedSliceStore, san: RaceSan) -> None:
+    """Attach attribute-level RaceSan instrumentation to a store.
+
+    The store's lock is wrapped in a :class:`~.racesan.TrackedLock` (so
+    holding it populates locksets), then the store, the shared tree, the
+    event-time clock and every query record, view, stats block and
+    frontier are class-swapped into recording mode.
+    """
+    store._lock = san.wrap_lock(store._lock, "SharedSliceStore._lock")
+    san.instrument(store, "SharedSliceStore")
+    san.instrument(store._tree, "_SliceTree")
+    san.instrument(store._clock, "EventTimeFrontier")
+    for query_id, query in store._queries.items():
+        san.instrument(query, f"_SharedQuery[{query_id}]")
+        san.instrument(query.frontier, f"MonotoneFrontier[{query_id}]")
+        san.instrument(query.view, f"_QueryWindowView[{query_id}]")
+        san.instrument(query.view.stats, f"OperatorStats[{query_id}]")
+
+
+def run_stress(
+    n_threads: int,
+    seed: int,
+    n_elements: int = 300,
+    n_queries: int | None = None,
+    buggy: bool = False,
+    sanitize: bool = True,
+) -> StressReport:
+    """One deterministic multi-threaded run against a shared store.
+
+    Args:
+        n_threads: Worker threads; every thread ingests (round-robin,
+            seeded permutation per round) and owns ``n_queries /
+            n_threads`` queries.
+        seed: Seeds both the element stream and the ingester schedule.
+        n_elements: Stream length.
+        n_queries: Registered queries (default ``2 * n_threads`` so
+            every thread owns at least two).
+        buggy: Replace the store's lock with a no-op before
+            instrumentation — the seeded race RaceSan must detect.
+        sanitize: Attach RaceSan instrumentation (disable to measure the
+            harness itself).
+
+    Returns:
+        A :class:`StressReport`; check :attr:`StressReport.ok`.
+    """
+    if n_threads < 2:
+        raise ValueError(f"stress needs >= 2 threads, got {n_threads}")
+    if n_queries is None:
+        n_queries = 2 * n_threads
+    elements = build_elements(seed, n_elements)
+
+    reference = build_store(n_queries)
+    expected = {
+        query_id: list(results)
+        for query_id, results in run_shared_slices(elements, reference).items()
+    }
+
+    store = build_store(n_queries)
+    san = RaceSan(raise_on_finding=False)
+    if sanitize:
+        instrument_shared_store(store, san)
+    if buggy:
+        # After instrumentation, so the do-nothing lock is NOT wrapped in
+        # a TrackedLock — critical sections run with empty locksets.
+        store._lock = _UnguardedLock()  # type: ignore[assignment]
+
+    # Seeded permuted round-robin: every block of n_threads elements is
+    # ingested by each thread exactly once, in shuffled order.
+    rng = random.Random(seed ^ 0x5EED)
+    schedule: list[int] = []
+    while len(schedule) < n_elements:
+        block = list(range(n_threads))
+        rng.shuffle(block)
+        schedule.extend(block)
+    del schedule[n_elements:]
+
+    owned: dict[int, list[str]] = {index: [] for index in range(n_threads)}
+    for q_index in range(n_queries):
+        owned[q_index % n_threads].append(f"q{q_index}")
+
+    barrier = threading.Barrier(n_threads)
+    errors: list[tuple[int, Exception]] = []
+
+    def worker(thread_index: int) -> None:
+        my_queries = owned[thread_index]
+        try:
+            for index, element in enumerate(elements):
+                barrier.wait(timeout=_BARRIER_TIMEOUT_S)
+                if schedule[index] == thread_index:
+                    store.ingest(element)
+                barrier.wait(timeout=_BARRIER_TIMEOUT_S)
+                for query_id in my_queries:
+                    store.advance(query_id)
+                if schedule[index] == thread_index and index % 16 == 15:
+                    store.collect()
+            barrier.wait(timeout=_BARRIER_TIMEOUT_S)
+            for query_id in my_queries:
+                store.finish_query(query_id)
+        except threading.BrokenBarrierError:
+            pass  # a peer failed; its exception carries the cause
+        except Exception as exc:  # noqa: BLE001 — reported via the report
+            errors.append((thread_index, exc))
+            barrier.abort()
+
+    threads = [
+        threading.Thread(
+            target=worker, args=(index,), name=f"stress-{index}", daemon=True
+        )
+        for index in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10 * _BARRIER_TIMEOUT_S)
+
+    findings = list(san.findings)
+    san.reset()
+    parity_ok = not errors and store.results == expected
+    report = StressReport(
+        n_threads=n_threads,
+        seed=seed,
+        n_elements=n_elements,
+        n_queries=n_queries,
+        buggy=buggy,
+        parity_ok=parity_ok,
+        findings=findings,
+        worker_errors=[(index, repr(exc)) for index, exc in errors],
+        results_per_query={
+            query_id: len(results) for query_id, results in store.results.items()
+        },
+    )
+    if errors and not buggy:
+        raise errors[0][1]
+    return report

@@ -25,21 +25,29 @@ from typing import Iterator
 
 from repro.analysis.lint.model import Finding, Project, SourceFile
 from repro.analysis.lint.rules import Rule
+# The propagation name is bound at call time (``propagation.analysis_for``)
+# rather than import time: the analysis packages form a cycle
+# (lint -> dataflow.rules -> propagation -> lint.model), so an
+# import-time ``from ... import analysis_for`` only resolves when the
+# cycle happens to be entered via ``repro.analysis.lint``.
 from repro.analysis.dataflow import propagation
-from repro.analysis.dataflow.propagation import analysis_for
 
 
 class _DataflowRule(Rule):
     """Shared plumbing: select violation kinds for one source file."""
 
-    kinds: tuple[str, ...] = ()
+    #: Names of violation-kind constants on :mod:`.propagation`, resolved
+    #: at check time (the constants are not yet defined when this module
+    #: is imported mid-cycle).
+    kind_names: tuple[str, ...] = ()
     engine_only: bool = False
 
     def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
         if self.engine_only and not source.engine_scoped:
             return
-        result = analysis_for(project)
-        for violation in result.of_kind(*self.kinds):
+        result = propagation.analysis_for(project)
+        kinds = tuple(getattr(propagation, name) for name in self.kind_names)
+        for violation in result.of_kind(*kinds):
             if violation.path != source.display_path:
                 continue
             yield Finding(
@@ -59,7 +67,7 @@ class CrossDomainRule(_DataflowRule):
         "no cross-domain time arithmetic/comparison (event vs processing "
         "time, instant + instant)"
     )
-    kinds = (propagation.CROSS_AXIS, propagation.INSTANT_PLUS)
+    kind_names = ("CROSS_AXIS", "INSTANT_PLUS")
 
 
 class FrontierContractRule(_DataflowRule):
@@ -70,11 +78,11 @@ class FrontierContractRule(_DataflowRule):
         "DisorderHandler frontiers advance only via MonotoneFrontier/"
         "EventTimeFrontier with event-time arguments; no raw store writes"
     )
-    kinds = (
-        propagation.FRONTIER_ADVANCE,
-        propagation.FRONTIER_REBIND,
-        propagation.FRONTIER_RAW_WRITE,
-        propagation.FRONTIER_PROPERTY,
+    kind_names = (
+        "FRONTIER_ADVANCE",
+        "FRONTIER_REBIND",
+        "FRONTIER_RAW_WRITE",
+        "FRONTIER_PROPERTY",
     )
 
 
@@ -86,7 +94,7 @@ class SlackMixingRule(_DataflowRule):
         "no duration/timestamp mixing in buffer-size and slack "
         "computations (engine/core scope)"
     )
-    kinds = (propagation.DURATION_MIX,)
+    kind_names = ("DURATION_MIX",)
     engine_only = True
 
 
@@ -95,7 +103,7 @@ class MetricsDomainRule(_DataflowRule):
 
     id = "R09"
     summary = "RunMetrics fields must be assigned domain-consistent values"
-    kinds = (propagation.METRICS_DOMAIN,)
+    kind_names = ("METRICS_DOMAIN",)
 
 
 class UnannotatedApiRule(_DataflowRule):
@@ -106,7 +114,7 @@ class UnannotatedApiRule(_DataflowRule):
         "public engine/core APIs with time-named float parameters/returns "
         "must use the timebase Annotated aliases"
     )
-    kinds = (propagation.UNANNOTATED_API,)
+    kind_names = ("UNANNOTATED_API",)
     engine_only = True
 
 

@@ -3,7 +3,8 @@
 The linter enforces engine-specific invariants that generic tools cannot
 know about.  R01-R05 are per-file syntactic rules; R06-R10 come from the
 whole-program time-domain dataflow analysis
-(:mod:`repro.analysis.dataflow`):
+(:mod:`repro.analysis.dataflow`); R11-R15 are the concurrency-safety
+rules over the shared-state inventory (:mod:`repro.analysis.concur`):
 
 ========  ============================================================
 R01       no wall-clock time or nondeterministic RNG in ``engine``/``core``
@@ -17,7 +18,15 @@ R07       frontier-contract conformance for ``DisorderHandler``
 R08       no duration/timestamp mixing in slack computations
 R09       domain-consistent ``RunMetrics`` fields
 R10       unannotated public time-typed APIs in ``engine``/``core``
+R11       shared-state mutations hold the owning Lock/RLock
+R12       no raw ``acquire()`` without ``with``/try-finally release
+R13       static lock-order graph acyclic, no non-reentrant re-entry
+R14       shared classes declare ``__concurrency__`` ownership
+R15       no ``time.sleep``/blocking I/O while holding a lock
 ========  ============================================================
+
+A suppression comment naming an id no rule carries (``disable=R16``) is a
+hard configuration error — typos must not silently disable nothing.
 
 Run ``python -m repro.analysis.lint src/`` (exit status 1 on findings) or
 call :func:`run_lint` programmatically.  Suppress a finding with an inline
@@ -40,14 +49,17 @@ from repro.analysis.lint.model import (
 from repro.analysis.lint.reporting import render_json, render_text
 from repro.analysis.lint.rules import CORE_RULES, Rule
 from repro.analysis.dataflow.rules import DATAFLOW_RULES
+from repro.analysis.concur.rules import CONCUR_RULES
 from repro.analysis.dataflow.baseline import Baseline
 from repro.errors import ConfigurationError
 
-#: Full rule catalog: per-file syntactic rules + whole-program dataflow.
-ALL_RULES: tuple[Rule, ...] = CORE_RULES + DATAFLOW_RULES
+#: Full rule catalog: per-file syntactic rules + whole-program dataflow
+#: + concurrency-safety rules over the shared-state inventory.
+ALL_RULES: tuple[Rule, ...] = CORE_RULES + DATAFLOW_RULES + CONCUR_RULES
 
 __all__ = [
     "ALL_RULES",
+    "CONCUR_RULES",
     "CORE_RULES",
     "DATAFLOW_RULES",
     "Baseline",
@@ -109,7 +121,10 @@ def run_lint(
             filtered out (grandfathered debt).
 
     Raises:
-        ConfigurationError: when ``select`` names an unknown rule id.
+        ConfigurationError: when ``select`` names an unknown rule id, or
+            when a suppression comment in a scanned file names one
+            (``# repro-lint: disable=R16`` typos must not silently
+            disable nothing).
     """
     wanted = {rule_id.upper() for rule_id in select} if select else None
     known = {rule.id for rule in ALL_RULES}
@@ -122,6 +137,17 @@ def run_lint(
     for path in discover_files(roots):
         root = next((r for r in root_dirs if r in path.parents), None)
         files.append(SourceFile.load(path, root=root))
+    bad_mentions = [
+        f"{source.display_path}:{line}: {rule_id}"
+        for source in files
+        for line, rule_id in source.suppression_mentions
+        if rule_id != "ALL" and rule_id not in known
+    ]
+    if bad_mentions:
+        raise ConfigurationError(
+            "suppression comment(s) name unknown rule id(s) — "
+            + "; ".join(sorted(bad_mentions))
+        )
     project = Project(files)
     findings: list[Finding] = []
     for rule in ALL_RULES:

@@ -18,7 +18,9 @@ in the surrounding code; the linter itself only honours the directive.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -55,6 +57,23 @@ def _parse_ids(raw: str) -> set[str]:
     return {part.strip().upper() for part in raw.split(",") if part.strip()}
 
 
+def _comments(text: str) -> list[tuple[int, str]]:
+    """(line, comment text) for every comment token in ``text``.
+
+    Falls back to raw lines when the file does not tokenize (the caller
+    parses it with :mod:`ast` right before, so this only happens for
+    encoding corner cases).
+    """
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(text).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        return list(enumerate(text.splitlines(), start=1))
+
+
 @dataclass
 class SourceFile:
     """One parsed Python source file plus its suppression directives."""
@@ -65,6 +84,10 @@ class SourceFile:
     tree: ast.Module
     line_suppressions: dict[int, set[str]] = field(default_factory=dict)
     file_suppressions: set[str] = field(default_factory=set)
+    #: Every rule id mentioned by a suppression comment, with its line —
+    #: used to reject typo'd ids (``disable=R16``) that would otherwise
+    #: silently disable nothing.
+    suppression_mentions: list[tuple[int, str]] = field(default_factory=list)
 
     @staticmethod
     def load(path: Path, root: Path | None = None) -> "SourceFile":
@@ -78,17 +101,26 @@ class SourceFile:
         source = SourceFile(
             path=path, display_path=display, text=text, tree=tree
         )
-        for number, line in enumerate(text.splitlines(), start=1):
+        # Directives are read off real COMMENT tokens, not raw text lines:
+        # a docstring *describing* ``# repro-lint: disable=R01`` must
+        # neither suppress anything nor trip the unknown-id check.
+        for number, line in _comments(text):
             if "repro-lint" not in line:
                 continue
             match = _SUPPRESS_FILE.search(line)
             if match:
-                source.file_suppressions |= _parse_ids(match.group(1))
+                ids = _parse_ids(match.group(1))
+                source.file_suppressions |= ids
+                source.suppression_mentions.extend(
+                    (number, rule_id) for rule_id in sorted(ids)
+                )
                 continue
             match = _SUPPRESS_LINE.search(line)
             if match:
-                source.line_suppressions.setdefault(number, set()).update(
-                    _parse_ids(match.group(1))
+                ids = _parse_ids(match.group(1))
+                source.line_suppressions.setdefault(number, set()).update(ids)
+                source.suppression_mentions.extend(
+                    (number, rule_id) for rule_id in sorted(ids)
                 )
         return source
 

@@ -63,6 +63,8 @@ from repro.streams.timebase import (
 class AdaptationRecord:
     """One adaptation round, for timelines and debugging."""
 
+    __concurrency__ = "immutable"
+
     arrival_time: float
     allowed_late_fraction: float
     k_estimate: float
@@ -73,6 +75,8 @@ class AdaptationRecord:
 
 class AQKSlackHandler(DisorderHandler):
     """Adaptive quality-driven K-slack buffering."""
+
+    __concurrency__ = "single-thread"
 
     name = "aq-k-slack"
 

@@ -32,6 +32,8 @@ from repro.streams.timebase import DurationS
 class SlackController(ABC):
     """Combines the model's slack estimate with observed-error feedback."""
 
+    __concurrency__ = "single-thread"
+
     @abstractmethod
     def observe_error(self, error: float) -> None:
         """Fold one observed per-window relative error sample in."""
@@ -70,6 +72,8 @@ class PIController(SlackController):
     feed-forward response when the delay regime suddenly worsens (the gain
     must climb back before the slack can follow the estimate).
     """
+
+    __concurrency__ = "single-thread"
 
     def __init__(
         self,

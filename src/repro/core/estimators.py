@@ -38,6 +38,8 @@ class StreamContext:
             unknown).
     """
 
+    __concurrency__ = "immutable"
+
     dispersion: float
     expected_window_count: float
 

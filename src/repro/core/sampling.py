@@ -38,6 +38,8 @@ def as_generator(seed: int | np.random.Generator) -> np.random.Generator:
 class DelaySample:
     """Interface of delay trackers: observe delays, answer quantiles."""
 
+    __concurrency__ = "single-thread"
+
     def observe(self, delay: DurationS) -> None:
         """Fold one element delay (seconds, non-negative) into the sample."""
         raise NotImplementedError
@@ -69,6 +71,8 @@ class SlidingDelaySample(DelaySample):
     delay regime changes within one buffer turnover.  Quantile queries sort
     lazily and cache until the next observation.
     """
+
+    __concurrency__ = "single-thread"
 
     def __init__(self, capacity: int = 2000) -> None:
         if capacity <= 0:
@@ -197,6 +201,8 @@ class ValueStatsTracker:
     the per-observation decay.
     """
 
+    __concurrency__ = "single-thread"
+
     def __init__(self, alpha: float = 0.001) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ConfigurationError(f"alpha must lie in (0,1], got {alpha}")
@@ -258,6 +264,8 @@ class RateTracker:
     span``, which is order-invariant; it assumes a roughly stationary rate
     over the stream's lifetime.
     """
+
+    __concurrency__ = "single-thread"
 
     def __init__(self) -> None:
         self._min_event: float | None = None

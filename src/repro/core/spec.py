@@ -29,6 +29,8 @@ class QualityTarget:
             of windows violating the threshold.
     """
 
+    __concurrency__ = "immutable"
+
     threshold: float
     metric: str = "mean_relative_error"
 

@@ -138,6 +138,8 @@ class _ClosedRecord:
 class OperatorStats:
     """Counters and samples collected during a run."""
 
+    __concurrency__ = "single-thread"
+
     elements_in: int = 0
     results_out: int = 0
     late_dropped: int = 0

@@ -41,6 +41,8 @@ _NUMPY_FOLD_MIN = 32
 class AggregateFunction(ABC):
     """Protocol for incremental window aggregates."""
 
+    __concurrency__ = "immutable"
+
     name: str = "aggregate"
     error_model_kind: str = "additive_mass"
 

@@ -30,6 +30,8 @@ class WindowResult:
             whole run) and are excluded from latency summaries.
     """
 
+    __concurrency__ = "immutable"
+
     key: object
     window: Window
     value: float
@@ -42,6 +44,8 @@ class WindowResult:
 
 class Operator(ABC):
     """A streaming operator consuming arrival-ordered elements."""
+
+    __concurrency__ = "single-thread"
 
     @abstractmethod
     def process(self, element: StreamElement) -> list[WindowResult]:

@@ -59,7 +59,7 @@ def run_pipeline(
     operator: Operator,
     sample_every: int = 0,
     batch_size: int = 0,
-    sanitize: bool = False,
+    sanitize: bool | str = False,
     sanitize_probe_every: int = 0,
     trace: Tracer | None = None,
     registry: MetricsRegistry | None = None,
@@ -81,12 +81,15 @@ def run_pipeline(
             to the scalar path; only wall-clock throughput changes.  Chunk
             boundaries are aligned to sampling points so timelines match the
             scalar run sample-for-sample.
-        sanitize: Wrap the operator and its handler in the StreamSan
-            runtime checkers (see :mod:`repro.analysis.sanitizer`); any
-            engine-invariant violation raises
-            :class:`~repro.errors.SanitizerError` at the call site.  When
-            False (the default) nothing is wrapped and there is no
-            overhead.
+        sanitize: ``True`` or ``"stream"`` wraps the operator and its
+            handler in the StreamSan runtime checkers (see
+            :mod:`repro.analysis.sanitizer`); ``"race"`` wraps them in the
+            RaceSan lockset race detector instead (see
+            :mod:`repro.analysis.concur.racesan` — single-threaded runs
+            are bit-identical to unsanitized runs and never report).  Any
+            violation raises :class:`~repro.errors.SanitizerError` at the
+            call site.  When False (the default) nothing is wrapped and
+            there is no overhead.
         sanitize_probe_every: With ``sanitize=True`` and a batched run,
             shadow-execute every N-th chunk through the scalar path on a
             deep copy of the operator and diff the emissions (0 disables
@@ -108,12 +111,28 @@ def run_pipeline(
     """
     if batch_size < 0:
         raise ConfigurationError(f"batch_size must be non-negative, got {batch_size}")
-    if sanitize:
+    if sanitize is True or sanitize == "stream":
         from repro.analysis.sanitizer import SanitizerConfig, SanitizingOperator
 
         operator = SanitizingOperator(
             operator,
             SanitizerConfig(divergence_probe_every=sanitize_probe_every),
+        )
+    elif sanitize == "race":
+        if sanitize_probe_every:
+            raise ConfigurationError(
+                "sanitize_probe_every requires the stream sanitizer "
+                '(sanitize=True or sanitize="stream")'
+            )
+        from repro.analysis.concur.racesan import RaceSan
+
+        operator = RaceSan(
+            tracer=trace if trace is not None else NULL_TRACER
+        ).guard_operator(operator)
+    elif sanitize:
+        raise ConfigurationError(
+            f"unknown sanitizer {sanitize!r}; expected True, "
+            '"stream" or "race"'
         )
     elif sanitize_probe_every:
         raise ConfigurationError(
@@ -169,7 +188,7 @@ def run_pipeline(
             handler.describe() if handler is not None else type(operator).__name__,
             n,
             batch_size,
-            sanitize,
+            bool(sanitize),
         )
     # Wall-clock reads are banned in engine code (R01); this pair only
     # feeds the throughput metric and never influences results.

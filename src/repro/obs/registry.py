@@ -16,6 +16,7 @@ and allocation-light: one attribute bump per update.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Iterator, Union
 
 from repro.errors import ConfigurationError
@@ -160,9 +161,18 @@ Instrument = Union[Counter, Gauge, Histogram]
 
 
 class MetricsRegistry:
-    """Name-indexed collection of counters, gauges and histograms."""
+    """Name-indexed collection of counters, gauges and histograms.
+
+    Registration (``counter``/``gauge``/``histogram``/``get``) is guarded
+    by an internal lock so concurrent pipelines can share one registry;
+    instrument *updates* stay lock-free single-attribute bumps (each
+    instrument has one writer — the pipeline that created it).
+    """
+
+    __concurrency__ = "guarded"
 
     def __init__(self) -> None:
+        self._instruments_lock = threading.Lock()
         self._instruments: dict[str, Instrument] = {}
 
     def __len__(self) -> int:
@@ -180,11 +190,12 @@ class MetricsRegistry:
     def _get_or_create(
         self, name: str, kind: type[Counter] | type[Gauge] | type[Histogram]
     ) -> Instrument:
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            created: Instrument = kind(name)
-            self._instruments[name] = created
-            return created
+        with self._instruments_lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                created: Instrument = kind(name)
+                self._instruments[name] = created
+                return created
         if not isinstance(instrument, kind):
             raise ConfigurationError(
                 f"metric {name!r} is a {type(instrument).__name__}, "

@@ -74,6 +74,8 @@ class TraceEvent:
         fields: Kind-specific payload (see :data:`EVENT_KINDS`).
     """
 
+    __concurrency__ = "immutable"
+
     kind: str
     sim_time: float
     wall_time: float
@@ -93,6 +95,8 @@ class Tracer:
             (``element.admitted``, per-push buffer records); off by
             default because they dominate trace size.
     """
+
+    __concurrency__ = "immutable"
 
     enabled: bool = False
     detail: bool = False
@@ -216,6 +220,8 @@ class TraceRecorder(Tracer):
     advances are stored (the frontier is re-observed on every offer, which
     would otherwise dominate the trace).
     """
+
+    __concurrency__ = "single-thread"
 
     enabled = True
 

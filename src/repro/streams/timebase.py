@@ -96,6 +96,8 @@ class MonotoneFrontier:
     sequence its policy produces.
     """
 
+    __concurrency__ = "single-thread"
+
     __slots__ = ("_value",)
 
     def __init__(self, start: EventTimeStamp = float("-inf")) -> None:
@@ -159,6 +161,8 @@ class EventTimeFrontier:
     frontier itself is the most aggressive (zero-slack) watermark available
     without future knowledge.
     """
+
+    __concurrency__ = "single-thread"
 
     __slots__ = ("_max_event_time", "_count")
 

@@ -1,0 +1,58 @@
+"""R11 fixture: guarded/immutable/global mutations outside the discipline."""
+
+import threading
+
+_HIGH_WATER = 0.0
+
+
+class SortingBuffer:
+    """Inventory root; declared guarded, yet mutates outside its lock."""
+
+    __concurrency__ = "guarded"
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._heap = []
+        self._released = 0
+        self._stats = UnlockedStats()
+
+    def offer(self, element):
+        """BUG: mutates guarded state without holding self._lock."""
+        self._heap.append(element)
+        self._released += 1
+
+    def snapshot(self):
+        """Correct critical section; also the edge to FrozenSnapshot."""
+        with self._lock:
+            return FrozenSnapshot(len(self._heap))
+
+    def record_high_water(self, value):
+        """BUG: reassigns an inventoried module global."""
+        global _HIGH_WATER
+        _HIGH_WATER = value
+
+
+class UnlockedStats:
+    """BUG: declared guarded but owns no Lock/RLock at all."""
+
+    __concurrency__ = "guarded"
+
+    def __init__(self):
+        self.count = 0
+
+    def inc(self):
+        """Nothing to hold, so every mutation is unguardable."""
+        self.count += 1
+
+
+class FrozenSnapshot:
+    """Declared immutable, yet mutates after construction."""
+
+    __concurrency__ = "immutable"
+
+    def __init__(self, count):
+        self.count = count
+
+    def bump(self):
+        """BUG: immutable classes never change after __init__."""
+        self.count += 1

@@ -1,0 +1,44 @@
+"""R11 negative fixture: the same shapes with the discipline respected."""
+
+import threading
+
+_HIGH_WATER = 0.0
+
+
+class SortingBuffer:
+    """Inventory root; every mutation sits inside the critical section."""
+
+    __concurrency__ = "guarded"
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._heap = []
+        self._released = 0
+
+    def offer(self, element):
+        """Mutations are guarded by the owning lock."""
+        with self._lock:
+            self._heap.append(element)
+            self._released += 1
+
+    def snapshot(self):
+        """Reads under the lock, then hands out an immutable copy."""
+        with self._lock:
+            return FrozenSnapshot(len(self._heap))
+
+    def high_water(self):
+        """Reading a module global is fine; only writes are flagged."""
+        return _HIGH_WATER
+
+
+class FrozenSnapshot:
+    """Immutable: construction only, derived values are new instances."""
+
+    __concurrency__ = "immutable"
+
+    def __init__(self, count):
+        self.count = count
+
+    def doubled(self):
+        """No in-place mutation — returns a fresh snapshot."""
+        return FrozenSnapshot(self.count * 2)

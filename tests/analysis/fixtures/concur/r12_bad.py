@@ -1,0 +1,25 @@
+"""R12 fixture: raw acquire() calls that can leak the lock."""
+
+import threading
+
+
+class Worker:
+    """Acquires its lock without exception-safe release paths."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def unsafe(self):
+        """BUG: an exception between acquire and release leaks the lock."""
+        self._lock.acquire()
+        self.value = 1
+        self._lock.release()
+
+    def leaky(self):
+        """BUG: the try has a finally, but it never releases the lock."""
+        self._lock.acquire()
+        try:
+            self.value = 2
+        finally:
+            self.value = 3

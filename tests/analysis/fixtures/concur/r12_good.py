@@ -1,0 +1,31 @@
+"""R12 negative fixture: exception-safe acquisition patterns."""
+
+import threading
+
+
+class Worker:
+    """Every acquire is paired with a guaranteed release."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._gate = threading.Semaphore()
+        self.value = 0
+
+    def safe_with(self):
+        """The with statement releases on every exit path."""
+        with self._lock:
+            self.value = 1
+
+    def safe_try(self):
+        """Raw acquire is fine when a try/finally releases the same lock."""
+        self._lock.acquire()
+        try:
+            self.value = 2
+        finally:
+            self._lock.release()
+
+    def not_a_lock(self):
+        """Semaphores are out of scope for the lock-name heuristic."""
+        self._gate.acquire()
+        self.value = 4
+        self._gate.release()

@@ -1,0 +1,36 @@
+"""R13 fixture: a lock-order cycle and a non-reentrant self-acquisition."""
+
+import threading
+
+
+class DeadlockProne:
+    """Two methods acquire the same pair of locks in opposite orders."""
+
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+
+    def forward(self):
+        """Orders alpha before beta."""
+        with self._alpha_lock:
+            with self._beta_lock:
+                pass
+
+    def backward(self):
+        """BUG: orders beta before alpha — a cycle with forward()."""
+        with self._beta_lock:
+            with self._alpha_lock:
+                pass
+
+
+class SelfDeadlock:
+    """Re-acquires a non-reentrant Lock it already holds."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self):
+        """BUG: the nested acquire blocks forever on threading.Lock."""
+        with self._lock:
+            with self._lock:
+                pass

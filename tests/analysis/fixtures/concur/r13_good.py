@@ -1,0 +1,41 @@
+"""R13 negative fixture: one global lock order, RLock re-entry."""
+
+import threading
+
+
+class OrderedLocks:
+    """Both methods acquire alpha strictly before beta."""
+
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+
+    def forward(self):
+        """Alpha, then beta."""
+        with self._alpha_lock:
+            with self._beta_lock:
+                pass
+
+    def also_forward(self):
+        """Same order everywhere — the graph stays acyclic."""
+        with self._alpha_lock:
+            with self._beta_lock:
+                pass
+
+
+class ReentrantHelper:
+    """Helpers re-acquire the class RLock; re-entry is legal and cheap."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.count = 0
+
+    def outer(self):
+        """Calls a helper that re-enters the RLock."""
+        with self._lock:
+            self._bump()
+
+    def _bump(self):
+        """Acquires the RLock itself so it is safe from any caller."""
+        with self._lock:
+            self.count += 1

@@ -1,0 +1,22 @@
+"""R14 fixture: missing and invalid ownership annotations."""
+
+
+class TraceRecorder:
+    """BUG: inventory root with no __concurrency__ annotation."""
+
+    def __init__(self):
+        self._events = []
+        self._sink = EventSink()
+
+    def record(self, event):
+        """Buffers one event."""
+        self._events.append(event)
+
+
+class EventSink:
+    """BUG: annotated, but with a value outside the ownership vocabulary."""
+
+    __concurrency__ = "thread-hostile"
+
+    def __init__(self):
+        self.flushed = 0

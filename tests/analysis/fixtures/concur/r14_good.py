@@ -1,0 +1,24 @@
+"""R14 negative fixture: every inventoried class declares its ownership."""
+
+
+class TraceRecorder:
+    """Inventory root, externally serialized."""
+
+    __concurrency__ = "single-thread"
+
+    def __init__(self):
+        self._events = []
+        self._sink = EventSink()
+
+    def record(self, event):
+        """Buffers one event."""
+        self._events.append(event)
+
+
+class EventSink:
+    """Reached from the recorder; never mutated after construction."""
+
+    __concurrency__ = "immutable"
+
+    def __init__(self):
+        self.flushed = 0

@@ -1,0 +1,20 @@
+"""R15 fixture: sleeping and doing file I/O inside a critical section."""
+
+import threading
+import time
+
+
+class Flusher:
+    """Blocks every contending thread while it naps and writes."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []
+
+    def drain(self, path):
+        """BUG: sleep and open() both sit inside the with-lock block."""
+        with self._lock:
+            time.sleep(0.01)
+            with open(path, "a", encoding="utf-8") as sink:
+                sink.write(repr(self._pending))
+            self._pending.clear()

@@ -1,0 +1,21 @@
+"""R15 negative fixture: the blocking work happens outside the lock."""
+
+import threading
+import time
+
+
+class Flusher:
+    """Snapshots under the lock, blocks only after releasing it."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []
+
+    def drain(self, path):
+        """Copy-and-clear inside the lock; sleep and I/O outside."""
+        with self._lock:
+            batch = list(self._pending)
+            self._pending.clear()
+        time.sleep(0.01)
+        with open(path, "a", encoding="utf-8") as sink:
+            sink.write(repr(batch))

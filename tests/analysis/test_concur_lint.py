@@ -1,0 +1,207 @@
+"""Concurrency lint rules R11-R15, the inventory, and suppression typos."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.concur.inventory import build_inventory, inventory_for
+from repro.analysis.lint import run_lint
+from repro.analysis.lint.__main__ import main as lint_main
+from repro.analysis.lint.model import Project, SourceFile, discover_files
+from repro.errors import ConfigurationError
+
+FIXTURES = Path(__file__).parent / "fixtures" / "concur"
+REPO_SRC = Path(__file__).parent.parent.parent / "src"
+
+
+def findings_for(fixture: str, rule: str):
+    """Lint one fixture file with a single rule selected."""
+    return run_lint([FIXTURES / fixture], select=[rule])
+
+
+def project_for(fixture: str) -> Project:
+    """A one-file project over a fixture, for direct inventory calls."""
+    path = FIXTURES / fixture
+    return Project([SourceFile.load(p) for p in discover_files([path])])
+
+
+# --------------------------------------------------------------------- #
+# shared-state inventory
+
+
+def test_inventory_reaches_constructed_and_attribute_classes():
+    inventory = build_inventory(project_for("r11_bad.py"))
+    assert "SortingBuffer" in inventory.classes
+    # Reached through a constructor call inside a method body.
+    assert inventory.classes["FrozenSnapshot"].via == "SortingBuffer"
+    # Reached through a ``self._stats = UnlockedStats()`` seed.
+    assert inventory.classes["UnlockedStats"].via == "SortingBuffer"
+    root = inventory.classes["SortingBuffer"]
+    assert root.via == ""
+    assert root.declared == "guarded"
+    assert root.locks == {"_lock": "RLock"}
+    assert "_heap" in root.attrs
+
+
+def test_inventory_tracks_module_globals():
+    inventory = build_inventory(project_for("r11_bad.py"))
+    module = inventory.classes["SortingBuffer"].module
+    assert "_HIGH_WATER" in inventory.module_globals(module)
+
+
+def test_inventory_is_cached_per_project():
+    project = project_for("r11_bad.py")
+    assert inventory_for(project) is inventory_for(project)
+
+
+def test_source_tree_inventory_is_fully_annotated():
+    """Every shared class in src/ carries a valid ownership annotation."""
+    files = [
+        SourceFile.load(path, root=REPO_SRC)
+        for path in discover_files([REPO_SRC])
+    ]
+    inventory = build_inventory(Project(files))
+    assert len(inventory.classes) >= 20  # the shared layer is not tiny
+    undeclared = [
+        name
+        for name, record in inventory.classes.items()
+        if record.declared not in ("guarded", "single-thread", "immutable")
+    ]
+    assert undeclared == []
+
+
+# --------------------------------------------------------------------- #
+# R11 — mutation under lock
+
+
+def test_r11_catches_unguarded_and_immutable_mutations():
+    findings = findings_for("r11_bad.py", "R11")
+    assert {f.rule for f in findings} == {"R11"}
+    assert len(findings) == 5
+    messages = " ".join(f.message for f in findings)
+    assert "without holding self._lock" in messages
+    assert "module global _HIGH_WATER" in messages
+    assert "owns no threading.Lock/RLock" in messages
+    assert 'annotated __concurrency__ = "immutable"' in messages
+
+
+def test_r11_accepts_lock_disciplined_code():
+    assert findings_for("r11_good.py", "R11") == []
+
+
+# --------------------------------------------------------------------- #
+# R12 — acquire discipline
+
+
+def test_r12_catches_leaky_acquires():
+    findings = findings_for("r12_bad.py", "R12")
+    assert len(findings) == 2
+    assert all("acquire() without" in f.message for f in findings)
+
+
+def test_r12_accepts_with_and_try_finally():
+    assert findings_for("r12_good.py", "R12") == []
+
+
+# --------------------------------------------------------------------- #
+# R13 — lock-order graph
+
+
+def test_r13_catches_cycle_and_self_deadlock():
+    findings = findings_for("r13_bad.py", "R13")
+    assert len(findings) == 3
+    messages = sorted(f.message for f in findings)
+    assert sum("lock-order cycle" in m for m in messages) == 2
+    assert sum("non-reentrant lock" in m for m in messages) == 1
+
+
+def test_r13_accepts_consistent_order_and_rlock_reentry():
+    assert findings_for("r13_good.py", "R13") == []
+
+
+# --------------------------------------------------------------------- #
+# R14 — ownership annotations
+
+
+def test_r14_catches_missing_and_invalid_annotations():
+    findings = findings_for("r14_bad.py", "R14")
+    assert len(findings) == 2
+    messages = sorted(f.message for f in findings)
+    assert any("declares no __concurrency__" in m for m in messages)
+    assert any("'thread-hostile'" in m for m in messages)
+
+
+def test_r14_accepts_annotated_classes():
+    assert findings_for("r14_good.py", "R14") == []
+
+
+# --------------------------------------------------------------------- #
+# R15 — blocking under lock
+
+
+def test_r15_catches_sleep_and_io_under_lock():
+    findings = findings_for("r15_bad.py", "R15")
+    assert len(findings) == 2
+    messages = " ".join(f.message for f in findings)
+    assert "time.sleep()" in messages
+    assert "open()" in messages
+
+
+def test_r15_accepts_blocking_outside_the_lock():
+    assert findings_for("r15_good.py", "R15") == []
+
+
+# --------------------------------------------------------------------- #
+# suppression typos are hard errors (not silent no-ops)
+
+# Written to tmp_path rather than the fixtures tree: the directory-wide
+# fixture sweep in test_lint_rules.py must stay lintable.
+SUPPRESS_UNKNOWN = '''"""Fixture: a suppression comment naming an unknown rule id."""
+
+
+def frontier_check(a, b):
+    """The directive below is a typo and must hard-error, not no-op."""
+    return a == b  # repro-lint: disable=R99 -- meant R03
+'''
+
+
+@pytest.fixture
+def typo_file(tmp_path):
+    path = tmp_path / "suppress_unknown.py"
+    path.write_text(SUPPRESS_UNKNOWN, encoding="utf-8")
+    return path
+
+
+def test_unknown_suppression_id_is_a_configuration_error(typo_file):
+    with pytest.raises(ConfigurationError, match=r"unknown rule id.*R99"):
+        run_lint([typo_file])
+
+
+def test_unknown_suppression_id_names_file_and_line(typo_file):
+    with pytest.raises(ConfigurationError, match=r"suppress_unknown\.py:6"):
+        run_lint([typo_file])
+
+
+def test_cli_exits_2_on_unknown_suppression_id(typo_file, capsys):
+    status = lint_main([str(typo_file)])
+    assert status == 2
+    assert "R99" in capsys.readouterr().err
+
+
+def test_docstring_mentions_of_directives_do_not_error(tmp_path):
+    # Only real comments count: documenting `disable=R99` in a docstring
+    # (as the lint package itself does) must not trip the typo check.
+    path = tmp_path / "documented.py"
+    path.write_text(
+        '"""Docs may say `# repro-lint: disable=R99` without erroring."""\n',
+        encoding="utf-8",
+    )
+    assert run_lint([path]) == []
+
+
+def test_known_suppression_ids_do_not_error():
+    # The repo source uses real suppressions; linting src must not raise.
+    findings = run_lint([REPO_SRC], select=["R11", "R12", "R13", "R14", "R15"])
+    assert findings == []

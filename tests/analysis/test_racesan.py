@@ -1,0 +1,343 @@
+"""RaceSan lockset detector: unit tests, stress harness, pipeline mode."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.concur.__main__ import main as concur_main
+from repro.analysis.concur.racesan import GuardedProxy, RaceSan, TrackedLock
+from repro.analysis.concur.stress import (
+    build_elements,
+    build_store,
+    run_stress,
+)
+from repro.engine.aggregates import make_aggregate
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.handlers import KSlackHandler
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import SlidingWindowAssigner
+from repro.errors import ConfigurationError, SanitizerError
+
+
+class Cell:
+    """Minimal shared object for instrumentation tests."""
+
+    def __init__(self):
+        self.value = 0
+        self.history = []
+
+
+def in_thread(fn, *args):
+    """Run ``fn`` on a worker thread to completion, re-raising its error."""
+    box: list[BaseException] = []
+
+    def runner():
+        try:
+            fn(*args)
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            box.append(exc)
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    thread.join()
+    if box:
+        raise box[0]
+
+
+# --------------------------------------------------------------------- #
+# lockset state machine
+
+
+def test_single_thread_never_reports():
+    san = RaceSan()
+    cell = san.instrument(Cell(), "Cell")
+    for _ in range(100):
+        cell.value += 1
+        cell.history.append(cell.value)
+    assert san.findings == []
+
+
+def test_unsynchronized_write_write_is_reported():
+    san = RaceSan(raise_on_finding=False)
+    cell = san.instrument(Cell(), "Cell")
+    cell.value = 1  # main thread: exclusive, written
+    in_thread(lambda: setattr(cell, "value", 2))  # no locks in common
+    assert len(san.findings) == 1
+    finding = san.findings[0]
+    assert finding.kind == "write/write"
+    assert finding.label == "Cell"
+    assert finding.attr == "value"
+    assert "RaceSan[lockset]" in finding.message
+
+
+def test_finding_raises_sanitizer_error_by_default():
+    san = RaceSan()
+    cell = san.instrument(Cell(), "Cell")
+    cell.value = 1
+    with pytest.raises(SanitizerError, match=r"RaceSan\[lockset\].*Cell\.value"):
+        in_thread(lambda: setattr(cell, "value", 2))
+
+
+def test_initialize_then_publish_is_not_a_race():
+    # One thread writes during setup; other threads only ever read.
+    san = RaceSan()
+    cell = san.instrument(Cell(), "Cell")
+    cell.value = 41
+    cell.value = 42
+    seen = []
+    in_thread(lambda: seen.append(cell.value))
+    in_thread(lambda: seen.append(cell.value))
+    assert seen == [42, 42]
+    assert san.findings == []
+
+
+def test_common_lock_silences_the_detector():
+    san = RaceSan()
+    lock = san.wrap_lock(threading.Lock(), "lock")
+    cell = san.instrument(Cell(), "Cell")
+
+    def bump():
+        with lock:
+            cell.value += 1
+
+    bump()
+    in_thread(bump)
+    in_thread(bump)
+    with lock:  # reading shared-written state also needs the lock
+        assert cell.value == 3
+    assert san.findings == []
+
+
+def test_lockset_intersection_narrows_to_empty():
+    san = RaceSan(raise_on_finding=False)
+    lock_a = san.wrap_lock(threading.Lock(), "a")
+    lock_b = san.wrap_lock(threading.Lock(), "b")
+    cell = san.instrument(Cell(), "Cell")
+
+    def write_holding(*locks):
+        for lock in locks:
+            lock.acquire()
+        try:
+            cell.value = 1  # pure write: no read access precedes it
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+
+    write_holding(lock_a, lock_b)  # exclusive phase
+    in_thread(write_holding, lock_b)  # candidate lockset: {b}
+    assert san.findings == []
+    in_thread(write_holding, lock_a)  # {b} & {a} = {} -> race
+    assert len(san.findings) == 1
+    assert san.findings[0].kind == "write/write"
+
+
+def test_race_is_reported_once_per_location():
+    san = RaceSan(raise_on_finding=False)
+    cell = san.instrument(Cell(), "Cell")
+    cell.value = 1
+    for _ in range(5):
+        in_thread(lambda: setattr(cell, "value", 2))
+    assert len(san.findings) == 1
+
+
+# --------------------------------------------------------------------- #
+# TrackedLock and instrumentation plumbing
+
+
+def test_tracked_lock_is_reentrant_aware():
+    san = RaceSan()
+    lock = san.wrap_lock(threading.RLock(), "r")
+    assert san.locks_held() == frozenset()
+    with lock:
+        with lock:
+            assert san.locks_held() == {id(lock)}
+        assert san.locks_held() == {id(lock)}  # outer hold survives
+    assert san.locks_held() == frozenset()
+
+
+def test_wrap_lock_is_idempotent():
+    san = RaceSan()
+    lock = san.wrap_lock(threading.Lock(), "x")
+    assert san.wrap_lock(lock) is lock
+    assert isinstance(lock, TrackedLock)
+
+
+def test_instrument_and_uninstrument_round_trip():
+    san = RaceSan()
+    cell = Cell()
+    original = type(cell)
+    assert san.instrument(cell, "Cell") is cell
+    assert type(cell) is not original
+    assert isinstance(cell, original)  # recording subclass
+    san.instrument(cell, "Cell")  # idempotent
+    san.uninstrument(cell)
+    assert type(cell) is original
+
+
+def test_reset_detaches_and_clears():
+    san = RaceSan(raise_on_finding=False)
+    cell = san.instrument(Cell(), "Cell")
+    cell.value = 1
+    in_thread(lambda: setattr(cell, "value", 2))
+    assert san.findings
+    san.reset()
+    assert san.findings == []
+    cell.value = 3  # instrumentation detached: recording is a no-op now
+    in_thread(lambda: setattr(cell, "value", 4))
+    assert san.findings == []
+
+
+# --------------------------------------------------------------------- #
+# GuardedProxy (method-level, used by run_pipeline(sanitize="race"))
+
+
+class Counter:
+    """Tiny operator-shaped object for proxy tests."""
+
+    def __init__(self):
+        self.total = 0
+
+    def add(self, n):
+        """Mutating method (name not in the read prefixes)."""
+        self.total += n
+        return self.total
+
+    def snapshot_total(self):
+        """Read-classified method."""
+        return self.total
+
+
+def test_guarded_proxy_forwards_and_classifies():
+    san = RaceSan()
+    proxy = san.guard(Counter(), "Counter")
+    assert isinstance(proxy, GuardedProxy)
+    assert proxy.add(2) == 2
+    assert proxy.snapshot_total() == 2
+    assert proxy.total == 2  # data attribute read passes through
+    assert san.findings == []
+
+
+def test_guarded_proxy_reports_cross_thread_mutation():
+    san = RaceSan(raise_on_finding=False)
+    proxy = san.guard(Counter(), "Counter")
+    proxy.add(1)
+    in_thread(proxy.add, 1)
+    assert len(san.findings) == 1
+    assert san.findings[0].label == "Counter"
+
+
+def test_guarded_proxy_read_methods_do_not_race_with_reads():
+    san = RaceSan()
+    proxy = san.guard(Counter(), "Counter")
+    proxy.add(1)  # exclusive phase write
+    in_thread(proxy.snapshot_total)  # shared phase is read-only
+    in_thread(proxy.snapshot_total)
+    assert san.findings == []
+
+
+# --------------------------------------------------------------------- #
+# stress harness
+
+
+def test_stress_guarded_run_has_parity_and_no_findings():
+    report = run_stress(2, seed=0, n_elements=64)
+    assert report.ok
+    assert report.parity_ok
+    assert report.findings == []
+    assert report.worker_errors == []
+    assert sum(report.results_per_query.values()) > 0
+
+
+def test_stress_three_threads_uneven_queries():
+    report = run_stress(3, seed=1, n_elements=48, n_queries=5)
+    assert report.ok and report.parity_ok
+
+
+def test_stress_detects_the_seeded_race():
+    report = run_stress(2, seed=0, n_elements=64, buggy=True)
+    assert report.buggy and report.ok
+    assert report.findings
+    assert any("RaceSan[lockset]" in f.message for f in report.findings)
+
+
+def test_stress_rejects_single_thread():
+    with pytest.raises(ValueError, match="needs >= 2 threads"):
+        run_stress(1, seed=0)
+
+
+def test_stress_elements_are_deterministic():
+    assert build_elements(7, 10) == build_elements(7, 10)
+    assert build_elements(7, 10) != build_elements(8, 10)
+
+
+def test_stress_cli_smoke(capsys):
+    status = concur_main(
+        ["stress", "--threads", "2", "--seeds", "0", "--elements", "48"]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "all phases ok" in out
+    assert "caught" in out
+
+
+def test_inventory_cli_smoke(capsys):
+    status = concur_main(["inventory", "src"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "SharedSliceStore" in out
+    assert "guarded" in out
+
+
+# --------------------------------------------------------------------- #
+# run_pipeline(sanitize="race")
+
+
+def make_operator():
+    """Sliding mean over a K-slack handler."""
+    return WindowAggregateOperator(
+        SlidingWindowAssigner(size=2, slide=1),
+        make_aggregate("mean"),
+        KSlackHandler(k=1.0),
+    )
+
+
+def test_pipeline_race_mode_is_bit_identical_to_off():
+    elements = build_elements(3, 200)
+    plain = run_pipeline(elements, make_operator(), sample_every=25)
+    raced = run_pipeline(
+        elements, make_operator(), sample_every=25, sanitize="race"
+    )
+    assert raced.results == plain.results
+    assert raced.observed_errors == plain.observed_errors
+    assert raced.metrics.n_results == plain.metrics.n_results
+    assert (
+        raced.metrics.slack_timeline == plain.metrics.slack_timeline
+    )
+
+
+def test_pipeline_rejects_unknown_sanitizer():
+    with pytest.raises(ConfigurationError, match="unknown sanitizer"):
+        run_pipeline([], make_operator(), sanitize="thread")
+
+
+def test_pipeline_rejects_probe_with_race_mode():
+    with pytest.raises(ConfigurationError, match="probe"):
+        run_pipeline(
+            [], make_operator(), sanitize="race", sanitize_probe_every=2
+        )
+
+
+def test_shared_store_parity_under_race_instrumentation():
+    # The instrumented store replays a single-threaded run bit-identically.
+    from repro.analysis.concur.stress import instrument_shared_store
+    from repro.engine.partial_tree import run_shared_slices
+
+    elements = build_elements(5, 150)
+    expected = run_shared_slices(elements, build_store(4))
+    store = build_store(4)
+    san = RaceSan()
+    instrument_shared_store(store, san)
+    assert run_shared_slices(elements, store) == expected
+    assert san.findings == []
