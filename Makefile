@@ -3,7 +3,7 @@
 
 PY ?= python
 
-.PHONY: install test lint lint-sarif baseline sanitize race-stress typecheck docs docs-check linkcheck bench bench-quick experiments examples artifacts clean
+.PHONY: install test lint lint-sarif baseline sanitize race-stress numcheck typecheck docs docs-check linkcheck bench bench-quick experiments examples artifacts clean
 
 # Editable install; --no-build-isolation keeps it working offline (the
 # deprecated `setup.py develop` path is gone).
@@ -14,9 +14,10 @@ test:
 	$(PY) -m pytest tests/
 
 # Engine-specific invariant linter: syntactic rules R01-R05, the
-# time-domain dataflow rules R06-R10 and the concurrency rules R11-R15
-# (see docs/ANALYSIS.md).  Applies analysis/baseline.json automatically
-# when it exists.
+# time-domain dataflow rules R06-R10, the concurrency rules R11-R15 and
+# the float-soundness rules R16-R20 (see docs/ANALYSIS.md and
+# docs/NUMERICS.md).  Applies analysis/baseline.json automatically when
+# it exists.
 lint:
 	$(PY) -m repro.analysis.lint src/
 
@@ -54,6 +55,14 @@ sanitize:
 # (see docs/ANALYSIS.md, "Concurrency analysis").
 race-stress:
 	$(PY) -m repro.analysis.concur stress --threads 8 --seeds 0,1,2
+
+# Numeric-safety gate: float-soundness lint (R16-R20, no baseline debt
+# allowed), the annotation inventory, and a NumSan shadow-execution smoke
+# run over the core aggregates (see docs/NUMERICS.md).
+numcheck:
+	$(PY) -m repro.analysis.lint --select R16-R20 src/
+	$(PY) -m repro.analysis.numeric inventory
+	$(PY) -m repro.analysis.numeric smoke
 
 # mypy is optional tooling: strict-check the simulated-time core when the
 # environment has it, skip gracefully when it does not.

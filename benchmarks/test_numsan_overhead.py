@@ -1,0 +1,112 @@
+"""NumSan overhead guard: off is free, on stays within budget.
+
+``run_pipeline(sanitize=False)`` performs no wrapping at all — NumSan
+costs literally zero when disabled — so the "off" budget (< 2%) is
+asserted as off-vs-off run-to-run noise, the same methodology as the
+RaceSan guard in ``test_racesan_overhead.py``.  With ``sanitize="numeric"``
+the shadow aggregate mirrors each value into a retained list and
+recomputes every extracted window through the ``fsum`` reference (one
+``Fraction`` evaluation per 16 checked windows), which must stay under
+25% on the E18-style quick workload (sliding 20s/1s, mean, K-slack 1s).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregate_op import WindowAggregateOperator
+from repro.engine.aggregates import make_aggregate
+from repro.engine.handlers import KSlackHandler
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import SlidingWindowAssigner
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.generators import generate_stream
+
+N = 8000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(18)
+    return inject_disorder(
+        generate_stream(duration=N / 200, rate=200, rng=rng),
+        ExponentialDelay(0.3),
+        rng,
+    )
+
+
+def make_operator():
+    return WindowAggregateOperator(
+        SlidingWindowAssigner(size=20.0, slide=1.0),
+        make_aggregate("mean"),
+        KSlackHandler(1.0),
+    )
+
+
+def run_once(stream, sanitize):
+    return run_pipeline(list(stream), make_operator(), sanitize=sanitize)
+
+
+def test_pipeline_numsan_off(benchmark, stream):
+    """Baseline medians with sanitize=False (for the docs table)."""
+    output = benchmark(lambda: run_once(stream, False))
+    assert output.metrics.n_elements == len(stream)
+
+
+def test_pipeline_numsan_on(benchmark, stream):
+    output = benchmark(lambda: run_once(stream, "numeric"))
+    assert output.metrics.n_elements == len(stream)
+
+
+def _timed_seconds(stream, sanitize):
+    start = time.perf_counter()
+    run_once(stream, sanitize)
+    return time.perf_counter() - start
+
+
+def test_numsan_results_identical(stream):
+    """The shadowed run emits bit-identical results (cheap re-assertion)."""
+    assert run_once(stream, "numeric").results == run_once(stream, False).results
+
+
+def test_numsan_overhead_within_budget(stream):
+    """Numeric mode stays under 25%; interleaved off runs bound the off budget.
+
+    Unlike the RaceSan guard, this compares *minima* over interleaved
+    off/on runs rather than block medians: scheduler noise on a shared
+    box only ever adds time, so the minimum of each series converges on
+    the true cost while a median comparison inherits whichever noise
+    spike landed inside its block.  Interleaving keeps slow background
+    drift from biasing one series over the other.
+    """
+    for __ in range(2):  # warm caches and the allocator
+        run_once(stream, False)
+        run_once(stream, "numeric")
+
+    offs, ons = [], []
+    # Minima only converge downward, so keep sampling until disjoint
+    # halves of the off series agree at the floor (bounded).
+    while True:
+        for __ in range(9 if not offs else 4):
+            offs.append(_timed_seconds(stream, False))
+            ons.append(_timed_seconds(stream, "numeric"))
+        off = min(offs)
+        noise = abs(min(offs[0::2]) - min(offs[1::2])) / off
+        if noise < 0.02 or len(offs) >= 25:
+            break
+    on_overhead = min(ons) / off - 1.0
+
+    assert on_overhead < 0.25, f"numeric-mode overhead {on_overhead:.1%} >= 25%"
+    # sanitize=False adds no wrapper, no mirror list, no branch beyond
+    # the one dispatch check — the < 2% off budget holds as long as two
+    # disjoint halves of the off series agree to within it at the floor.
+    # When even the floor won't stabilise the box cannot resolve a 2%
+    # signal at all, so the off gate is unmeasurable here, not violated.
+    if noise >= 0.02:
+        pytest.skip(
+            f"off-run floor unstable at {noise:.1%} after {len(offs)} "
+            f"runs; box too noisy to resolve the 2% off budget "
+            f"(on-budget held at {on_overhead:.1%})"
+        )

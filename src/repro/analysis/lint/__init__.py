@@ -4,7 +4,9 @@ The linter enforces engine-specific invariants that generic tools cannot
 know about.  R01-R05 are per-file syntactic rules; R06-R10 come from the
 whole-program time-domain dataflow analysis
 (:mod:`repro.analysis.dataflow`); R11-R15 are the concurrency-safety
-rules over the shared-state inventory (:mod:`repro.analysis.concur`):
+rules over the shared-state inventory (:mod:`repro.analysis.concur`);
+R16-R20 are the float-soundness rules over the numeric inventory
+(:mod:`repro.analysis.numeric`):
 
 ========  ============================================================
 R01       no wall-clock time or nondeterministic RNG in ``engine``/``core``
@@ -23,9 +25,17 @@ R12       no raw ``acquire()`` without ``with``/try-finally release
 R13       static lock-order graph acyclic, no non-reentrant re-entry
 R14       shared classes declare ``__concurrency__`` ownership
 R15       no ``time.sleep``/blocking I/O while holding a lock
+R16       no bare ``+=`` float accumulation in aggregate
+          ``add``/``add_many``/``merge``; use the compensated primitives
+R17       no subtraction-based sliding-window retraction; use
+          ``RetractableSum`` (drift bound + periodic re-summation)
+R18       no ``==``/``!=`` on accumulated floats; use ``floats_close``
+R19       numeric classes declare ``__numeric__`` rounding discipline
+R20       no mixed python/numpy summation orders across scalar/batched
+          twins of one fold
 ========  ============================================================
 
-A suppression comment naming an id no rule carries (``disable=R16``) is a
+A suppression comment naming an id no rule carries (``disable=R99``) is a
 hard configuration error — typos must not silently disable nothing.
 
 Run ``python -m repro.analysis.lint src/`` (exit status 1 on findings) or
@@ -50,18 +60,23 @@ from repro.analysis.lint.reporting import render_json, render_text
 from repro.analysis.lint.rules import CORE_RULES, Rule
 from repro.analysis.dataflow.rules import DATAFLOW_RULES
 from repro.analysis.concur.rules import CONCUR_RULES
+from repro.analysis.numeric.rules import NUMERIC_RULES
 from repro.analysis.dataflow.baseline import Baseline
 from repro.errors import ConfigurationError
 
 #: Full rule catalog: per-file syntactic rules + whole-program dataflow
-#: + concurrency-safety rules over the shared-state inventory.
-ALL_RULES: tuple[Rule, ...] = CORE_RULES + DATAFLOW_RULES + CONCUR_RULES
+#: + concurrency-safety rules over the shared-state inventory
+#: + float-soundness rules over the numeric inventory.
+ALL_RULES: tuple[Rule, ...] = (
+    CORE_RULES + DATAFLOW_RULES + CONCUR_RULES + NUMERIC_RULES
+)
 
 __all__ = [
     "ALL_RULES",
     "CONCUR_RULES",
     "CORE_RULES",
     "DATAFLOW_RULES",
+    "NUMERIC_RULES",
     "Baseline",
     "Finding",
     "Project",
@@ -123,7 +138,7 @@ def run_lint(
     Raises:
         ConfigurationError: when ``select`` names an unknown rule id, or
             when a suppression comment in a scanned file names one
-            (``# repro-lint: disable=R16`` typos must not silently
+            (``# repro-lint: disable=R99`` typos must not silently
             disable nothing).
     """
     wanted = {rule_id.upper() for rule_id in select} if select else None

@@ -235,7 +235,8 @@ class SanitizingHandler(DisorderHandler):
             return
         if self._tracks_released:
             reported = self.inner.released_count()
-            if reported != self._returned_total:
+            # Both sides are integer element counters, not float folds.
+            if reported != self._returned_total:  # repro-lint: disable=R18
                 self._fail(
                     "accounting",
                     f"released_count()={reported} but {self._returned_total} "

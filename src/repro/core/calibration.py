@@ -38,6 +38,7 @@ class CalibratedErrorModel(ErrorModel):
     """Linear error model with an empirically fitted scale: ``e = c * p``."""
 
     kind = "calibrated"
+    __numeric__ = "exact"  # stateless linear map, no accumulation
 
     def __init__(self, scale: float) -> None:
         if scale <= 0:

@@ -33,6 +33,9 @@ class SlackController(ABC):
     """Combines the model's slack estimate with observed-error feedback."""
 
     __concurrency__ = "single-thread"
+    # The protocol holds no float state; feedback controllers that keep
+    # EWMA/multiplicative accumulators override this (lint rule R19).
+    __numeric__ = "exact"
 
     @abstractmethod
     def observe_error(self, error: float) -> None:
@@ -49,6 +52,8 @@ class SlackController(ABC):
 
 class NoFeedbackController(SlackController):
     """Pass the model estimate through unchanged (ablation)."""
+
+    __numeric__ = "exact"  # stateless pass-through
 
     def observe_error(self, error: float) -> None:
         pass
@@ -74,6 +79,7 @@ class PIController(SlackController):
     """
 
     __concurrency__ = "single-thread"
+    __numeric__ = "reassoc-tolerant"  # EWMA residual + log-gain integration
 
     def __init__(
         self,
@@ -142,6 +148,8 @@ class AIMDController(SlackController):
     """TCP-style gain control: additive increase on violation, otherwise
     multiplicative decay toward 1."""
 
+    __numeric__ = "reassoc-tolerant"  # EWMA + multiplicative gain walk
+
     def __init__(
         self,
         target: float,
@@ -186,6 +194,8 @@ class PureFeedbackController(SlackController):
     what the estimator contributes: pure feedback converges but reacts a
     full feedback-delay slower to regime changes.
     """
+
+    __numeric__ = "reassoc-tolerant"  # EWMA + multiplicative slack walk
 
     def __init__(
         self,

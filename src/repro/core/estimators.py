@@ -52,6 +52,9 @@ class ErrorModel(ABC):
     """Monotone map between late fraction ``p`` and expected error."""
 
     kind = "abstract"
+    # Error models are stateless maps: no accumulated float state, each
+    # estimate is a fresh bounded-rounding expression (lint rule R19).
+    __numeric__ = "exact"
 
     @abstractmethod
     def error_from_late_fraction(self, p: float, context: StreamContext) -> float:

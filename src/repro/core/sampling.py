@@ -39,6 +39,9 @@ class DelaySample:
     """Interface of delay trackers: observe delays, answer quantiles."""
 
     __concurrency__ = "single-thread"
+    # The protocol holds no float state; trackers declare their own
+    # discipline (lint rule R19).
+    __numeric__ = "exact"
 
     def observe(self, delay: DurationS) -> None:
         """Fold one element delay (seconds, non-negative) into the sample."""
@@ -73,6 +76,7 @@ class SlidingDelaySample(DelaySample):
     """
 
     __concurrency__ = "single-thread"
+    __numeric__ = "reassoc-tolerant"  # interpolated quantiles over raw values
 
     def __init__(self, capacity: int = 2000) -> None:
         if capacity <= 0:
@@ -159,6 +163,8 @@ class ReservoirSample(DelaySample):
     point of the sampling ablation (E14).
     """
 
+    __numeric__ = "reassoc-tolerant"  # interpolated quantiles over raw values
+
     def __init__(
         self, capacity: int = 2000, seed: int | np.random.Generator = 7
     ) -> None:
@@ -202,6 +208,7 @@ class ValueStatsTracker:
     """
 
     __concurrency__ = "single-thread"
+    __numeric__ = "reassoc-tolerant"  # EWMA contractions; non-finite inputs skipped
 
     def __init__(self, alpha: float = 0.001) -> None:
         if not 0.0 < alpha <= 1.0:
@@ -266,6 +273,7 @@ class RateTracker:
     """
 
     __concurrency__ = "single-thread"
+    __numeric__ = "exact"  # min/max/count only, no float accumulation
 
     def __init__(self) -> None:
         self._min_event: float | None = None
@@ -319,6 +327,8 @@ class P2DelayBank(DelaySample):
     the reservoir's slow reaction to regime changes (ablation E14) — its
     advantage is constant memory regardless of stream length.
     """
+
+    __numeric__ = "reassoc-tolerant"  # P-squared parabolic interpolation
 
     DEFAULT_GRID = (0.5, 0.8, 0.9, 0.95, 0.99, 0.995, 0.999)
 

@@ -195,7 +195,7 @@ class SharedAQKBuffer:
             del self._elements[:min_upto]
             del self._keys[:min_upto]
             for query_id in self._released_upto:
-                self._released_upto[query_id] -= min_upto
+                self._released_upto[query_id] -= min_upto  # repro: numeric=exact - integer cursor rebase
 
     def finish(self) -> None:
         """Stream ended: stage all remaining elements on every cursor."""

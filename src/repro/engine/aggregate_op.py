@@ -31,6 +31,7 @@ import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.core.numeric import relative_drift
 from repro.engine.aggregates import AggregateFunction
 from repro.engine.handlers import DisorderHandler
 from repro.engine.operator import Operator, WindowResult
@@ -120,7 +121,9 @@ def relative_error(emitted, truth, eps: float = 1e-9) -> float:
         return 0.0
     if emitted_nan or truth_nan:
         return 1.0
-    return abs(emitted - truth) / max(abs(truth), eps)
+    # Shared drift metric from the numerics module (identical formula;
+    # the eps floor here is the quality-scoring one, not the drift one).
+    return relative_drift(emitted, truth, eps)
 
 
 @dataclass(slots=True)

@@ -21,6 +21,14 @@ translates into result error:
   value spread.
 * ``"distinct"`` — distinct count: each late element can remove at most one
   distinct value; error ~ p.
+
+Every aggregate also declares a ``__numeric__`` annotation naming its
+floating-point error discipline (``"exact"``, ``"compensated"`` or
+``"reassoc-tolerant"`` — see ``docs/NUMERICS.md``).  Sum-like folds route
+through the Neumaier primitives in :mod:`repro.core.numeric`, which makes
+scalar and batched folds bit-identical and bounds accumulation error at
+O(1) ulp; the NumSan sanitizer (``run_pipeline(sanitize="numeric")``)
+verifies the declared discipline against an exact reference at runtime.
 """
 
 from __future__ import annotations
@@ -31,6 +39,12 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.numeric import (
+    neumaier_add,
+    neumaier_add_many,
+    neumaier_merge,
+    neumaier_total,
+)
 from repro.errors import ConfigurationError
 
 #: Below this batch size the numpy fast paths lose to plain Python loops
@@ -42,6 +56,9 @@ class AggregateFunction(ABC):
     """Protocol for incremental window aggregates."""
 
     __concurrency__ = "immutable"
+    # The protocol itself holds no accumulator state; concrete aggregates
+    # each declare their own discipline (lint rule R19).
+    __numeric__ = "exact"
 
     name: str = "aggregate"
     error_model_kind: str = "additive_mass"
@@ -57,13 +74,15 @@ class AggregateFunction(ABC):
     def add_many(self, accumulator: Any, values: list[float]) -> None:
         """Fold a batch of values into the accumulator in place.
 
-        Contract: must be equivalent to ``for v in values: add(acc, v)`` up
-        to floating-point *association* — order-independent aggregates
-        (count, min, max, median, distinct...) must match bit-for-bit, while
-        sum-like folds may differ by re-association rounding only (the
-        batched engine's equivalence suite compares those at ~1e-9 relative
-        tolerance).  The base implementation is the scalar loop; subclasses
-        override with numpy/builtin fast paths.
+        Contract: must be equivalent to ``for v in values: add(acc, v)``.
+        Order-independent aggregates (count, min, max, median, distinct...)
+        and the compensated folds (sum, mean — their batched path performs
+        the *same* Neumaier fold as repeated ``add``) match bit-for-bit;
+        only aggregates explicitly annotated ``__numeric__ =
+        "reassoc-tolerant"`` (stddev's Chan combine) may differ by
+        re-association rounding, which the equivalence suite compares at
+        ~1e-9 relative tolerance.  The base implementation is the scalar
+        loop; subclasses override with compensated/builtin fast paths.
         """
         add = self.add
         for value in values:
@@ -87,6 +106,7 @@ class CountAggregate(AggregateFunction):
 
     name = "count"
     error_model_kind = "additive_mass"
+    __numeric__ = "exact"  # integer arithmetic, exact under 2**53
 
     def create(self) -> list[int]:
         return [0]
@@ -106,59 +126,61 @@ class CountAggregate(AggregateFunction):
 
 
 class SumAggregate(AggregateFunction):
-    """Sum of values."""
+    """Sum of values, Neumaier-compensated.
+
+    Scalar and batched folds perform the identical compensated addition
+    sequence, so ``add_many`` matches repeated ``add`` bit-for-bit (the
+    old numpy fast path used a different summation order and rounded
+    differently — see ``docs/NUMERICS.md``).
+    """
 
     name = "sum"
     error_model_kind = "additive_mass"
+    __numeric__ = "compensated"
 
     def create(self) -> list[float]:
-        return [0.0]
+        return [0.0, 0.0]  # [total, compensation]
 
     def add(self, accumulator: list[float], value: float) -> None:
-        accumulator[0] += value
+        neumaier_add(accumulator, value)
 
     def add_many(self, accumulator: list[float], values: list[float]) -> None:
-        if len(values) >= _NUMPY_FOLD_MIN:
-            accumulator[0] += float(np.asarray(values, dtype=float).sum())
-        else:
-            accumulator[0] += sum(values)
+        neumaier_add_many(accumulator, values)
 
     def result(self, accumulator: list[float]) -> float:
-        return accumulator[0]
+        return neumaier_total(accumulator)
 
     def merge(self, accumulator: list[float], other: list[float]) -> list[float]:
-        accumulator[0] += other[0]
+        neumaier_merge(accumulator, other)
         return accumulator
 
 
 class MeanAggregate(AggregateFunction):
-    """Arithmetic mean of values."""
+    """Arithmetic mean of values (compensated sum over exact count)."""
 
     name = "mean"
     error_model_kind = "mean"
+    __numeric__ = "compensated"
 
     def create(self) -> list[float]:
-        return [0.0, 0.0]  # [sum, count]
+        return [0.0, 0.0, 0.0]  # [total, compensation, count]
 
     def add(self, accumulator: list[float], value: float) -> None:
-        accumulator[0] += value
-        accumulator[1] += 1.0
+        neumaier_add(accumulator, value)
+        accumulator[2] += 1.0
 
     def add_many(self, accumulator: list[float], values: list[float]) -> None:
-        if len(values) >= _NUMPY_FOLD_MIN:
-            accumulator[0] += float(np.asarray(values, dtype=float).sum())
-        else:
-            accumulator[0] += sum(values)
-        accumulator[1] += float(len(values))
+        neumaier_add_many(accumulator, values)
+        accumulator[2] += float(len(values))
 
     def result(self, accumulator: list[float]) -> float:
-        if accumulator[1] == 0:
+        if accumulator[2] == 0:
             return math.nan
-        return accumulator[0] / accumulator[1]
+        return neumaier_total(accumulator) / accumulator[2]
 
     def merge(self, accumulator: list[float], other: list[float]) -> list[float]:
-        accumulator[0] += other[0]
-        accumulator[1] += other[1]
+        neumaier_merge(accumulator, other)
+        accumulator[2] += other[2]  # repro: numeric=exact - integer counts
         return accumulator
 
 
@@ -167,6 +189,7 @@ class MinAggregate(AggregateFunction):
 
     name = "min"
     error_model_kind = "extremum"
+    __numeric__ = "exact"  # comparisons only; the result is an input value
 
     def create(self) -> list[float]:
         return [math.inf]
@@ -196,6 +219,7 @@ class MaxAggregate(AggregateFunction):
 
     name = "max"
     error_model_kind = "extremum"
+    __numeric__ = "exact"  # comparisons only; the result is an input value
 
     def create(self) -> list[float]:
         return [-math.inf]
@@ -225,6 +249,11 @@ class StdDevAggregate(AggregateFunction):
 
     name = "stddev"
     error_model_kind = "mean"
+    # Welford/Chan recurrences are the numerically *stable* forms but are
+    # order-sensitive; drift is declared (and NumSan-bounded) at 1e-9
+    # rather than eliminated, since compensating the running mean would
+    # abandon the well-studied error bound.
+    __numeric__ = "reassoc-tolerant"
 
     def create(self) -> list[float]:
         return [0.0, 0.0, 0.0]  # [count, mean, M2]
@@ -232,8 +261,8 @@ class StdDevAggregate(AggregateFunction):
     def add(self, accumulator: list[float], value: float) -> None:
         accumulator[0] += 1.0
         delta = value - accumulator[1]
-        accumulator[1] += delta / accumulator[0]
-        accumulator[2] += delta * (value - accumulator[1])
+        accumulator[1] += delta / accumulator[0]  # repro: numeric=reassoc - Welford
+        accumulator[2] += delta * (value - accumulator[1])  # repro: numeric=reassoc - Welford
 
     def add_many(self, accumulator: list[float], values: list[float]) -> None:
         if len(values) < _NUMPY_FOLD_MIN:
@@ -241,8 +270,12 @@ class StdDevAggregate(AggregateFunction):
             return
         batch = np.asarray(values, dtype=float)
         n_b = float(batch.size)
-        mean_b = float(batch.mean())
-        m2_b = float(((batch - mean_b) ** 2).sum())
+        # The batched path intentionally folds in a different order than
+        # scalar Welford: Chan's batch combine is *more* accurate, and the
+        # scalar/batched equivalence suite plus NumSan bound the
+        # divergence at the declared 1e-9.
+        mean_b = float(batch.mean())  # repro: numeric=reassoc - Chan combine
+        m2_b = float(((batch - mean_b) ** 2).sum())  # repro: numeric=reassoc - Chan combine
         # Chan et al. pairwise combine — the same math as merge().
         n_a, mean_a, m2_a = accumulator
         n = n_a + n_b
@@ -274,6 +307,9 @@ class QuantileAggregate(AggregateFunction):
 
     name = "quantile"
     error_model_kind = "rank"
+    # Values are retained exactly; only the interpolated result carries a
+    # couple of roundings, so the declared drift bound is 1e-9.
+    __numeric__ = "reassoc-tolerant"
 
     def __init__(self, q: float) -> None:
         if not 0.0 <= q <= 1.0:
@@ -311,6 +347,8 @@ class QuantileAggregate(AggregateFunction):
 class MedianAggregate(QuantileAggregate):
     """Exact median (p50)."""
 
+    __numeric__ = "reassoc-tolerant"  # interpolated midpoint, as QuantileAggregate
+
     def __init__(self) -> None:
         super().__init__(0.5)
         self.name = "median"
@@ -321,6 +359,7 @@ class DistinctCountAggregate(AggregateFunction):
 
     name = "distinct"
     error_model_kind = "distinct"
+    __numeric__ = "exact"  # set cardinality, no float arithmetic
 
     def create(self) -> set:
         return set()
@@ -344,6 +383,7 @@ class RangeAggregate(AggregateFunction):
 
     name = "range"
     error_model_kind = "extremum"
+    __numeric__ = "exact"  # max - min is a single correctly-rounded op
 
     def create(self) -> list[float]:
         return [math.inf, -math.inf]
@@ -375,6 +415,24 @@ class RangeAggregate(AggregateFunction):
         return accumulator
 
 
+class VarianceAggregate(StdDevAggregate):
+    """Population variance via Welford/Chan (``M2 / count``, no sqrt).
+
+    Shares :class:`StdDevAggregate`'s accumulator and merge; only the
+    extraction differs, which is what the hypothesis property suite pins
+    against :func:`statistics.pvariance` over arbitrary merge splits.
+    """
+
+    name = "variance"
+    error_model_kind = "mean"
+    __numeric__ = "reassoc-tolerant"
+
+    def result(self, accumulator: list[float]) -> float:
+        if accumulator[0] == 0:
+            return math.nan
+        return accumulator[2] / accumulator[0]
+
+
 _REGISTRY: dict[str, type[AggregateFunction]] = {
     "count": CountAggregate,
     "sum": SumAggregate,
@@ -383,6 +441,8 @@ _REGISTRY: dict[str, type[AggregateFunction]] = {
     "min": MinAggregate,
     "max": MaxAggregate,
     "stddev": StdDevAggregate,
+    "variance": VarianceAggregate,
+    "var": VarianceAggregate,
     "median": MedianAggregate,
     "distinct": DistinctCountAggregate,
     "range": RangeAggregate,

@@ -32,6 +32,14 @@ its own close/retire cursors and release schedule (fixed slack or an
 adaptive advisor fed observation-only), so per-element aggregation work is
 paid once instead of once per query — the scaling experiment E19 measures
 both effects.
+
+Numerics: interior nodes are built exclusively with ``aggregate.merge``,
+so the tree inherits the compensated arithmetic of
+:mod:`repro.core.numeric` for sum/mean — partial totals carry their
+Neumaier compensation term upward, keeping the whole dyadic decomposition
+at O(1)-ulp error regardless of tree depth (``docs/NUMERICS.md``); the
+NumSan sanitizer verifies this against an exact reference in tree mode
+too.
 """
 
 from __future__ import annotations

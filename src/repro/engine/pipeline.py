@@ -86,10 +86,15 @@ def run_pipeline(
             :mod:`repro.analysis.sanitizer`); ``"race"`` wraps them in the
             RaceSan lockset race detector instead (see
             :mod:`repro.analysis.concur.racesan` — single-threaded runs
-            are bit-identical to unsanitized runs and never report).  Any
-            violation raises :class:`~repro.errors.SanitizerError` at the
-            call site.  When False (the default) nothing is wrapped and
-            there is no overhead.
+            are bit-identical to unsanitized runs and never report);
+            ``"numeric"`` shadow-executes the operator's aggregate against
+            an exact reference and bounds the drift by the aggregate's
+            declared ``__numeric__`` contract (see
+            :mod:`repro.analysis.numeric.numsan` — emitted results are
+            bit-identical to unsanitized runs).  Any violation raises
+            :class:`~repro.errors.SanitizerError` at the call site.  When
+            False (the default) nothing is wrapped and there is no
+            overhead.
         sanitize_probe_every: With ``sanitize=True`` and a batched run,
             shadow-execute every N-th chunk through the scalar path on a
             deep copy of the operator and diff the emissions (0 disables
@@ -129,10 +134,21 @@ def run_pipeline(
         operator = RaceSan(
             tracer=trace if trace is not None else NULL_TRACER
         ).guard_operator(operator)
+    elif sanitize == "numeric":
+        if sanitize_probe_every:
+            raise ConfigurationError(
+                "sanitize_probe_every requires the stream sanitizer "
+                '(sanitize=True or sanitize="stream")'
+            )
+        from repro.analysis.numeric.numsan import NumSan
+
+        operator = NumSan(
+            tracer=trace if trace is not None else NULL_TRACER
+        ).guard_operator(operator)
     elif sanitize:
         raise ConfigurationError(
             f"unknown sanitizer {sanitize!r}; expected True, "
-            '"stream" or "race"'
+            '"stream", "race" or "numeric"'
         )
     elif sanitize_probe_every:
         raise ConfigurationError(

@@ -9,6 +9,13 @@ consumers see each window up to ``1 + revisions`` times.
 Quality is evaluated on the **final** value per window, latency on the
 **initial** emission — the framing under which speculation looks best; the
 evaluation also reports the revision volume, which is its real price.
+
+Numerics: revisions are computed by **re-adding** late values to the
+retained accumulator and re-extracting — never by subtracting from an
+emitted result (the drift trap lint rule R17 guards against).  The
+"did the value move enough to re-emit" decision runs through
+:func:`~repro.engine.aggregate_op.relative_error`, whose numeric branch is
+the shared :func:`repro.core.numeric.relative_drift` metric.
 """
 
 from __future__ import annotations

@@ -245,6 +245,7 @@ class ApproxQuantileAggregate(AggregateFunction):
     """Window quantile via P² — O(1) state per window."""
 
     error_model_kind = "rank"
+    __numeric__ = "reassoc-tolerant"  # P-squared parabolic interpolation
 
     def __init__(self, q: float) -> None:
         if not 0.0 < q < 1.0:
@@ -272,6 +273,7 @@ class ApproxDistinctAggregate(AggregateFunction):
     """Window distinct count via HyperLogLog — bounded state, mergeable."""
 
     error_model_kind = "distinct"
+    __numeric__ = "reassoc-tolerant"  # harmonic-mean estimate from registers
 
     def __init__(self, precision: int = 12) -> None:
         self.precision = precision

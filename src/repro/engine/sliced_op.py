@@ -15,13 +15,23 @@ no longer read but still-open windows will; the equivalence is enforced by
 property tests.  Requires a *mergeable* aggregate (every exact aggregate
 in :mod:`repro.engine.aggregates` qualifies; P²/SpaceSaving sketches do
 not).
+
+Merge chains inherit the aggregates' compensated arithmetic (sum/mean
+accumulators carry their Neumaier compensation term through ``merge``), so
+slice assembly rounds identically to a direct fold up to re-association of
+the compensation — see ``docs/NUMERICS.md``.  For retirement corrections,
+``rolling_eviction=True`` opts into an O(1) drift-bounded sliding path
+built on :class:`repro.core.numeric.RetractableSum` instead of the exact
+O(size/slide) re-assembly.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from dataclasses import dataclass, field
 
+from repro.core.numeric import RetractableSum, neumaier_total
 from repro.engine.aggregate_op import OperatorStats, relative_error
 from repro.engine.aggregates import AggregateFunction
 from repro.engine.handlers import DisorderHandler
@@ -29,6 +39,29 @@ from repro.engine.operator import Operator, WindowResult
 from repro.engine.windows import SlidingWindowAssigner, Window
 from repro.errors import ConfigurationError
 from repro.streams.element import StreamElement
+
+#: Aggregates whose retirement corrections can use the rolling-eviction
+#: fast path: invertible folds whose window value is a function of the
+#: span's (compensated) value sum and exact element count.
+_ROLLING_AGGREGATES = ("sum", "mean", "count")
+
+
+@dataclass(slots=True)
+class _RollingSpan:
+    """Per-key rolling retirement state (see ``rolling_eviction``).
+
+    ``sum`` is a drift-bounded :class:`~repro.core.numeric.RetractableSum`
+    over the value mass of slices ``[lo, hi]``; ``contrib`` remembers, per
+    slice, exactly what was folded in (entry snapshot plus late patches),
+    so eviction retracts precisely that contribution without re-reading
+    slices the GC may already have dropped.
+    """
+
+    lo: int
+    hi: int
+    sum: RetractableSum
+    count: int = 0
+    contrib: dict[int, list] = field(default_factory=dict)
 
 
 class SlicedWindowAggregateOperator(Operator):
@@ -41,6 +74,9 @@ class SlicedWindowAggregateOperator(Operator):
         handler: DisorderHandler,
         feedback_horizon: float | None = None,
         track_feedback: bool = True,
+        rolling_eviction: bool = False,
+        rolling_drift_bound: float = 1e-9,
+        rolling_resum_every: int = 64,
     ) -> None:
         if not isinstance(assigner, SlidingWindowAssigner):
             raise ConfigurationError(
@@ -65,6 +101,25 @@ class SlicedWindowAggregateOperator(Operator):
             )
         self.feedback_horizon = feedback_horizon
         self.track_feedback = track_feedback
+        if rolling_eviction and aggregate.name not in _ROLLING_AGGREGATES:
+            raise ConfigurationError(
+                f"rolling_eviction supports invertible aggregates "
+                f"{_ROLLING_AGGREGATES}, not {aggregate.name!r}"
+            )
+        # Opt-in O(1)-per-retirement correction path: instead of
+        # re-merging all size/slide slices per retired window, keep a
+        # per-key rolling sum that *evicts* the slices leaving the span.
+        # Subtraction-based eviction is the classic numeric-drift trap
+        # (lint rule R17), so it runs through RetractableSum: compensated
+        # retraction plus an exact re-summation from the live slices
+        # every ``rolling_resum_every`` evictions.  Corrected values may
+        # differ from exact re-assembly within ``rolling_drift_bound``
+        # relative drift; element counts (and hence emptiness decisions)
+        # stay exact.  Default off: the exact path remains canonical.
+        self.rolling_eviction = rolling_eviction
+        self.rolling_drift_bound = rolling_drift_bound
+        self.rolling_resum_every = rolling_resum_every
+        self._rolling: dict[object, _RollingSpan] = {}
         self.stats = OperatorStats()
 
         # (key, slice_index) -> [accumulator, count]
@@ -116,6 +171,90 @@ class SlicedWindowAggregateOperator(Operator):
         return accumulator, count
 
     # ------------------------------------------------------------------ #
+    # rolling-eviction retirement (opt-in; see __init__)
+
+    def _slice_mass(self, key: object, slice_index: int) -> tuple[float, int]:
+        """Current (value sum, count) contribution of one slice."""
+        entry = self._slices.get((key, slice_index))
+        if entry is None:
+            return 0.0, 0
+        if self.aggregate.name == "count":
+            return 0.0, entry[1]
+        # sum/mean accumulators lead with [total, compensation, ...].
+        return neumaier_total(entry[0]), entry[1]
+
+    def _span_values(self, key: object) -> list[float]:
+        """Live value sums of the span's slices (RetractableSum resum hook).
+
+        Also refreshes the recorded per-slice contributions, since after a
+        re-summation the rolling state corresponds to the current totals.
+        """
+        state = self._rolling[key]
+        values = []
+        for slice_index in range(state.lo, state.hi + 1):
+            mass, count = self._slice_mass(key, slice_index)
+            recorded = state.contrib.get(slice_index)
+            if recorded is not None:
+                recorded[0] = mass
+            values.append(mass)
+        return values
+
+    def _rolling_patch(self, key: object, slice_index: int, values: list) -> None:
+        """Fold late arrivals into the rolling span they land inside."""
+        state = self._rolling.get(key)
+        if state is None or not state.lo <= slice_index <= state.hi:
+            return
+        if self.aggregate.name != "count":
+            state.sum.add_many(values)
+            contrib = state.contrib.setdefault(slice_index, [0.0, 0])
+            for value in values:
+                contrib[0] += value  # repro: numeric=reassoc - eviction bookkeeping, drift bounded by resum
+        else:
+            contrib = state.contrib.setdefault(slice_index, [0.0, 0])
+        state.count += len(values)
+        contrib[1] += len(values)
+
+    def _rolling_corrected(self, key: object, end: float) -> float:
+        """Drift-bounded corrected value for the window ending at ``end``."""
+        target_hi = int(round(end / self.assigner.slide)) - 1
+        target_lo = target_hi - self.slices_per_window + 1
+        state = self._rolling.get(key)
+        if state is None or target_lo > state.hi or target_hi < state.hi:
+            state = _RollingSpan(
+                lo=target_lo,
+                hi=target_lo - 1,
+                sum=RetractableSum(
+                    resum=lambda k=key: self._span_values(k),
+                    drift_bound=self.rolling_drift_bound,
+                    resum_every=self.rolling_resum_every,
+                ),
+            )
+            self._rolling[key] = state
+        for slice_index in range(state.hi + 1, target_hi + 1):
+            mass, count = self._slice_mass(key, slice_index)
+            state.sum.add(mass)
+            state.count += count
+            state.contrib[slice_index] = [mass, count]
+        state.hi = target_hi
+        for slice_index in range(state.lo, target_lo):
+            recorded = state.contrib.pop(slice_index, None)
+            # Shrink the span *before* retracting: if the retraction
+            # triggers the periodic re-summation, the rebuild must read
+            # exactly the slices still covered (minus this one).
+            state.lo = slice_index + 1
+            if recorded is not None:
+                state.sum.retract(recorded[0])
+                state.count -= recorded[1]  # repro: numeric=exact - integer counts
+        state.lo = target_lo
+        if state.count == 0:
+            return math.nan
+        if self.aggregate.name == "sum":
+            return state.sum.value
+        if self.aggregate.name == "mean":
+            return state.sum.value / state.count
+        return float(state.count)
+
+    # ------------------------------------------------------------------ #
     # ingestion
 
     def _touch_slice(self, key: object, slice_index: int) -> list:
@@ -162,6 +301,8 @@ class SlicedWindowAggregateOperator(Operator):
         self.stats.late_dropped += self._late_window_count(slice_index)
         self.aggregate.add(entry[0], element.value)
         entry[1] += 1
+        if self.rolling_eviction:
+            self._rolling_patch(element.key, slice_index, [element.value])
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -208,10 +349,13 @@ class SlicedWindowAggregateOperator(Operator):
                 emitted = self._emitted.pop((key, end), None)
                 if emitted is None:
                     continue
-                accumulator, count = self._assemble(key, end)
-                corrected = (
-                    self.aggregate.result(accumulator) if count else math.nan
-                )
+                if self.rolling_eviction:
+                    corrected = self._rolling_corrected(key, end)
+                else:
+                    accumulator, count = self._assemble(key, end)
+                    corrected = (
+                        self.aggregate.result(accumulator) if count else math.nan
+                    )
                 error = relative_error(emitted, corrected)
                 self.stats.observed_errors.append(error)
                 self.handler.observe_error(error)
@@ -266,13 +410,17 @@ class SlicedWindowAggregateOperator(Operator):
         groups: dict[tuple[object, int], list] = {}
         get_group = groups.get
 
+        rolling = self.rolling_eviction
+
         def flush_groups() -> None:
-            for group in groups.values():
+            for (group_key, slice_index), group in groups.items():
                 values = group[1]
                 if values:
                     entry = group[0]
                     aggregate.add_many(entry[0], values)
                     entry[1] += len(values)
+                    if rolling:
+                        self._rolling_patch(group_key, slice_index, values)
             groups.clear()
 
         prev_offset = 0

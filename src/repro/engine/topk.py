@@ -25,6 +25,7 @@ class TopKCountAggregate(AggregateFunction):
     """Exact k most frequent values in the window."""
 
     error_model_kind = "distinct"
+    __numeric__ = "exact"  # integer counters only
 
     def __init__(self, k: int) -> None:
         if k <= 0:
@@ -55,6 +56,7 @@ class ApproxTopKAggregate(AggregateFunction):
     """
 
     error_model_kind = "distinct"
+    __numeric__ = "exact"  # integer counters only
 
     def __init__(self, k: int, capacity: int | None = None) -> None:
         if k <= 0:

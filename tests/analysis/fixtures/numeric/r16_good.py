@@ -1,0 +1,33 @@
+"""R16 fixture: folds routed through the compensated primitives."""
+
+from repro.core.numeric import (
+    neumaier_add,
+    neumaier_add_many,
+    neumaier_create,
+    neumaier_merge,
+)
+
+
+class CompensatedRunningSum(AggregateFunction):
+    """Every fold goes through repro.core.numeric — nothing to flag."""
+
+    __numeric__ = "compensated"
+
+    def create(self):
+        """Compensated accumulator."""
+        return neumaier_create()
+
+    def add(self, acc, value):
+        """Scalar fold through the shared primitive."""
+        neumaier_add(acc, value)
+        return acc
+
+    def add_many(self, acc, values):
+        """Batched fold through the same primitive (bit-identical)."""
+        neumaier_add_many(acc, values)
+        return acc
+
+    def merge(self, left, right):
+        """Partial merge carries both compensations forward."""
+        neumaier_merge(left, right)
+        return left

@@ -1,0 +1,19 @@
+"""R17 fixture: subtraction-based eviction from retained float state."""
+
+
+class DriftingSlidingTotal(AggregateFunction):
+    """BUG: evicts windows by subtracting elements back out."""
+
+    __numeric__ = "compensated"
+
+    def __init__(self):
+        self._total = 0.0
+        self._mass = 0.0
+        self._count = 0
+
+    def evict(self, acc, old):
+        """Residual rounding error survives every retraction."""
+        acc[0] -= old  # R17: subtractive retraction
+        self._mass -= old * 0.5  # R17: retained attribute state
+        self._count -= 1  # exempt: integer constant
+        self._count -= len(acc)  # exempt: len() is exact

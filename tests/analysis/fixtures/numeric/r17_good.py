@@ -1,0 +1,22 @@
+"""R17 fixture: retraction through RetractableSum, or waived integers."""
+
+from repro.core.numeric import RetractableSum
+
+
+class BoundedSlidingTotal(AggregateFunction):
+    """Retraction goes through the drift-bounded primitive."""
+
+    __numeric__ = "compensated"
+
+    def __init__(self):
+        self._total = RetractableSum(drift_bound=1e-12, resum_every=64)
+        self._released = 0
+
+    def evict(self, old):
+        """RetractableSum re-sums from source every N retractions."""
+        self._total.retract(old)
+        self._released -= -1  # exempt: negated integer constant
+
+    def rebase(self, offset):
+        """Integer cursor bookkeeping is waived as exact."""
+        self._released -= offset  # repro: numeric=exact - integer cursor

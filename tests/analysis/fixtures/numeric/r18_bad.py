@@ -1,0 +1,32 @@
+"""R18 fixture: ==/!= on accumulated floats (order-dependent)."""
+
+
+def totals_agree(left, right):
+    """BUG: two folds of the same data differ in the last ULPs."""
+    return left.window_sum == right.window_sum  # R18: _sum suffix
+
+
+def snapshot_changed(totals, key, snapshot_total):
+    """BUG: != on an accumulated total."""
+    return totals[key] != snapshot_total  # R18: _total suffix
+
+
+def window_matches(aggregate, window, expected):
+    """BUG: equality on an extracted aggregate result."""
+    return aggregate.result(window) == expected  # R18: .result() call
+
+
+def accumulator_is_zero(acc):
+    """BUG: float-literal comparand stays flagged (0.0 is a magnitude)."""
+    return acc[0] == 0.0  # R18: accumulator subscript vs float literal
+
+
+def exempt_comparisons(self, acc_rows):
+    """Counts, sentinels and None test state, not float identity."""
+    if self._count == 0:  # exempt: plain count name, integer literal
+        return False
+    if self.m2 == 0:  # exempt: integer comparand
+        return False
+    if self.window_sum == math.inf:  # exempt: sentinel comparand
+        return False
+    return self.threshold is None  # exempt: identity, not equality

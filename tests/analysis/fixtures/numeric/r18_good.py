@@ -1,0 +1,18 @@
+"""R18 fixture: accumulated floats compared through floats_close."""
+
+from repro.core.numeric import floats_close
+
+
+def totals_agree(left, right):
+    """Tolerance-aware comparison of two accumulated sums."""
+    return floats_close(left.window_sum, right.window_sum)
+
+
+def window_matches(aggregate, window, expected):
+    """Extracted results go through the same tolerance."""
+    return floats_close(aggregate.result(window), expected)
+
+
+def count_is_empty(self):
+    """Integer comparisons remain ordinary equality."""
+    return self._count == 0

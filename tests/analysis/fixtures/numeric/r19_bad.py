@@ -1,0 +1,25 @@
+"""R19 fixture: numeric-lineage classes without a __numeric__ contract."""
+
+
+class UndeclaredEstimator(ErrorModel):
+    """BUG: error-model lineage, no __numeric__ anywhere in its ancestry."""
+
+    def update(self, sample):
+        """Feeds the slack controller; rounding discipline undeclared."""
+        return sample
+
+
+class UndeclaredAggregate(AggregateFunction):
+    """BUG: aggregate lineage, nothing declared."""
+
+    def create(self):
+        """Accumulator factory."""
+        return []
+
+
+class UndeclaredGrandchild(UndeclaredAggregate):
+    """BUG: lineage is transitive; missing annotations are too."""
+
+    def describe(self):
+        """Still inventoried through its parent."""
+        return "grandchild"

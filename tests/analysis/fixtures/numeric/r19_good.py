@@ -1,0 +1,29 @@
+"""R19 fixture: declared locally or inherited from an annotated base."""
+
+
+class AnnotatedBase(AggregateFunction):
+    """Declares the protocol-wide default."""
+
+    __numeric__ = "exact"
+
+    def create(self):
+        """Accumulator factory."""
+        return 0
+
+
+class InheritingChild(AnnotatedBase):
+    """Inherits "exact" from AnnotatedBase — nothing to flag."""
+
+    def describe(self):
+        """Covered by the nearest declared ancestor."""
+        return "child"
+
+
+class LocallyDeclared(ErrorModel):
+    """Declares its own discipline."""
+
+    __numeric__ = "reassoc-tolerant"
+
+    def update(self, sample):
+        """EWMA-style state: reassociation is deliberate."""
+        return sample

@@ -1,0 +1,17 @@
+"""R20 fixture: scalar and batched twins share the compensated primitive."""
+
+from repro.core.numeric import neumaier_add, neumaier_add_many
+
+
+class SharedOrderSum(AggregateFunction):
+    """Both entry points fold through repro.core.numeric — bit-identical."""
+
+    __numeric__ = "compensated"
+
+    def add(self, acc, value):
+        """Scalar fold."""
+        return neumaier_add(acc, value)
+
+    def add_many(self, acc, values):
+        """Batched fold: same element order, same compensation."""
+        return neumaier_add_many(acc, values)

@@ -1,0 +1,253 @@
+"""Compensated summation, drift metrics, and tolerance-comparison edges."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.numeric import (
+    CompensatedSum,
+    RetractableSum,
+    compensated_sum,
+    drift_exceeded,
+    floats_close,
+    neumaier_add,
+    neumaier_add_many,
+    neumaier_create,
+    neumaier_merge,
+    neumaier_total,
+    relative_drift,
+    ulp_distance,
+)
+from repro.errors import ConfigurationError
+
+#: The textbook cancellation case: a bare left-to-right fold loses the 1.0.
+TORTURE = [1e16, 1.0, -1e16]
+
+
+# --------------------------------------------------------------------- #
+# Neumaier primitives
+
+
+def test_bare_fold_loses_the_torture_case():
+    # Not a test of our code — a demonstration that the problem is real
+    # and the torture case below is actually discriminating.
+    total = 0.0
+    for value in TORTURE:
+        total = total + value
+    assert total == 0.0
+
+
+def test_neumaier_add_recovers_cancellation():
+    acc = neumaier_create()
+    for value in TORTURE:
+        neumaier_add(acc, value)
+    assert neumaier_total(acc) == 1.0
+
+
+def test_neumaier_add_many_recovers_cancellation():
+    acc = neumaier_create()
+    neumaier_add_many(acc, TORTURE)
+    assert neumaier_total(acc) == 1.0
+    assert compensated_sum(TORTURE) == 1.0
+
+
+def test_scalar_and_batched_folds_are_bit_identical():
+    values = [1e16, 3.14159, -2.71828, 1.0, -1e16, 0.1, 0.2, 0.7]
+    scalar = neumaier_create()
+    for value in values:
+        neumaier_add(scalar, value)
+    batched = neumaier_create()
+    neumaier_add_many(batched, values)
+    assert scalar == batched  # the full [total, compensation] state
+
+
+def test_neumaier_handles_value_larger_than_total():
+    # Plain Kahan loses compensation when |value| > |total|; Neumaier's
+    # magnitude test keeps it.
+    acc = neumaier_create()
+    neumaier_add_many(acc, [1.0, 1e100, 1.0, -1e100])
+    assert neumaier_total(acc) == 2.0
+
+
+def test_neumaier_merge_carries_compensation():
+    left = neumaier_create()
+    neumaier_add_many(left, [1e16, 1.0])
+    right = neumaier_create()
+    neumaier_add_many(right, [-1e16])
+    neumaier_merge(left, right)
+    assert neumaier_total(left) == 1.0
+
+
+def test_long_sum_matches_fsum():
+    values = [0.1] * 10_000
+    assert compensated_sum(values) == math.fsum(values)
+
+
+# --------------------------------------------------------------------- #
+# CompensatedSum wrapper
+
+
+def test_compensated_sum_object_paths_agree():
+    values = [1e16, 1.0, -1e16, 0.3, 0.7]
+    scalar = CompensatedSum()
+    for value in values:
+        scalar.add(value)
+    batched = CompensatedSum()
+    batched.add_many(values)
+    assert scalar.value == batched.value == 2.0
+
+
+def test_compensated_sum_merge():
+    left = CompensatedSum()
+    left.add_many([1e16, 1.0])
+    right = CompensatedSum()
+    right.add(-1e16)
+    left.merge(right)
+    assert left.value == 1.0
+
+
+# --------------------------------------------------------------------- #
+# RetractableSum
+
+
+def test_retractable_sum_tracks_sliding_window():
+    window: list[float] = []
+    total = RetractableSum(lambda: window, resum_every=4)
+    for value in [0.1, 0.2, 0.3, 0.4]:
+        window.append(value)
+        total.add(value)
+    for _ in range(3):
+        evicted = window.pop(0)
+        total.retract(evicted)
+    assert floats_close(total.value, 0.4)
+
+
+def test_retractable_sum_resums_periodically():
+    window: list[float] = []
+    total = RetractableSum(lambda: window, resum_every=8)
+    for step in range(64):
+        value = 1e12 + step * 0.1
+        window.append(value)
+        total.add(value)
+        if len(window) > 4:
+            total.retract(window.pop(0))
+    assert total.resum_count == (64 - 4) // 8
+    # After enough slides the drift-free answer is the exact window sum.
+    total.resum_now()
+    assert total.value == compensated_sum(window)
+
+
+def test_retractable_sum_bounds_drift():
+    # Adversarial magnitudes: naive subtract-to-evict drifts visibly here.
+    window: list[float] = []
+    total = RetractableSum(lambda: window, drift_bound=1e-12, resum_every=16)
+    naive = 0.0
+    for step in range(512):
+        # A transient 1e16 passes through the window; small values folded
+        # while it dominates the naive total are rounded away entirely
+        # (ulp(1e16) = 2.0) and never come back after its eviction.
+        value = 1e16 if step % 64 == 0 else 0.001 * (step + 1)
+        window.append(value)
+        total.add(value)
+        naive = naive + value
+        if len(window) > 8:
+            evicted = window.pop(0)
+            total.retract(evicted)
+            naive = naive - evicted
+    exact = math.fsum(window)
+    assert relative_drift(total.value, exact) <= total.drift_bound
+    # The same schedule through bare +=/-= drifts beyond the bound,
+    # proving the test would catch an unsound implementation.
+    assert relative_drift(naive, exact) > total.drift_bound
+
+
+def test_retractable_sum_validates_configuration():
+    with pytest.raises(ConfigurationError, match="resum callable"):
+        RetractableSum(None)
+    with pytest.raises(ConfigurationError, match="drift_bound"):
+        RetractableSum(lambda: [], drift_bound=0.0)
+    with pytest.raises(ConfigurationError, match="resum_every"):
+        RetractableSum(lambda: [], resum_every=0)
+
+
+# --------------------------------------------------------------------- #
+# floats_close edge cases (mirrors times_equal's contract)
+
+
+def test_floats_close_basic_tolerance():
+    assert floats_close(1.0, 1.0)
+    assert floats_close(1e12, 1e12 * (1.0 + 1e-10))
+    assert not floats_close(1.0, 1.001)
+
+
+def test_floats_close_atol_floor_near_zero():
+    # A pure relative tolerance vanishes at zero; the atol floor absorbs
+    # accumulation residue in values that should be exactly zero.
+    residue = math.fsum([0.1] * 3) - 0.3
+    assert residue != 0.0
+    assert floats_close(residue, 0.0)
+    assert not floats_close(residue, 0.0, atol=0.0)
+
+
+def test_floats_close_equal_infinities_are_close():
+    assert floats_close(math.inf, math.inf)
+    assert floats_close(-math.inf, -math.inf)
+
+
+def test_floats_close_distinct_infinities_are_not():
+    assert not floats_close(math.inf, -math.inf)
+    assert not floats_close(-math.inf, math.inf)
+
+
+def test_floats_close_infinity_vs_finite_is_not_close():
+    # rtol * inf would otherwise swallow any finite comparand.
+    assert not floats_close(math.inf, 1e300)
+    assert not floats_close(1e300, math.inf)
+    assert not floats_close(-math.inf, 0.0)
+
+
+def test_floats_close_nan_is_never_close():
+    assert not floats_close(math.nan, math.nan)
+    assert not floats_close(math.nan, 0.0)
+    assert not floats_close(math.inf, math.nan)
+
+
+# --------------------------------------------------------------------- #
+# drift metrics
+
+
+def test_relative_drift_zero_for_identical():
+    assert relative_drift(1.5, 1.5) == 0.0
+    assert relative_drift(math.inf, math.inf) == 0.0
+
+
+def test_relative_drift_scales_by_reference():
+    assert floats_close(relative_drift(1.0 + 1e-6, 1.0), 1e-6)
+    assert floats_close(relative_drift(2e6 + 2.0, 2e6), 1e-6)
+
+
+def test_relative_drift_epsilon_floor_near_zero():
+    # Reference ~0: honest absolute error must not explode.
+    assert relative_drift(1e-15, 0.0) == 1e-15 / 1e-12
+
+
+def test_relative_drift_nan_semantics():
+    assert relative_drift(math.nan, math.nan) == 0.0
+    assert relative_drift(math.nan, 1.0) == math.inf
+    assert relative_drift(1.0, math.nan) == math.inf
+
+
+def test_ulp_distance_counts_roundings():
+    assert ulp_distance(1.0, 1.0) == 0.0
+    one_ulp = math.nextafter(1.0, 2.0)
+    assert ulp_distance(one_ulp, 1.0) == 1.0
+    assert ulp_distance(math.inf, math.inf) == 0.0
+    assert ulp_distance(math.inf, 1.0) == math.inf
+    assert ulp_distance(math.nan, math.nan) == 0.0
+
+
+def test_drift_exceeded_thresholds():
+    assert not drift_exceeded(1.0, 1.0 + 1e-12, 1e-9)
+    assert drift_exceeded(1.0, 1.001, 1e-9)

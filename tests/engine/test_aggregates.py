@@ -16,6 +16,7 @@ from repro.engine.aggregates import (
     RangeAggregate,
     StdDevAggregate,
     SumAggregate,
+    VarianceAggregate,
     make_aggregate,
 )
 from repro.errors import ConfigurationError
@@ -102,6 +103,58 @@ class TestStdDev:
         acc = fold(aggregate, DATA)
         merged = aggregate.merge(acc, aggregate.create())
         assert aggregate.result(merged) == pytest.approx(float(np.std(DATA)))
+
+
+class TestVariance:
+    def test_matches_numpy_population_variance(self, rng):
+        values = list(rng.normal(10, 3, size=500))
+        aggregate = VarianceAggregate()
+        acc = fold(aggregate, values)
+        assert aggregate.result(acc) == pytest.approx(float(np.var(values)))
+
+    def test_is_square_of_stddev(self):
+        variance = fold(VarianceAggregate(), DATA)
+        stddev = fold(StdDevAggregate(), DATA)
+        assert VarianceAggregate().result(variance) == pytest.approx(
+            StdDevAggregate().result(stddev) ** 2
+        )
+
+    def test_registry_aliases(self):
+        assert isinstance(make_aggregate("variance"), VarianceAggregate)
+        assert isinstance(make_aggregate("var"), VarianceAggregate)
+
+
+class TestScalarBatchedBitIdentity:
+    """Regression: Sum/Mean batched folds are *bit-identical* to scalar.
+
+    The batched paths used to switch to a numpy reduction at 32 elements,
+    which reassociates the fold and produced different low bits than
+    repeated ``add`` — the equivalence suites then needed tolerances for
+    what should be the same fold.  Both now run the identical Neumaier
+    sequence (lint rule R20 pins this statically), so the comparison here
+    is ``==`` on the full accumulator state, deliberately not approx.
+    """
+
+    # Sizes straddling the old numpy-threshold boundary.
+    @pytest.mark.parametrize("size", [1, 5, 31, 32, 33, 100, 500])
+    @pytest.mark.parametrize("aggregate_cls", [SumAggregate, MeanAggregate])
+    def test_add_many_equals_repeated_add(self, rng, aggregate_cls, size):
+        # Adversarial magnitudes: mix huge and tiny so any reassociation
+        # actually changes the bits.
+        values = list(rng.normal(0, 1, size=size))
+        values[:: max(size // 4, 1)] = [1e15] * len(values[:: max(size // 4, 1)])
+        aggregate = aggregate_cls()
+        scalar = fold(aggregate, values)
+        batched = aggregate.create()
+        aggregate.add_many(batched, values)
+        assert scalar == batched
+        assert aggregate.result(scalar) == aggregate.result(batched)
+
+    def test_cancellation_survives_the_batched_path(self):
+        aggregate = SumAggregate()
+        acc = aggregate.create()
+        aggregate.add_many(acc, [1e16, 1.0, -1e16] * 20)
+        assert aggregate.result(acc) == 20.0
 
 
 class TestQuantile:

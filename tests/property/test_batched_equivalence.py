@@ -10,10 +10,10 @@ run: window results, late drops, released counts and observed errors.
 Quality-mode adaptive cases use order-independent aggregates (count, max,
 median): their folds are bit-exact, so the controller sees bit-identical
 error feedback and the adaptation trajectory cannot diverge.  Sum/mean
-re-associate under ``add_many`` (~1e-9 relative wobble) which is fine for
-result comparison but could, in adversarial cases, flip an
-error-threshold comparison inside the controller; the deterministic suite
-covers those combinations on a fixed stream.
+now fold through the shared Neumaier primitive, so their batched path is
+bit-identical to scalar too (pinned by ``tests/property/
+test_numeric_properties.py`` and lint rule R20); only stddev's Chan
+combine still re-associates, within its declared 1e-9 budget.
 """
 
 from __future__ import annotations

@@ -64,6 +64,13 @@ class TestTimesEqual:
         assert times_equal(float("-inf"), float("-inf"))
         assert not times_equal(float("inf"), float("-inf"))
 
+    def test_infinite_sentinel_vs_finite_time_is_never_equal(self):
+        # rtol * inf would otherwise swallow any finite timestamp.
+        assert not times_equal(float("inf"), 1e300)
+        assert not times_equal(1e300, float("inf"))
+        assert not times_equal(float("-inf"), 0.0)
+        assert not times_equal(float("nan"), float("nan"))
+
     def test_near_zero_rounding_noise_is_absorbed(self):
         # 0.1 + 0.2 - 0.3 leaves ~5.6e-17 of float residue.  A *pure*
         # relative tolerance collapses to ~5.6e-26 at this magnitude and
