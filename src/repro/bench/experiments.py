@@ -1249,6 +1249,117 @@ def e19_tree_execution(scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+def e20_sharded_throughput(scale: float = 1.0) -> ExperimentResult:
+    """Table E20: sharded execution vs single-pipeline sliced/tree.
+
+    A 16-key workload under a high-overlap sliding window (overlap 64:
+    8s window, 0.125s slide) — the regime where per-close cost dominates
+    and PR 6's tree mode already beats sliced chains.  Sharding routes
+    each key to one of N shards, so every shard closes windows over 1/N
+    of the keys with its own tree operator; the deterministic merge then
+    recombines per-shard windows.  Throughput is wall-clock elements/s
+    over the whole run (routing + shard execution + merge).  K is the
+    empirical max delay plus epsilon so nothing is late and every config
+    is value-comparable (``results_equal`` checks per-group values and
+    counts against the single-pipeline sliced run).
+
+    Note on parallelism: the thread-per-shard executor interleaves under
+    the GIL, so the speedup measured here is *algorithmic* — per-shard
+    operators track fewer concurrent windows and shorter merge chains —
+    not core-parallelism.  On free-threaded builds the same seam scales
+    with cores.
+    """
+    from repro.engine.handlers import KSlackHandler
+    from repro.engine.parallel import ShardedWindowOperator
+    from repro.engine.partial_tree import TreeWindowAggregateOperator
+    from repro.engine.sliced_op import SlicedWindowAggregateOperator
+
+    stream = (
+        WorkloadSpec(
+            delay_model=ExponentialDelay(0.25),
+            keys=tuple(f"s{i}" for i in range(16)),
+        )
+        .scaled(scale)
+        .build()
+    )
+    k = max(e.arrival_time - e.event_time for e in stream) + 1e-6
+    slide = 0.125
+    assigner = SlidingWindowAssigner(size=64 * slide, slide=slide)
+    aggregate_name = "count"
+
+    result = ExperimentResult(
+        experiment_id="E20",
+        title="Sharded execution vs single pipeline (count, overlap 64)",
+        columns=["config", "eps", "speedup_vs_sliced", "results_equal"],
+        notes=[
+            workload_summary(stream),
+            f"16-key workload, sliding {64 * slide:g}s/{slide:g}s window, "
+            f"K-slack K={k:.3f}s (max delay + eps: no late drops), "
+            "feedback off; sharded rows run tree mode per shard",
+            "speedup is algorithmic under the GIL (fewer windows per "
+            "shard), not core-parallelism; see docs/SCALING.md",
+        ],
+    )
+
+    def result_map(results):
+        return {
+            (r.key, r.window): (round(r.value, 9), r.count) for r in results
+        }
+
+    def run_config(name, operator, baseline_map=None, baseline_eps=None):
+        output = run_pipeline(stream, operator)
+        eps = output.metrics.throughput_eps
+        result.add_row(
+            config=name,
+            eps=eps,
+            speedup_vs_sliced=(
+                eps / baseline_eps if baseline_eps is not None else None
+            ),
+            results_equal=(
+                result_map(output.results) == baseline_map
+                if baseline_map is not None
+                else True
+            ),
+        )
+        return result_map(output.results), eps
+
+    baseline_map, baseline_eps = run_config(
+        "single sliced",
+        SlicedWindowAggregateOperator(
+            assigner,
+            make_aggregate(aggregate_name),
+            KSlackHandler(k),
+            track_feedback=False,
+        ),
+    )
+    run_config(
+        "single tree",
+        TreeWindowAggregateOperator(
+            assigner,
+            make_aggregate(aggregate_name),
+            KSlackHandler(k),
+            track_feedback=False,
+        ),
+        baseline_map,
+        baseline_eps,
+    )
+    for n_shards in (2, 4, 8):
+        run_config(
+            f"sharded({n_shards}) tree",
+            ShardedWindowOperator(
+                n_shards,
+                assigner,
+                make_aggregate(aggregate_name),
+                lambda: KSlackHandler(k),
+                mode="tree",
+                track_feedback=False,
+            ),
+            baseline_map,
+            baseline_eps,
+        )
+    return result
+
+
 EXPERIMENTS = {
     "E1": e01_latency_vs_k,
     "E2": e02_error_vs_k,
@@ -1269,6 +1380,7 @@ EXPERIMENTS = {
     "E17": e17_sliced_execution,
     "E18": e18_batched_throughput,
     "E19": e19_tree_execution,
+    "E20": e20_sharded_throughput,
 }
 
 

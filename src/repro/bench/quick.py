@@ -1,19 +1,22 @@
-"""Quick throughput check: E8 + E17 + E18 + E19 at reduced scale.
+"""Quick throughput check: E8 + E17 + E18 + E19 + E20 at reduced scale.
 
 CI convenience (``make bench-quick``): runs the throughput-oriented
 experiments small enough for a pull-request gate, prints their tables,
-and writes machine-readable summaries of the batched-execution (E18)
-and tree-execution (E19) numbers::
+and writes machine-readable summaries of the batched-execution (E18),
+tree-execution (E19) and sharded-execution (E20) numbers::
 
     python -m repro.bench.quick --scale 0.1 --out BENCH_e18.json \
-        --out-e19 BENCH_e19.json
+        --out-e19 BENCH_e19.json --out-e20 BENCH_e20.json
 
 The JSON captures elements/second per execution path so regressions in
-the bulk APIs and the partial-aggregate tree show up as diffable
-artifacts.  The run fails (exit 1) when any path's results diverge, and
-when the tree is slower than sliced execution at overlap 64 — the
-operating point where the tree's O(log) closes must already have paid
-for their bookkeeping.
+the bulk APIs, the partial-aggregate tree and the sharded engine show up
+as diffable artifacts.  The run fails (exit 1) when any path's results
+diverge, when the tree is slower than sliced execution at overlap 64 —
+the operating point where the tree's O(log) closes must already have
+paid for their bookkeeping — and when four-shard execution is slower
+than the single sliced pipeline on the E20 workload (the sharded
+engine's per-shard trees must beat the single O(overlap) chain even
+with routing and merge overhead included).
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ import sys
 from repro.bench.experiments import run_experiment
 from repro.bench.report import ExperimentResult, render_table
 
-QUICK_EXPERIMENTS = ("E8", "E17", "E18", "E19")
+QUICK_EXPERIMENTS = ("E8", "E17", "E18", "E19", "E20")
 
 
 def summarize_e18(result: ExperimentResult) -> dict:
@@ -55,6 +58,15 @@ def summarize_e19(result: ExperimentResult) -> dict:
     }
 
 
+def summarize_e20(result: ExperimentResult) -> dict:
+    """Distill the E20 table into the JSON artifact schema."""
+    return {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "configs": [dict(row) for row in result.rows],
+    }
+
+
 def check_e19(summary: dict) -> list[str]:
     """Gate conditions over the E19 summary; returns failure messages."""
     failures = []
@@ -73,11 +85,31 @@ def check_e19(summary: dict) -> list[str]:
     return failures
 
 
+def check_e20(summary: dict) -> list[str]:
+    """Gate conditions over the E20 summary; returns failure messages."""
+    failures = []
+    for row in summary["configs"]:
+        if not row["results_equal"]:
+            failures.append(f"E20 result mismatch at {row['config']}")
+        if (
+            row["config"] == "sharded(4) tree"
+            and row["speedup_vs_sliced"] is not None
+            and row["speedup_vs_sliced"] < 1.0
+        ):
+            failures.append(
+                "E20 four-shard execution slower than single sliced "
+                f"(ratio {row['speedup_vs_sliced']:.3f} < 1.0)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.bench.quick``."""
     parser = argparse.ArgumentParser(
         prog="repro.bench.quick",
-        description="Run the quick throughput experiments (E8, E17, E18, E19).",
+        description=(
+            "Run the quick throughput experiments (E8, E17, E18, E19, E20)."
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -95,6 +127,11 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_e19.json",
         help="path for the E19 JSON summary (default BENCH_e19.json)",
     )
+    parser.add_argument(
+        "--out-e20",
+        default="BENCH_e20.json",
+        help="path for the E20 JSON summary (default BENCH_e20.json)",
+    )
     args = parser.parse_args(argv)
 
     summaries = {}
@@ -106,8 +143,15 @@ def main(argv: list[str] | None = None) -> int:
             summaries["E18"] = summarize_e18(result)
         elif experiment_id == "E19":
             summaries["E19"] = summarize_e19(result)
+        elif experiment_id == "E20":
+            summaries["E20"] = summarize_e20(result)
 
-    for path, summary in ((args.out, summaries["E18"]), (args.out_e19, summaries["E19"])):
+    outputs = (
+        (args.out, summaries["E18"]),
+        (args.out_e19, summaries["E19"]),
+        (args.out_e20, summaries["E20"]),
+    )
+    for path, summary in outputs:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2)
             handle.write("\n")
@@ -119,6 +163,7 @@ def main(argv: list[str] | None = None) -> int:
         if not row["results_equal"]
     ]
     failures.extend(check_e19(summaries["E19"]))
+    failures.extend(check_e20(summaries["E20"]))
     if failures:
         for failure in failures:
             print(failure, file=sys.stderr)

@@ -124,6 +124,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         query = query.without_buffering()
     query = query.mode(args.mode)
+    if args.shards:
+        query = query.shards(args.shards)
 
     recorder = None
     if args.trace_out or args.trace_chrome:
@@ -255,6 +257,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="naive",
         help="execution mode: naive per-window adds, shared slices, or "
         "partial-aggregate tree (O(log) closes and late patches)",
+    )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="partition execution across N keyed shards (per-shard "
+        "handlers, deterministic merge; see docs/SCALING.md)",
     )
     run.add_argument("--no-assess", action="store_true", help="skip the oracle")
     run.add_argument(

@@ -38,6 +38,14 @@ from repro.engine.partial_tree import (
     make_window_operator,
     run_shared_slices,
 )
+from repro.engine.parallel import (
+    ShardExecutor,
+    ShardTask,
+    ShardedHandlerView,
+    ShardedWindowOperator,
+    ThreadShardExecutor,
+    stable_shard,
+)
 from repro.engine.pipeline import RunOutput, run_pipeline
 from repro.engine.retraction import (
     SpeculativeAggregateOperator,
@@ -111,6 +119,10 @@ __all__ = [
     "SequencePatternOperator",
     "SessionAggregateOperator",
     "SessionWindowMerger",
+    "ShardExecutor",
+    "ShardTask",
+    "ShardedHandlerView",
+    "ShardedWindowOperator",
     "SharedSliceStore",
     "SlackSample",
     "SlicedWindowAggregateOperator",
@@ -120,6 +132,7 @@ __all__ = [
     "SpeculativeAggregateOperator",
     "StdDevAggregate",
     "SumAggregate",
+    "ThreadShardExecutor",
     "TopKCountAggregate",
     "TreeWindowAggregateOperator",
     "TumblingWindowAssigner",
@@ -141,5 +154,6 @@ __all__ = [
     "run_shared_slices",
     "save_checkpoint",
     "sliding",
+    "stable_shard",
     "tumbling",
 ]

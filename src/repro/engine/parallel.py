@@ -1,0 +1,739 @@
+"""Sharded parallel execution: keyed partitioning with a deterministic merge.
+
+:class:`ShardedWindowOperator` partitions an arrival-ordered stream across
+``n`` worker shards by a routing key.  Each shard runs a completely
+independent operator — its own execution mode (naive/sliced/tree), its own
+disorder handler built fresh from a factory (so adaptive AQ-K state never
+crosses shards), and its own per-shard event-time frontier.  When the
+stream ends, a :class:`ShardExecutor` runs every non-empty shard to
+completion and a deterministic merge stage combines the per-shard window
+results with the existing mergeable-aggregate machinery
+(:meth:`~repro.engine.aggregates.AggregateFunction.merge`).
+
+Semantics (the *shard contract*, documented in ``docs/SCALING.md``):
+
+* Elements are routed by key, so a keyed window ``(key, window)`` normally
+  lives in exactly one shard and its merged value is the shard's value,
+  bit for bit.  When one logical group spans shards (unkeyed streams are
+  routed round-robin), the merge folds the captured per-shard accumulators
+  in shard order — bit-identical for exact aggregates (count/min/max),
+  within the declared ``__numeric__`` drift budget for compensated ones.
+* A merged window closes at the **minimum frontier across the non-empty
+  shards**: its emit time is the arrival instant at which the *last*
+  shard's frontier passed the window end, and windows some shard never
+  closed are flushed at stream end.  Shard frontiers only ever lag the
+  global frontier, so sharded execution is at least as complete as
+  unsharded execution (it drops no element an unsharded run would keep).
+* The merged output is in canonical order: ``(emit_time, flushed,
+  window.end, window.start, key)``.
+
+Threading: the coordinator (the pipeline thread) only routes during the
+run; shard operators are created, driven and finished entirely inside
+their worker, and the coordinator reads shard state only after the worker
+joined.  That initialise-then-publish shape is exactly what the RaceSan
+lockset refinement admits, so per-shard sanitizers run clean.  The
+:class:`ShardExecutor` interface deals only in picklable
+:class:`ShardTask` inputs plus a callable, so a process-pool executor can
+slot in behind the same seam later.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence, cast
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.handlers import DisorderHandler
+from repro.engine.operator import Operator, WindowResult
+from repro.engine.windows import WindowAssigner
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.streams.element import StreamElement
+from repro.streams.timebase import ArrivalTimeStamp, DurationS, EventTimeStamp
+
+__all__ = [
+    "ShardExecutor",
+    "ShardTask",
+    "ShardedHandlerView",
+    "ShardedWindowOperator",
+    "ThreadShardExecutor",
+    "stable_shard",
+]
+
+#: Hard cap on the shard count: one thread per shard, and far past the
+#: point where per-shard windows are too sparse to be useful.
+MAX_SHARDS = 64
+
+
+def stable_shard(routing_key: object, n_shards: int) -> int:
+    """Deterministic shard index for a routing key.
+
+    Python's builtin ``hash`` is salted per process, which would re-route
+    every key on every run; CRC-32 of the key's ``repr`` is stable across
+    processes and Python versions, so shard assignment is part of the
+    reproducible configuration rather than an accident of the interpreter.
+    """
+    return zlib.crc32(repr(routing_key).encode("utf-8")) % n_shards
+
+
+# --------------------------------------------------------------------- #
+# partial capture: keep the mergeable accumulator alongside the float
+
+
+class _ShardPartial(float):
+    """A window value that remembers the accumulator it came from.
+
+    Per-shard results must stay ordinary floats — the quality feedback
+    loop scores them, latency summaries read them — but the merge stage
+    needs the *mergeable state* behind the value to combine groups that
+    span shards.  A float subclass carries both without widening the
+    :class:`~repro.engine.operator.WindowResult` schema.
+    """
+
+    __concurrency__ = "immutable"
+    __slots__ = ("accumulator",)
+
+    accumulator: Any
+
+    def __new__(cls, value: float, accumulator: Any) -> "_ShardPartial":
+        self = super().__new__(cls, value)
+        self.accumulator = accumulator
+        return self
+
+
+def _snapshot(accumulator: Any) -> Any:
+    """Copy an accumulator so the merge stage owns it outright."""
+    if isinstance(accumulator, list):
+        return list(accumulator)
+    if isinstance(accumulator, set):
+        return set(accumulator)
+    import copy
+
+    return copy.deepcopy(accumulator)
+
+
+class _PartialCaptureAggregate:
+    """Delegating aggregate whose ``result`` tags values with their state.
+
+    Not an :class:`AggregateFunction` subclass on purpose: instances are
+    created per shard with an instance-dependent numeric discipline, and
+    the static numeric inventory requires literal ``__numeric__``
+    declarations on the real lineage.  The per-discipline subclasses below
+    carry the literal the NumSan shadow resolves at type level, so
+    ``run_pipeline(sanitize="numeric")`` budgets shard results exactly as
+    it budgets the inner aggregate.
+    """
+
+    __concurrency__ = "immutable"
+    __slots__ = ("inner", "name", "error_model_kind")
+
+    def __init__(self, inner: AggregateFunction) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.error_model_kind = inner.error_model_kind
+
+    def create(self) -> Any:
+        return self.inner.create()
+
+    def add(self, accumulator: Any, value: float) -> None:
+        self.inner.add(accumulator, value)
+
+    def add_many(self, accumulator: Any, values: list[float]) -> None:
+        self.inner.add_many(accumulator, values)
+
+    def merge(self, accumulator: Any, other: Any) -> Any:
+        return self.inner.merge(accumulator, other)
+
+    def result(self, accumulator: Any) -> float:
+        return _ShardPartial(
+            self.inner.result(accumulator), _snapshot(accumulator)
+        )
+
+    def describe(self) -> str:
+        return f"shard-capture({self.inner.describe()})"
+
+
+class _PartialCaptureExact(_PartialCaptureAggregate):
+    __numeric__ = "exact"
+
+
+class _PartialCaptureCompensated(_PartialCaptureAggregate):
+    __numeric__ = "compensated"
+
+
+class _PartialCaptureReassoc(_PartialCaptureAggregate):
+    __numeric__ = "reassoc-tolerant"
+
+
+_CAPTURE_BY_DISCIPLINE: dict[str, type[_PartialCaptureAggregate]] = {
+    "exact": _PartialCaptureExact,
+    "compensated": _PartialCaptureCompensated,
+    "reassoc-tolerant": _PartialCaptureReassoc,
+}
+
+
+def _capture_wrapper(inner: AggregateFunction) -> _PartialCaptureAggregate:
+    """Wrap ``inner`` in the capture class matching its discipline."""
+    discipline = getattr(type(inner), "__numeric__", None)
+    wrapper_class = _CAPTURE_BY_DISCIPLINE.get(
+        discipline if isinstance(discipline, str) else ""
+    )
+    if wrapper_class is None:
+        raise ConfigurationError(
+            f"cannot shard aggregate {type(inner).__name__}: it declares "
+            f"no known __numeric__ discipline ({discipline!r})"
+        )
+    return wrapper_class(inner)
+
+
+# --------------------------------------------------------------------- #
+# shard tasks, outcomes and the executor seam
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTask:
+    """One shard's unit of work: its id and its routed element slice."""
+
+    __concurrency__ = "immutable"
+
+    shard_id: int
+    elements: tuple[StreamElement, ...]
+
+
+@dataclass(slots=True)
+class _ShardRun:
+    """Everything one shard worker reports back to the coordinator.
+
+    Built entirely inside the worker thread and only read after the join
+    (initialise-then-publish), so no field needs a lock.
+    """
+
+    __concurrency__ = "single-thread"
+
+    shard_id: int
+    results: list[WindowResult]
+    elements_in: int
+    late_dropped: int
+    observed_errors: list[float]
+    #: Parallel arrays: arrival instants at which the shard frontier
+    #: advanced, and the frontier value it advanced to (strictly
+    #: increasing), for emit-time reconstruction in the merge stage.
+    frontier_arrivals: list[ArrivalTimeStamp]
+    frontier_values: list[EventTimeStamp]
+    #: The shard frontier just before the end-of-stream flush.
+    final_frontier: EventTimeStamp
+    current_slack: DurationS
+    max_buffered: int
+    released: int
+
+
+class ShardExecutor:
+    """Seam between the coordinator and however shards actually run.
+
+    The contract is deliberately narrow — ``run(fn, tasks)`` returns
+    ``fn(task)`` for every task, in task order, re-raising the first
+    failure by shard order — so a process-pool implementation (tasks are
+    frozen and element tuples are picklable) can replace the thread pool
+    without touching the operator.
+    """
+
+    __concurrency__ = "single-thread"
+
+    def run(
+        self,
+        fn: Callable[[ShardTask], _ShardRun],
+        tasks: Sequence[ShardTask],
+    ) -> list[_ShardRun]:
+        """Run every task to completion; default is in-line execution."""
+        return [fn(task) for task in tasks]
+
+    def describe(self) -> str:
+        """Label the execution strategy for reports."""
+        return "serial"
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """One worker thread per shard.
+
+    Threads carry the shards concurrently on free-threaded builds; under
+    the GIL they interleave, and the sharded speedup comes from the
+    per-shard operators doing algorithmically less work (see
+    ``docs/SCALING.md``).  Worker exceptions are captured and re-raised
+    on the coordinator, lowest shard id first, after every thread joined.
+    """
+
+    __concurrency__ = "single-thread"
+
+    def run(
+        self,
+        fn: Callable[[ShardTask], _ShardRun],
+        tasks: Sequence[ShardTask],
+    ) -> list[_ShardRun]:
+        """Run all shard tasks on their own threads and join them."""
+        outcomes: list[_ShardRun | None] = [None] * len(tasks)
+        failures: list[BaseException | None] = [None] * len(tasks)
+
+        def worker(index: int, task: ShardTask) -> None:
+            try:
+                outcomes[index] = fn(task)
+            except BaseException as error:  # noqa: BLE001 — re-raised below
+                failures[index] = error
+
+        threads = [
+            threading.Thread(
+                target=worker,
+                args=(index, task),
+                name=f"repro-shard-{task.shard_id}",
+            )
+            for index, task in enumerate(tasks)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for failure in failures:
+            if failure is not None:
+                raise failure
+        return cast("list[_ShardRun]", outcomes)
+
+    def describe(self) -> str:
+        """Label the execution strategy for reports."""
+        return "threads"
+
+
+# --------------------------------------------------------------------- #
+# the handler facade the pipeline instrumentation sees
+
+
+class ShardedHandlerView:
+    """Aggregated handler facade over all per-shard disorder handlers.
+
+    The pipeline (and the CLI report) read slack, frontier and buffer
+    occupancy from ``operator.handler``; with one handler per shard there
+    is no single object to point at, so this view presents the combined
+    picture: the minimum frontier (the merge gate), the maximum slack,
+    summed buffer counts.  During the run everything routed is "buffered"
+    (shards execute at finish); afterwards the view reports the joined
+    per-shard totals.
+    """
+
+    __concurrency__ = "single-thread"
+
+    def __init__(self, n_shards: int, prototype: DisorderHandler) -> None:
+        self._n_shards = n_shards
+        self._prototype = prototype
+        self._routed = 0
+        self._finished = False
+        self._frontier: EventTimeStamp = float("-inf")
+        self._slack: DurationS = prototype.current_slack
+        self._max_buffered = 0
+        self._released = 0
+        self.target = getattr(prototype, "target", None)
+
+    # -- coordinator bookkeeping ------------------------------------- #
+
+    def _note_routed(self, count: int) -> None:
+        self._routed += count
+
+    def _finalize(self, runs: Sequence[_ShardRun]) -> None:
+        self._finished = True
+        if runs:
+            self._frontier = min(run.final_frontier for run in runs)
+            self._slack = max(run.current_slack for run in runs)
+            self._max_buffered = sum(run.max_buffered for run in runs)
+            self._released = sum(run.released for run in runs)
+
+    # -- the handler surface the pipeline and CLI read ---------------- #
+
+    @property
+    def frontier(self) -> EventTimeStamp:
+        """Minimum final frontier across non-empty shards (merge gate)."""
+        return self._frontier
+
+    @property
+    def current_slack(self) -> DurationS:
+        """Largest slack any shard handler settled on."""
+        return self._slack
+
+    def buffered_count(self) -> int:
+        """Elements routed but not yet executed (0 after finish)."""
+        return 0 if self._finished else self._routed
+
+    def max_buffered_count(self) -> int:
+        """Summed per-shard buffer high-water marks."""
+        return self._max_buffered if self._finished else self._routed
+
+    def released_count(self) -> int:
+        """Total elements the shard handlers released downstream."""
+        return self._released
+
+    def next_adaptation_offset(
+        self, elements: list[StreamElement], start: int, stop: int
+    ) -> int | None:
+        """No global adaptation boundaries: shards adapt internally."""
+        return None
+
+    def observe_error(self, error: float) -> None:
+        """Quality feedback is consumed per shard; nothing to do here."""
+
+    def describe(self) -> str:
+        """Label the sharded configuration, e.g. ``sharded(4)xK=1s``."""
+        return f"sharded({self._n_shards})x{self._prototype.describe()}"
+
+
+# --------------------------------------------------------------------- #
+# the sharded operator
+
+
+@dataclass(frozen=True, slots=True)
+class _MergedGroup:
+    """Intermediate merge record for one ``(key, window)`` group."""
+
+    __concurrency__ = "immutable"
+
+    result: WindowResult
+    shards: int
+
+
+class ShardedWindowOperator(Operator):
+    """Keyed sharded pipeline runner with a deterministic merge stage.
+
+    Args:
+        n_shards: Number of shards (1..``MAX_SHARDS``).  One shard is a
+            valid configuration and produces results bit-identical to the
+            unsharded operator (property-tested), which is what makes the
+            merge stage testable in isolation.
+        assigner: Window assigner shared by every shard.
+        aggregate: The user's aggregate.  Shards fold into a capture
+            wrapper so the merge stage can combine per-shard accumulators
+            with :meth:`AggregateFunction.merge`.
+        handler_factory: Zero-argument callable producing a **fresh**
+            disorder handler per shard.  Handlers are single-threaded
+            state machines; sharing one instance across shards is a
+            configuration error the query builder rejects.
+        mode: Per-shard execution mode (``"naive"``/``"sliced"``/``"tree"``).
+        key_fn: Routing key function.  Defaults to the element key;
+            elements whose routing key is ``None`` are distributed
+            round-robin (deterministic in arrival order).
+        executor: Shard execution strategy; defaults to
+            :class:`ThreadShardExecutor`.
+        feedback_horizon: Passed through to every shard operator.
+        track_feedback: Passed through to every shard operator.
+
+    The operator is two-phase: ``process``/``process_many`` only route
+    (cheap, coordinator-thread-only), and ``finish`` executes all shards
+    through the executor, merges, and emits everything in canonical
+    order.  All cross-thread state is handed over at the executor seam.
+    """
+
+    __concurrency__ = "single-thread"
+
+    def __init__(
+        self,
+        n_shards: int,
+        assigner: WindowAssigner,
+        aggregate: AggregateFunction,
+        handler_factory: Callable[[], DisorderHandler],
+        mode: str = "naive",
+        key_fn: Callable[[StreamElement], object] | None = None,
+        executor: ShardExecutor | None = None,
+        feedback_horizon: DurationS | None = None,
+        track_feedback: bool = True,
+    ) -> None:
+        if not isinstance(n_shards, int) or isinstance(n_shards, bool):
+            raise ConfigurationError(
+                f"n_shards must be an int, got {n_shards!r}"
+            )
+        if not 1 <= n_shards <= MAX_SHARDS:
+            raise ConfigurationError(
+                f"n_shards must be in 1..{MAX_SHARDS}, got {n_shards}"
+            )
+        self._n_shards = n_shards
+        self._assigner = assigner
+        self._aggregate = aggregate
+        self._handler_factory = handler_factory
+        self._mode = mode
+        self._key_fn = key_fn
+        self._executor = executor if executor is not None else ThreadShardExecutor()
+        self._feedback_horizon = feedback_horizon
+        self._track_feedback = track_feedback
+        # Validate the mode/assigner/aggregate combination eagerly — the
+        # prototype also supplies the handler facade's label and target.
+        from repro.engine.partial_tree import make_window_operator
+
+        prototype_handler = handler_factory()
+        make_window_operator(
+            mode,
+            assigner,
+            cast(AggregateFunction, _capture_wrapper(aggregate)),
+            prototype_handler,
+            feedback_horizon=feedback_horizon,
+            track_feedback=track_feedback,
+        )
+        self.handler = ShardedHandlerView(n_shards, prototype_handler)
+        self.stats = _MergedStats()
+        self.tracer: Tracer = NULL_TRACER
+        self._pending: list[list[StreamElement]] = [[] for _ in range(n_shards)]
+        self._round_robin = 0
+        self._last_arrival: ArrivalTimeStamp = float("-inf")
+        self._sanitize: str | None = None
+        self._registry: MetricsRegistry | None = None
+        self._finished = False
+
+    # -- pipeline hooks ------------------------------------------------ #
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer for the coordinator-side shard events.
+
+        Shard workers run untraced: the recorder is a single-thread
+        object, so the coordinator emits ``shard.ingest``/``shard.merge``
+        records itself instead of sharing the recorder across workers.
+        """
+        self.tracer = tracer
+
+    def configure_sanitizer(self, kind: str) -> None:
+        """Arrange for each shard operator to run under a sanitizer.
+
+        Called by ``run_pipeline(sanitize=...)`` instead of wrapping the
+        coordinator: sanitizers assume the scalar operator protocol (one
+        element in, results out), which the two-phase coordinator does
+        not follow, while each shard operator follows it exactly.
+        """
+        if kind not in ("stream", "race", "numeric"):
+            raise ConfigurationError(
+                f"unknown sanitizer {kind!r} for sharded execution; "
+                'expected "stream", "race" or "numeric"'
+            )
+        self._sanitize = kind
+
+    def set_registry(self, registry: MetricsRegistry) -> None:
+        """Publish per-shard metrics into ``registry`` at finish."""
+        self._registry = registry
+
+    # -- routing ------------------------------------------------------- #
+
+    def _route(self, element: StreamElement) -> int:
+        routing_key = (
+            self._key_fn(element) if self._key_fn is not None else element.key
+        )
+        if routing_key is None:
+            shard = self._round_robin
+            self._round_robin = (shard + 1) % self._n_shards
+            return shard
+        return stable_shard(routing_key, self._n_shards)
+
+    def process(self, element: StreamElement) -> list[WindowResult]:
+        """Route one element to its shard; results all come from finish."""
+        self._pending[self._route(element)].append(element)
+        arrival = element.arrival_time
+        if arrival is not None and arrival > self._last_arrival:
+            self._last_arrival = arrival
+        self.handler._note_routed(1)
+        self.stats.elements_in += 1
+        return []
+
+    def process_many(self, elements: list[StreamElement]) -> list[WindowResult]:
+        """Route a chunk; equivalent to ``process`` element by element."""
+        route = self._route
+        pending = self._pending
+        for element in elements:
+            pending[route(element)].append(element)
+            arrival = element.arrival_time
+            if arrival is not None and arrival > self._last_arrival:
+                self._last_arrival = arrival
+        self.handler._note_routed(len(elements))
+        self.stats.elements_in += len(elements)
+        return []
+
+    # -- shard execution ----------------------------------------------- #
+
+    def _run_shard(self, task: ShardTask) -> _ShardRun:
+        """Execute one shard to completion (runs on a worker thread)."""
+        from repro.engine.partial_tree import make_window_operator
+
+        handler = self._handler_factory()
+        operator = make_window_operator(
+            self._mode,
+            self._assigner,
+            cast(AggregateFunction, _capture_wrapper(self._aggregate)),
+            handler,
+            feedback_horizon=self._feedback_horizon,
+            track_feedback=self._track_feedback,
+        )
+        shard_stats = getattr(operator, "stats")
+        driven: Any = operator
+        if self._sanitize == "stream":
+            from repro.analysis.sanitizer import SanitizerConfig, SanitizingOperator
+
+            driven = SanitizingOperator(operator, SanitizerConfig())
+        elif self._sanitize == "race":
+            from repro.analysis.concur.racesan import RaceSan
+
+            driven = RaceSan().guard_operator(operator)
+        elif self._sanitize == "numeric":
+            from repro.analysis.numeric.numsan import NumSan
+
+            driven = NumSan().guard_operator(operator)
+
+        results: list[WindowResult] = []
+        frontier_arrivals: list[ArrivalTimeStamp] = []
+        frontier_values: list[EventTimeStamp] = []
+        last_frontier = float("-inf")
+        process = driven.process
+        for element in task.elements:
+            emitted = process(element)
+            if emitted:
+                results.extend(emitted)
+            frontier = handler.frontier
+            if frontier > last_frontier:
+                last_frontier = frontier
+                arrival = element.arrival_time
+                frontier_arrivals.append(
+                    arrival if arrival is not None else self._last_arrival
+                )
+                frontier_values.append(frontier)
+        final_frontier = last_frontier
+        results.extend(driven.finish())
+        return _ShardRun(
+            shard_id=task.shard_id,
+            results=results,
+            elements_in=len(task.elements),
+            late_dropped=shard_stats.late_dropped,
+            observed_errors=list(shard_stats.observed_errors),
+            frontier_arrivals=frontier_arrivals,
+            frontier_values=frontier_values,
+            final_frontier=final_frontier,
+            current_slack=handler.current_slack,
+            max_buffered=handler.max_buffered_count(),
+            released=handler.released_count(),
+        )
+
+    # -- merge --------------------------------------------------------- #
+
+    @staticmethod
+    def _crossing_arrival(run: _ShardRun, end: EventTimeStamp) -> ArrivalTimeStamp:
+        """Arrival instant at which ``run``'s frontier first reached ``end``."""
+        index = bisect_left(run.frontier_values, end)
+        return run.frontier_arrivals[index]
+
+    def _merge(self, runs: list[_ShardRun]) -> list[_MergedGroup]:
+        """Combine per-shard window results at the minimum frontier."""
+        groups: dict[tuple[object, object], list[WindowResult]] = {}
+        for run in runs:
+            for record in run.results:
+                groups.setdefault((record.key, record.window), []).append(record)
+        min_frontier = min(run.final_frontier for run in runs)
+        aggregate = self._aggregate
+        merged: list[_MergedGroup] = []
+        for (key, _window_key), records in groups.items():
+            window = records[0].window
+            closed = window.end <= min_frontier
+            if closed:
+                emit_time = max(
+                    self._crossing_arrival(run, window.end) for run in runs
+                )
+            else:
+                emit_time = self._last_arrival
+            if len(records) == 1:
+                value = float(records[0].value)
+            else:
+                partials = [
+                    cast(_ShardPartial, record.value).accumulator
+                    for record in records
+                ]
+                folded = partials[0]
+                for other in partials[1:]:
+                    folded = aggregate.merge(folded, other)
+                value = aggregate.result(folded)
+            merged.append(
+                _MergedGroup(
+                    result=WindowResult(
+                        key=key,
+                        window=window,
+                        value=value,
+                        count=sum(record.count for record in records),
+                        emit_time=emit_time,
+                        latency=emit_time - window.end,
+                        revision=0,
+                        flushed=not closed,
+                    ),
+                    shards=len(records),
+                )
+            )
+        merged.sort(
+            key=lambda group: (
+                group.result.emit_time,
+                group.result.flushed,
+                group.result.window.end,
+                group.result.window.start,
+                repr(group.result.key),
+            )
+        )
+        return merged
+
+    def finish(self) -> list[WindowResult]:
+        """Execute all shards, merge, and emit in canonical order."""
+        if self._finished:
+            return []
+        self._finished = True
+        tasks = [
+            ShardTask(shard_id=shard_id, elements=tuple(elements))
+            for shard_id, elements in enumerate(self._pending)
+            if elements
+        ]
+        self._pending = [[] for _ in range(self._n_shards)]
+        tracer = self.tracer
+        if tracer.enabled:
+            for task in tasks:
+                tracer.shard_ingest(
+                    self._last_arrival, task.shard_id, len(task.elements)
+                )
+        if not tasks:
+            self.handler._finalize(())
+            return []
+        runs = self._executor.run(self._run_shard, tasks)
+        merged = self._merge(runs)
+        self.handler._finalize(runs)
+        stats = self.stats
+        stats.results_out = len(merged)
+        for run in runs:
+            stats.late_dropped += run.late_dropped
+            stats.observed_errors.extend(run.observed_errors)
+        if self._registry is not None:
+            registry = self._registry
+            for run in runs:
+                prefix = f"shard.{run.shard_id}"
+                registry.counter(f"{prefix}.elements_in").set(run.elements_in)
+                registry.counter(f"{prefix}.results_out").set(len(run.results))
+                registry.counter(f"{prefix}.late_dropped").set(run.late_dropped)
+                registry.gauge(f"{prefix}.max_buffered").set(run.max_buffered)
+                registry.gauge(f"{prefix}.final_frontier").set(run.final_frontier)
+        if tracer.enabled:
+            for group in merged:
+                result = group.result
+                tracer.shard_merge(
+                    result.emit_time,
+                    result.key,
+                    result.window.start,
+                    result.window.end,
+                    group.shards,
+                    float(result.value),
+                    result.count,
+                )
+        return [group.result for group in merged]
+
+
+@dataclass(slots=True)
+class _MergedStats:
+    """Coordinator-side stats mirroring ``OperatorStats``' pipeline fields."""
+
+    __concurrency__ = "single-thread"
+
+    elements_in: int = 0
+    results_out: int = 0
+    late_dropped: int = 0
+    observed_errors: list[float] = field(default_factory=list)

@@ -116,7 +116,20 @@ def run_pipeline(
     """
     if batch_size < 0:
         raise ConfigurationError(f"batch_size must be non-negative, got {batch_size}")
-    if sanitize is True or sanitize == "stream":
+    configure_sanitizer = getattr(operator, "configure_sanitizer", None)
+    if sanitize and configure_sanitizer is not None:
+        # Sharded (or otherwise composite) operators sanitize each shard
+        # inside its own worker instead of wrapping the coordinator: the
+        # coordinator defers all emissions to finish, which the scalar
+        # emission checkers would misread, while every shard operator
+        # follows the scalar protocol exactly.
+        if sanitize_probe_every:
+            raise ConfigurationError(
+                "sanitize_probe_every is not supported for operators that "
+                "sanitize per shard"
+            )
+        configure_sanitizer("stream" if sanitize is True else sanitize)
+    elif sanitize is True or sanitize == "stream":
         from repro.analysis.sanitizer import SanitizerConfig, SanitizingOperator
 
         operator = SanitizingOperator(
@@ -160,6 +173,10 @@ def run_pipeline(
         if set_tracer is not None:
             set_tracer(tracer)
     metrics = RunMetrics(registry)
+    if registry is not None:
+        set_registry = getattr(operator, "set_registry", None)
+        if set_registry is not None:
+            set_registry(registry)
     results: list[WindowResult] = []
     handler = getattr(operator, "handler", None)
     sampling = sample_every > 0 and handler is not None

@@ -50,6 +50,8 @@ EVENT_KINDS = (
     "late.drop",  # key, event_time, window_end
     "tree.patch",  # slice_index, depth (partial-aggregate path invalidated)
     "tree.assemble",  # key, end, nodes (cached partials combined per window)
+    "shard.ingest",  # shard, count (elements routed to one shard)
+    "shard.merge",  # key, start, end, shards, value, count (merged window)
     "adaptation",  # k_before, k_after, k_estimate, allowed_late_fraction,
     #               error_ewma, gain, residual, target
     "sanitizer.finding",  # check, message
@@ -175,6 +177,21 @@ class Tracer:
         self, sim_time: float, key: object, end: float, nodes: int
     ) -> None:
         """A window was assembled from ``nodes`` cached partials."""
+
+    def shard_ingest(self, sim_time: float, shard: int, count: int) -> None:
+        """``count`` elements were routed to ``shard`` for execution."""
+
+    def shard_merge(
+        self,
+        sim_time: float,
+        key: object,
+        start: float,
+        end: float,
+        shards: int,
+        value: float,
+        count: int,
+    ) -> None:
+        """The merge stage combined ``shards`` partial(s) into one window."""
 
     def adaptation(
         self,
@@ -415,6 +432,34 @@ class TraceRecorder(Tracer):
         """Record one window assembly from cached partials (detail mode)."""
         if self.detail:
             self._emit("tree.assemble", sim_time, {"key": key, "end": end, "nodes": nodes})
+
+    def shard_ingest(self, sim_time: float, shard: int, count: int) -> None:
+        """Record one shard's routed-element count at stream end."""
+        self._emit("shard.ingest", sim_time, {"shard": shard, "count": count})
+
+    def shard_merge(
+        self,
+        sim_time: float,
+        key: object,
+        start: float,
+        end: float,
+        shards: int,
+        value: float,
+        count: int,
+    ) -> None:
+        """Record one merged window and how many shards contributed."""
+        self._emit(
+            "shard.merge",
+            sim_time,
+            {
+                "key": key,
+                "start": start,
+                "end": end,
+                "shards": shards,
+                "value": value,
+                "count": count,
+            },
+        )
 
     def adaptation(
         self,

@@ -81,6 +81,9 @@ class ContinuousQuery:
         self._handler_label: str | None = None
         self._sample_every = 0
         self._mode = "naive"
+        self._shards: int | None = None
+        self._shard_key = None
+        self._handler_is_instance = False
 
     # ------------------------------------------------------------------ #
     # inputs
@@ -182,6 +185,7 @@ class ContinuousQuery:
 
     def with_handler(self, handler: DisorderHandler) -> "ContinuousQuery":
         """Use an externally constructed handler."""
+        self._handler_is_instance = True
         return self._set_handler(handler.describe(), lambda query: handler)
 
     # ------------------------------------------------------------------ #
@@ -211,6 +215,28 @@ class ContinuousQuery:
         self._mode = mode
         return self
 
+    def shards(self, n: int, key=None) -> "ContinuousQuery":
+        """Partition execution across ``n`` keyed shards.
+
+        Each shard runs an independent operator in the configured
+        :meth:`mode` with its own disorder handler (built fresh from the
+        configured clause), and a deterministic merge stage combines the
+        per-shard windows at the minimum frontier across shards — see
+        ``docs/SCALING.md`` for the exact semantics contract.
+
+        Args:
+            n: Shard count (>= 1).  ``shards(1)`` exercises the full
+                sharded path and is bit-identical to unsharded execution.
+            key: Optional routing key function ``element -> hashable``.
+                Defaults to the element key; elements with routing key
+                ``None`` are distributed round-robin.
+        """
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise QueryError(f"shard count must be an int >= 1, got {n!r}")
+        self._shards = n
+        self._shard_key = key
+        return self
+
     def sliced(self, enabled: bool = True) -> "ContinuousQuery":
         """Use slice-based execution (alias for ``.mode("sliced")``).
 
@@ -234,6 +260,24 @@ class ContinuousQuery:
             raise QueryError(
                 "query has no disorder handling; call .with_quality(...), "
                 ".with_slack(...), .without_buffering(), ..."
+            )
+        if self._shards is not None:
+            if self._handler_is_instance and self._shards > 1:
+                raise QueryError(
+                    "with_handler supplies a single handler instance, but "
+                    "sharded execution needs a fresh handler per shard; "
+                    "use with_slack/with_quality/... instead"
+                )
+            from repro.engine.parallel import ShardedWindowOperator
+
+            handler_factory = self._handler_factory
+            return ShardedWindowOperator(
+                self._shards,
+                self._assigner,
+                aggregate,
+                lambda: handler_factory(self),
+                mode=self._mode,
+                key_fn=self._shard_key,
             )
         handler = self._handler_factory(self)
         from repro.engine.partial_tree import make_window_operator

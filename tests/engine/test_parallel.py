@@ -1,0 +1,436 @@
+"""Sharded execution: routing, per-shard runs, and the merge stage.
+
+The merge-stage edge cases from the scaling contract (``docs/SCALING.md``)
+each get a deterministic fixture: empty shards, a shard whose frontier
+lags far behind, key skew sending all traffic to one shard, and the
+``shards(1)`` configuration that must be bit-identical to unsharded
+execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import make_aggregate
+from repro.engine.handlers import KSlackHandler
+from repro.engine.parallel import (
+    MAX_SHARDS,
+    ShardExecutor,
+    ShardedWindowOperator,
+    ThreadShardExecutor,
+    stable_shard,
+)
+from repro.engine.partial_tree import make_window_operator
+from repro.engine.pipeline import run_pipeline
+from repro.engine.windows import SlidingWindowAssigner
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+from repro.streams.delay import ExponentialDelay
+from repro.streams.disorder import inject_disorder
+from repro.streams.generators import generate_stream
+from tests.conftest import make_arrived
+
+ASSIGNER = SlidingWindowAssigner(size=4.0, slide=1.0)
+
+
+def keyed_stream(keys=("a", "b", "c", "d"), duration=20.0, rate=40.0, seed=7):
+    rng = np.random.default_rng(seed)
+    return inject_disorder(
+        generate_stream(duration=duration, rate=rate, rng=rng, keys=keys),
+        ExponentialDelay(0.4),
+        rng,
+    )
+
+
+def no_late_k(stream):
+    """A K large enough that no element can ever be late."""
+    return max(e.arrival_time - e.event_time for e in stream) + 1e-6
+
+
+def sharded_operator(n, aggregate="mean", k=1.0, mode="naive", **kwargs):
+    return ShardedWindowOperator(
+        n,
+        ASSIGNER,
+        make_aggregate(aggregate),
+        lambda: KSlackHandler(k),
+        mode=mode,
+        **kwargs,
+    )
+
+
+def canonical(results):
+    return sorted(
+        (
+            r.key,
+            r.window,
+            float(r.value),
+            r.count,
+            r.emit_time,
+            r.latency,
+            r.revision,
+            r.flushed,
+        )
+        for r in results
+    )
+
+
+def value_map(results):
+    return {(r.key, r.window): (float(r.value), r.count) for r in results}
+
+
+# --------------------------------------------------------------------- #
+# routing
+
+
+def test_stable_shard_is_deterministic_and_in_range():
+    for key in ("a", "sensor-17", 42, 3.25, ("a", 1)):
+        first = stable_shard(key, 8)
+        assert 0 <= first < 8
+        assert all(stable_shard(key, 8) == first for _ in range(5))
+
+
+def test_default_routing_groups_by_element_key():
+    stream = keyed_stream()
+    recorder = TraceRecorder()
+    run_pipeline(stream, sharded_operator(4), trace=recorder)
+    ingests = list(recorder.of_kind("shard.ingest"))
+    assert sum(e.fields["count"] for e in ingests) == len(stream)
+    # Four keys hash onto at most four shards.
+    assert len(ingests) <= 4
+
+
+def test_custom_key_function_controls_routing():
+    stream = keyed_stream()
+    recorder = TraceRecorder()
+    operator = sharded_operator(4, key_fn=lambda e: "same")
+    run_pipeline(stream, operator, trace=recorder)
+    ingests = list(recorder.of_kind("shard.ingest"))
+    assert len(ingests) == 1  # key skew: all traffic on one shard
+    assert ingests[0].fields["count"] == len(stream)
+
+
+def test_unkeyed_elements_round_robin_across_all_shards():
+    stream = keyed_stream(keys=None)
+    assert all(e.key is None for e in stream)
+    recorder = TraceRecorder()
+    operator = sharded_operator(4)
+    run_pipeline(stream, operator, trace=recorder)
+    ingests = {e.fields["shard"]: e.fields["count"] for e in recorder.of_kind("shard.ingest")}
+    assert set(ingests) == {0, 1, 2, 3}
+    assert max(ingests.values()) - min(ingests.values()) <= 1
+
+
+# --------------------------------------------------------------------- #
+# shards(1) and key skew are bit-identical to unsharded execution
+
+
+@pytest.mark.parametrize("mode", ["naive", "sliced", "tree"])
+@pytest.mark.parametrize("aggregate", ["mean", "count"])
+def test_single_shard_is_bit_identical_to_unsharded(mode, aggregate):
+    stream = keyed_stream()
+    unsharded = make_window_operator(
+        mode, ASSIGNER, make_aggregate(aggregate), KSlackHandler(1.0)
+    )
+    base = run_pipeline(stream, unsharded)
+    out = run_pipeline(stream, sharded_operator(1, aggregate, mode=mode))
+    assert canonical(out.results) == canonical(base.results)
+    # Late-drop accounting matches too: one shard sees the whole stream.
+    assert out.metrics.late_dropped == base.metrics.late_dropped
+
+
+def test_key_skew_single_hot_shard_is_bit_identical_to_unsharded():
+    stream = keyed_stream()
+    base = run_pipeline(
+        stream,
+        make_window_operator(
+            "naive", ASSIGNER, make_aggregate("mean"), KSlackHandler(1.0)
+        ),
+    )
+    skewed = sharded_operator(8, key_fn=lambda e: "hot")
+    out = run_pipeline(stream, skewed)
+    assert canonical(out.results) == canonical(base.results)
+
+
+# --------------------------------------------------------------------- #
+# merge-stage edge cases
+
+
+def test_empty_shards_are_excluded_from_the_merge_gate():
+    # Two keys over 16 shards: at least 14 shards never see an element and
+    # must neither stall the frontier gate nor flush everything.
+    stream = keyed_stream(keys=("a", "b"))
+    k = no_late_k(stream)
+    base = run_pipeline(
+        stream,
+        make_window_operator(
+            "naive", ASSIGNER, make_aggregate("mean"), KSlackHandler(k)
+        ),
+    )
+    out = run_pipeline(stream, sharded_operator(16, k=k))
+    # Keyed groups live in exactly one shard: values are bitwise equal.
+    assert value_map(out.results) == value_map(base.results)
+    assert any(not r.flushed for r in out.results)
+
+
+def test_empty_stream_finishes_empty():
+    operator = sharded_operator(4)
+    out = run_pipeline([], operator)
+    assert out.results == []
+    assert operator.handler.frontier == float("-inf")
+
+
+def test_lagging_shard_gates_the_merge_frontier():
+    # Shard "lead" sees event times up to 12; shard "lag" stops at 3.
+    # Windows ending after the lag shard's frontier (3 - 1 = 2.0) must be
+    # flushed even though the lead shard closed them long ago.
+    elements = make_arrived(
+        [(t, t, 1.0) for t in (0.5, 1.5, 2.5, 3.0)]  # the lag population
+        + [(t, t, 1.0) for t in (4.0, 6.0, 8.0, 10.0, 12.0)]  # the lead
+    )
+    operator = ShardedWindowOperator(
+        2,
+        ASSIGNER,
+        make_aggregate("count"),
+        lambda: KSlackHandler(1.0),
+        key_fn=lambda e: "lag" if e.event_time < 3.5 else "lead",
+    )
+    out = run_pipeline(elements, operator)
+    lag_frontier = 3.0 - 1.0
+    for result in out.results:
+        if result.window.end <= lag_frontier:
+            assert not result.flushed, result
+        else:
+            assert result.flushed, result
+    assert operator.handler.frontier == pytest.approx(lag_frontier)
+
+
+def test_merged_emit_time_is_the_last_shards_frontier_crossing():
+    # Unkeyed round-robin over 2 shards.  Window [0, 2) closes on shard 0
+    # when element (4.5) arrives at 6.0 and on shard 1 when (3.5) arrives
+    # at 5.0; the merged window must be stamped with the *later* crossing.
+    elements = make_arrived(
+        [
+            (0.5, 1.0, 1.0),  # -> shard 0
+            (1.5, 2.0, 1.0),  # -> shard 1
+            (3.5, 5.0, 1.0),  # -> shard 0: frontier 2.5 at arrival 5.0
+            (4.5, 6.0, 1.0),  # -> shard 1: frontier 3.5 at arrival 6.0
+        ]
+    )
+    operator = ShardedWindowOperator(
+        2,
+        SlidingWindowAssigner(size=2.0, slide=2.0),
+        make_aggregate("count"),
+        lambda: KSlackHandler(1.0),
+    )
+    out = run_pipeline(elements, operator)
+    window_02 = [r for r in out.results if r.window.start == 0.0][0]
+    assert not window_02.flushed
+    assert window_02.emit_time == pytest.approx(6.0)
+    assert window_02.count == 2
+    assert window_02.latency == pytest.approx(6.0 - 2.0)
+
+
+def test_cross_shard_groups_merge_accumulators():
+    stream = keyed_stream(keys=None)  # unkeyed: every window spans shards
+    k = no_late_k(stream)
+    base = run_pipeline(
+        stream,
+        make_window_operator(
+            "naive", ASSIGNER, make_aggregate("count"), KSlackHandler(k)
+        ),
+    )
+    recorder = TraceRecorder()
+    out = run_pipeline(stream, sharded_operator(4, "count", k=k), trace=recorder)
+    assert value_map(out.results) == value_map(base.results)  # exact: bitwise
+    merges = list(recorder.of_kind("shard.merge"))
+    assert merges and max(e.fields["shards"] for e in merges) > 1
+
+
+def test_cross_shard_mean_within_declared_drift():
+    stream = keyed_stream(keys=None)
+    k = no_late_k(stream)
+    base = run_pipeline(
+        stream,
+        make_window_operator(
+            "naive", ASSIGNER, make_aggregate("mean"), KSlackHandler(k)
+        ),
+    )
+    out = run_pipeline(stream, sharded_operator(6, "mean", k=k))
+    base_map, out_map = value_map(base.results), value_map(out.results)
+    assert set(base_map) == set(out_map)
+    for group, (value, count) in base_map.items():
+        merged_value, merged_count = out_map[group]
+        assert merged_count == count
+        assert merged_value == pytest.approx(value, rel=1e-9)
+
+
+def test_canonical_output_order_is_deterministic():
+    stream = keyed_stream()
+    first = run_pipeline(stream, sharded_operator(4)).results
+    second = run_pipeline(stream, sharded_operator(4)).results
+    assert canonical(first) == canonical(second)
+    assert [
+        (r.emit_time, r.flushed, r.window.end, r.window.start) for r in first
+    ] == sorted(
+        (r.emit_time, r.flushed, r.window.end, r.window.start) for r in first
+    )
+
+
+def test_batched_driving_matches_scalar():
+    stream = keyed_stream()
+    scalar = run_pipeline(stream, sharded_operator(4))
+    batched = run_pipeline(stream, sharded_operator(4), batch_size=64)
+    assert canonical(scalar.results) == canonical(batched.results)
+
+
+def test_finish_is_idempotent():
+    stream = keyed_stream()
+    operator = sharded_operator(2)
+    for element in stream:
+        operator.process(element)
+    first = operator.finish()
+    assert first
+    assert operator.finish() == []
+
+
+# --------------------------------------------------------------------- #
+# sanitizers run per shard and stay clean
+
+
+@pytest.mark.parametrize("kind", ["stream", "race", "numeric"])
+@pytest.mark.parametrize("mode", ["naive", "tree"])
+def test_sharded_execution_is_sanitizer_clean(kind, mode):
+    stream = keyed_stream(duration=10.0)
+    out = run_pipeline(stream, sharded_operator(4, mode=mode), sanitize=kind)
+    reference = run_pipeline(stream, sharded_operator(4, mode=mode))
+    assert canonical(out.results) == canonical(reference.results)
+
+
+def test_unknown_sanitizer_kind_is_rejected():
+    stream = keyed_stream(duration=5.0)
+    with pytest.raises(ConfigurationError):
+        run_pipeline(stream, sharded_operator(2), sanitize="bogus")
+
+
+def test_probe_is_rejected_for_sharded_operators():
+    stream = keyed_stream(duration=5.0)
+    with pytest.raises(ConfigurationError):
+        run_pipeline(
+            stream, sharded_operator(2), sanitize=True, sanitize_probe_every=4
+        )
+
+
+# --------------------------------------------------------------------- #
+# observability
+
+
+def test_trace_records_shard_ingest_and_merge():
+    stream = keyed_stream()
+    recorder = TraceRecorder()
+    out = run_pipeline(stream, sharded_operator(4), trace=recorder)
+    ingested = sum(e.fields["count"] for e in recorder.of_kind("shard.ingest"))
+    assert ingested == len(stream)
+    merges = list(recorder.of_kind("shard.merge"))
+    assert len(merges) == len(out.results)
+    by_group = {
+        (e.fields["key"], e.fields["start"], e.fields["end"]): e.fields["count"]
+        for e in merges
+    }
+    for result in out.results:
+        group = (result.key, result.window.start, result.window.end)
+        assert by_group[group] == result.count
+
+
+def test_registry_collects_per_shard_metrics():
+    stream = keyed_stream()
+    registry = MetricsRegistry()
+    run_pipeline(stream, sharded_operator(4), registry=registry)
+    snapshot = registry.snapshot()
+    shard_elements = [
+        value
+        for name, value in snapshot.items()
+        if name.startswith("shard.") and name.endswith(".elements_in")
+    ]
+    assert sum(shard_elements) == len(stream)
+
+
+def test_handler_view_reports_combined_state():
+    stream = keyed_stream()
+    operator = sharded_operator(4, k=2.0)
+    view = operator.handler
+    assert view.describe() == "sharded(4)xk-slack(K=2s)"
+    assert view.buffered_count() == 0
+    for element in stream:
+        operator.process(element)
+    assert view.buffered_count() == len(stream)  # routed, not yet executed
+    assert view.frontier == float("-inf")
+    operator.finish()
+    assert view.buffered_count() == 0
+    assert view.released_count() == len(stream)
+    assert view.current_slack == pytest.approx(2.0)
+    assert view.frontier > float("-inf")
+    assert view.next_adaptation_offset(stream, 0, len(stream)) is None
+
+
+# --------------------------------------------------------------------- #
+# executor seam and validation
+
+
+def test_serial_executor_matches_threads():
+    stream = keyed_stream()
+    threaded = run_pipeline(stream, sharded_operator(4, executor=ThreadShardExecutor()))
+    serial = run_pipeline(stream, sharded_operator(4, executor=ShardExecutor()))
+    assert canonical(threaded.results) == canonical(serial.results)
+
+
+def test_worker_exception_propagates_to_the_coordinator():
+    class BoomAggregate:
+        __numeric__ = "exact"
+        name = "boom"
+        error_model_kind = "additive_mass"
+
+        def create(self):
+            return []
+
+        def add(self, accumulator, value):
+            raise RuntimeError("boom in shard worker")
+
+        def add_many(self, accumulator, values):
+            raise RuntimeError("boom in shard worker")
+
+        def result(self, accumulator):
+            return 0.0
+
+        def merge(self, accumulator, other):
+            return accumulator
+
+        def describe(self):
+            return "boom"
+
+    stream = keyed_stream(duration=5.0)
+    operator = ShardedWindowOperator(
+        2, ASSIGNER, BoomAggregate(), lambda: KSlackHandler(1.0)
+    )
+    with pytest.raises(RuntimeError, match="boom in shard worker"):
+        run_pipeline(stream, operator)
+
+
+@pytest.mark.parametrize("bad", [0, -1, MAX_SHARDS + 1, 2.0, True])
+def test_invalid_shard_counts_are_rejected(bad):
+    with pytest.raises(ConfigurationError):
+        ShardedWindowOperator(
+            bad, ASSIGNER, make_aggregate("mean"), lambda: KSlackHandler(1.0)
+        )
+
+
+def test_aggregate_without_numeric_discipline_is_rejected():
+    class Undeclared:
+        name = "mystery"
+        error_model_kind = "additive_mass"
+
+    with pytest.raises(ConfigurationError):
+        ShardedWindowOperator(
+            2, ASSIGNER, Undeclared(), lambda: KSlackHandler(1.0)
+        )

@@ -201,3 +201,84 @@ class TestBoundedQualityClause:
         assert isinstance(run.handler.target, BoundedQualityTarget)
         assert run.handler.current_slack <= 1.0
         assert run.report is not None
+
+
+class TestShardedExecution:
+    def test_shards_matches_unsharded_values(self, small_disordered_stream):
+        # The fixture stream is unkeyed (round-robin routing), so use a
+        # slack under which nothing is late: with late drops a sharded
+        # run may legitimately keep elements the unsharded run dropped.
+        k = (
+            max(
+                e.arrival_time - e.event_time
+                for e in small_disordered_stream
+            )
+            + 1e-6
+        )
+        base = base_query(small_disordered_stream).with_slack(k).run()
+        sharded = (
+            base_query(small_disordered_stream)
+            .with_slack(k)
+            .shards(3)
+            .run()
+        )
+        base_map = {(r.key, r.window): r.value for r in base.results}
+        sharded_map = {(r.key, r.window): r.value for r in sharded.results}
+        assert set(base_map) == set(sharded_map)
+        for slot, value in base_map.items():
+            assert sharded_map[slot] == pytest.approx(value, rel=1e-9)
+
+    def test_shards_builds_sharded_operator(self, small_disordered_stream):
+        from repro.engine.parallel import ShardedWindowOperator
+
+        run = (
+            base_query(small_disordered_stream)
+            .with_slack(1.0)
+            .shards(2)
+            .mode("tree")
+            .run()
+        )
+        assert isinstance(run.operator, ShardedWindowOperator)
+        assert run.handler.describe().startswith("sharded(2)x")
+
+    def test_shards_with_custom_key(self, small_disordered_stream):
+        run = (
+            base_query(small_disordered_stream)
+            .with_slack(1.0)
+            .shards(4, key=lambda e: int(e.event_time) % 4)
+            .run()
+        )
+        assert run.results
+
+    @pytest.mark.parametrize("bad", [0, -2, 1.5, "four", True])
+    def test_invalid_shard_count_rejected(self, bad):
+        with pytest.raises(QueryError):
+            ContinuousQuery().shards(bad)
+
+    def test_handler_instance_cannot_be_sharded(self, small_disordered_stream):
+        query = (
+            base_query(small_disordered_stream)
+            .with_handler(KSlackHandler(1.0))
+            .shards(2)
+        )
+        with pytest.raises(QueryError, match="fresh handler per shard"):
+            query.run()
+
+    def test_handler_instance_allows_single_shard(self, small_disordered_stream):
+        run = (
+            base_query(small_disordered_stream)
+            .with_handler(KSlackHandler(1.0))
+            .shards(1)
+            .run()
+        )
+        assert run.results
+
+    def test_shards_with_quality_clause(self, small_disordered_stream):
+        run = (
+            base_query(small_disordered_stream)
+            .with_quality(0.1)
+            .shards(2)
+            .run(assess=True)
+        )
+        assert run.report is not None
+        assert run.report.mean_error < 0.5

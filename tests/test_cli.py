@@ -130,6 +130,33 @@ class TestRunCommand:
         out = capsys.readouterr().out
         assert out.count("lat=") == 3
 
+    def test_sharded_run(self, trace, capsys):
+        code = main(
+            ["run", trace, "--window", "5", "--slide", "1",
+             "--slack", "1.0", "--mode", "tree", "--shards", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded(4)x" in out
+        assert "results" in out
+
+    def test_sharded_matches_unsharded_counts(self, trace, capsys):
+        args = ["run", trace, "--window", "5", "--slide", "1",
+                "--slack", "30.0", "--aggregate", "count", "--no-assess"]
+        main(args)
+        base = capsys.readouterr().out
+        main(args + ["--shards", "4"])
+        sharded = capsys.readouterr().out
+        line = next(l for l in base.splitlines() if l.startswith("results"))
+        assert line in sharded
+
+    def test_invalid_shard_count_is_error(self, trace, capsys):
+        code = main(
+            ["run", trace, "--window", "5", "--slide", "1", "--shards", "-3"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_missing_trace_is_error(self, tmp_path, capsys):
         code = main(
             ["run", str(tmp_path / "absent.csv"), "--window", "5", "--slide", "1"]
