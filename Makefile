@@ -89,7 +89,7 @@ bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
 bench-quick:
-	$(PY) -m repro.bench.quick --scale 0.1 --out BENCH_e18.json --out-e19 BENCH_e19.json --out-e20 BENCH_e20.json
+	$(PY) -m repro.bench.quick --scale 0.1 --out BENCH_e18.json --out-e19 BENCH_e19.json --out-e20 BENCH_e20.json --out-e21 BENCH_e21.json
 
 experiments:
 	$(PY) -m repro.bench.experiments all

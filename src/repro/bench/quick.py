@@ -1,34 +1,42 @@
-"""Quick throughput check: E8 + E17 + E18 + E19 + E20 at reduced scale.
+"""Quick throughput check: E8 + E17 + E18 + E19 + E20 + E21 at reduced scale.
 
 CI convenience (``make bench-quick``): runs the throughput-oriented
 experiments small enough for a pull-request gate, prints their tables,
 and writes machine-readable summaries of the batched-execution (E18),
-tree-execution (E19) and sharded-execution (E20) numbers::
+tree-execution (E19), sharded-execution (E20) and process-pool (E21)
+numbers::
 
     python -m repro.bench.quick --scale 0.1 --out BENCH_e18.json \
-        --out-e19 BENCH_e19.json --out-e20 BENCH_e20.json
+        --out-e19 BENCH_e19.json --out-e20 BENCH_e20.json \
+        --out-e21 BENCH_e21.json
+
+``--only E21`` (or any subset) restricts the run — the ``process-shard``
+CI job uses this to gate just the process-executor numbers.
 
 The JSON captures elements/second per execution path so regressions in
-the bulk APIs, the partial-aggregate tree and the sharded engine show up
-as diffable artifacts.  The run fails (exit 1) when any path's results
-diverge, when the tree is slower than sliced execution at overlap 64 —
-the operating point where the tree's O(log) closes must already have
-paid for their bookkeeping — and when four-shard execution is slower
-than the single sliced pipeline on the E20 workload (the sharded
-engine's per-shard trees must beat the single O(overlap) chain even
-with routing and merge overhead included).
+the bulk APIs, the partial-aggregate tree, the sharded engine and the
+process pool show up as diffable artifacts.  The run fails (exit 1) when
+any path's results diverge, when the tree is slower than sliced execution
+at overlap 64, when four-shard execution is slower than the single sliced
+pipeline on the E20 workload, or when an E21 gate fails.  The E21
+throughput gates are *core-scoped*: ``process(4) > single tree`` needs a
+runner with at least 4 CPUs and ``process(2) >= thread(2)`` needs at
+least 2 — on smaller runners they are recorded as skipped in the
+artifact instead of failing (a 1-core box physically cannot show
+multicore speedup; correctness rows are always enforced).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.bench.experiments import run_experiment
 from repro.bench.report import ExperimentResult, render_table
 
-QUICK_EXPERIMENTS = ("E8", "E17", "E18", "E19", "E20")
+QUICK_EXPERIMENTS = ("E8", "E17", "E18", "E19", "E20", "E21")
 
 
 def summarize_e18(result: ExperimentResult) -> dict:
@@ -64,6 +72,58 @@ def summarize_e20(result: ExperimentResult) -> dict:
         "experiment": result.experiment_id,
         "title": result.title,
         "configs": [dict(row) for row in result.rows],
+    }
+
+
+def summarize_e21(result: ExperimentResult) -> dict:
+    """Distill the E21 table into the JSON artifact schema.
+
+    Besides the raw rows the summary records ``cpu_count`` and the two
+    core-scoped throughput gates with explicit pass/fail/skipped status,
+    so the checked-in artifact says *why* a gate did or did not apply on
+    the runner that produced it.
+    """
+    cpu_count = os.cpu_count() or 1
+    configs = [dict(row) for row in result.rows]
+    by_config = {row["config"]: row for row in configs}
+
+    def ratio(a: str, b: str) -> float | None:
+        row_a, row_b = by_config.get(a), by_config.get(b)
+        if row_a is None or row_b is None or not row_b["eps"]:
+            return None
+        return row_a["eps"] / row_b["eps"]
+
+    gates = {}
+    headline = ratio("process(4)", "single tree")
+    if cpu_count < 4:
+        gates["process4_beats_tree"] = {
+            "status": "skipped",
+            "reason": f"needs >= 4 cores, runner has {cpu_count}",
+            "ratio": headline,
+        }
+    else:
+        gates["process4_beats_tree"] = {
+            "status": "pass" if headline is not None and headline > 1.0 else "fail",
+            "ratio": headline,
+        }
+    parity = ratio("process(2)", "thread(2)")
+    if cpu_count < 2:
+        gates["process2_ge_thread2"] = {
+            "status": "skipped",
+            "reason": f"needs >= 2 cores, runner has {cpu_count}",
+            "ratio": parity,
+        }
+    else:
+        gates["process2_ge_thread2"] = {
+            "status": "pass" if parity is not None and parity >= 1.0 else "fail",
+            "ratio": parity,
+        }
+    return {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "cpu_count": cpu_count,
+        "configs": configs,
+        "gates": gates,
     }
 
 
@@ -103,12 +163,37 @@ def check_e20(summary: dict) -> list[str]:
     return failures
 
 
+def check_e21(summary: dict) -> list[str]:
+    """Gate conditions over the E21 summary; returns failure messages.
+
+    Correctness rows (``results_equal``, ``identical_to_thread``) are
+    unconditional; the throughput gates enforce only entries whose
+    recorded status is ``"fail"`` — ``"skipped"`` entries (runner below
+    the gate's core requirement) pass by construction.
+    """
+    failures = []
+    for row in summary["configs"]:
+        if not row["results_equal"]:
+            failures.append(f"E21 result mismatch at {row['config']}")
+        if row.get("identical_to_thread") is False:
+            failures.append(
+                f"E21 {row['config']} not bit-identical to its thread twin"
+            )
+    for gate_name, gate in summary["gates"].items():
+        if gate["status"] == "fail":
+            ratio = gate.get("ratio")
+            shown = f"{ratio:.3f}" if ratio is not None else "n/a"
+            failures.append(f"E21 gate {gate_name} failed (ratio {shown})")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.bench.quick``."""
     parser = argparse.ArgumentParser(
         prog="repro.bench.quick",
         description=(
-            "Run the quick throughput experiments (E8, E17, E18, E19, E20)."
+            "Run the quick throughput experiments "
+            "(E8, E17, E18, E19, E20, E21)."
         ),
     )
     parser.add_argument(
@@ -116,6 +201,13 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.1,
         help="workload scale fraction (default 0.1)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="EID",
+        help="run only these quick experiments (e.g. --only E21)",
     )
     parser.add_argument(
         "--out",
@@ -132,38 +224,67 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_e20.json",
         help="path for the E20 JSON summary (default BENCH_e20.json)",
     )
+    parser.add_argument(
+        "--out-e21",
+        default="BENCH_e21.json",
+        help="path for the E21 JSON summary (default BENCH_e21.json)",
+    )
     args = parser.parse_args(argv)
 
+    if args.only is None:
+        selected = QUICK_EXPERIMENTS
+    else:
+        selected = tuple(eid.upper() for eid in args.only)
+        unknown = [eid for eid in selected if eid not in QUICK_EXPERIMENTS]
+        if unknown:
+            print(
+                f"unknown quick experiment(s) {unknown}; "
+                f"known: {list(QUICK_EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    summarizers = {
+        "E18": summarize_e18,
+        "E19": summarize_e19,
+        "E20": summarize_e20,
+        "E21": summarize_e21,
+    }
+    out_paths = {
+        "E18": args.out,
+        "E19": args.out_e19,
+        "E20": args.out_e20,
+        "E21": args.out_e21,
+    }
     summaries = {}
-    for experiment_id in QUICK_EXPERIMENTS:
+    for experiment_id in selected:
         result = run_experiment(experiment_id, scale=args.scale)
         print(render_table(result))
         print()
-        if experiment_id == "E18":
-            summaries["E18"] = summarize_e18(result)
-        elif experiment_id == "E19":
-            summaries["E19"] = summarize_e19(result)
-        elif experiment_id == "E20":
-            summaries["E20"] = summarize_e20(result)
+        summarizer = summarizers.get(experiment_id)
+        if summarizer is not None:
+            summaries[experiment_id] = summarizer(result)
 
-    outputs = (
-        (args.out, summaries["E18"]),
-        (args.out_e19, summaries["E19"]),
-        (args.out_e20, summaries["E20"]),
-    )
-    for path, summary in outputs:
+    for experiment_id, summary in summaries.items():
+        path = out_paths[experiment_id]
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2)
             handle.write("\n")
         print(f"wrote {path}")
 
-    failures = [
-        f"E18 result mismatch for: {row['operator']}"
-        for row in summaries["E18"]["operators"]
-        if not row["results_equal"]
-    ]
-    failures.extend(check_e19(summaries["E19"]))
-    failures.extend(check_e20(summaries["E20"]))
+    failures = []
+    if "E18" in summaries:
+        failures.extend(
+            f"E18 result mismatch for: {row['operator']}"
+            for row in summaries["E18"]["operators"]
+            if not row["results_equal"]
+        )
+    if "E19" in summaries:
+        failures.extend(check_e19(summaries["E19"]))
+    if "E20" in summaries:
+        failures.extend(check_e20(summaries["E20"]))
+    if "E21" in summaries:
+        failures.extend(check_e21(summaries["E21"]))
     if failures:
         for failure in failures:
             print(failure, file=sys.stderr)

@@ -126,6 +126,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     query = query.mode(args.mode)
     if args.shards:
         query = query.shards(args.shards)
+        if args.executor:
+            query = query.executor(
+                args.executor, chunk_size=args.chunk_size or None
+            )
+    elif args.executor:
+        raise ConfigurationError("--executor requires --shards N")
 
     recorder = None
     if args.trace_out or args.trace_chrome:
@@ -265,6 +271,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="partition execution across N keyed shards (per-shard "
         "handlers, deterministic merge; see docs/SCALING.md)",
+    )
+    run.add_argument(
+        "--executor",
+        choices=["thread", "process", "serial"],
+        default=None,
+        help="shard execution strategy (requires --shards); \"process\" "
+        "uses a warm multi-core worker pool with chunked dispatch",
+    )
+    run.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help="elements per dispatched chunk for --executor process "
+        "(default 512)",
     )
     run.add_argument("--no-assess", action="store_true", help="skip the oracle")
     run.add_argument(

@@ -40,11 +40,19 @@ from repro.engine.partial_tree import (
 )
 from repro.engine.parallel import (
     ShardExecutor,
+    ShardRunner,
     ShardTask,
     ShardedHandlerView,
     ShardedWindowOperator,
     ThreadShardExecutor,
     stable_shard,
+)
+from repro.engine.process_pool import (
+    DEFAULT_CHUNK_SIZE,
+    ProcessShardExecutor,
+    ShardSpec,
+    decode_chunk,
+    encode_chunk,
 )
 from repro.engine.pipeline import RunOutput, run_pipeline
 from repro.engine.retraction import (
@@ -90,6 +98,7 @@ __all__ = [
     "ApproxQuantileAggregate",
     "ApproxTopKAggregate",
     "CountAggregate",
+    "DEFAULT_CHUNK_SIZE",
     "DisorderHandler",
     "DistinctCountAggregate",
     "EXECUTION_MODES",
@@ -112,6 +121,7 @@ __all__ = [
     "P2Quantile",
     "PatternMatch",
     "PerfectWatermarkHandler",
+    "ProcessShardExecutor",
     "QuantileAggregate",
     "RangeAggregate",
     "RunMetrics",
@@ -120,6 +130,8 @@ __all__ = [
     "SessionAggregateOperator",
     "SessionWindowMerger",
     "ShardExecutor",
+    "ShardRunner",
+    "ShardSpec",
     "ShardTask",
     "ShardedHandlerView",
     "ShardedWindowOperator",
@@ -140,6 +152,8 @@ __all__ = [
     "WindowAggregateOperator",
     "WindowAssigner",
     "WindowResult",
+    "decode_chunk",
+    "encode_chunk",
     "final_values",
     "initial_latencies",
     "load_checkpoint",

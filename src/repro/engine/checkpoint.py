@@ -27,6 +27,39 @@ from repro.errors import ConfigurationError
 
 CHECKPOINT_MAGIC = b"repro-checkpoint-v1\n"
 
+#: Magic prefix for in-memory state snapshots shipped between processes
+#: (shard specs, handler prototypes, partial-aggregate run records).  The
+#: same pickle machinery as file checkpoints, minus the filesystem: the
+#: process-pool shard executor uses these for its control-plane payloads.
+STATE_MAGIC = b"repro-shard-state-v1\n"
+
+
+def dumps_state(obj: object) -> bytes:
+    """Serialize ``obj`` into a magic-prefixed state snapshot.
+
+    Used by the process-pool shard executor for everything that crosses
+    the process boundary *except* element chunks (which use the compact
+    array codec in :mod:`repro.engine.process_pool`): the shard spec, the
+    handler prototype, and each shard's partial-aggregate run record.
+    Like file checkpoints, snapshots are a trust boundary — only load
+    snapshots produced by this process family.
+    """
+    return STATE_MAGIC + pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_state(payload: bytes) -> object:
+    """Restore an object snapshotted by :func:`dumps_state`.
+
+    Raises:
+        ConfigurationError: the payload does not carry the state magic.
+    """
+    if not payload.startswith(STATE_MAGIC):
+        raise ConfigurationError(
+            "not a repro state snapshot (bad magic prefix); refusing to "
+            "unpickle an unrecognized payload"
+        )
+    return pickle.loads(payload[len(STATE_MAGIC):])
+
 
 def save_checkpoint(operator, path: str | Path) -> int:
     """Serialize ``operator`` (with all its state) to ``path``.

@@ -39,6 +39,8 @@ slot in behind the same seam later.
 
 from __future__ import annotations
 
+import os
+import queue
 import threading
 import zlib
 from bisect import bisect_left
@@ -57,6 +59,7 @@ from repro.streams.timebase import ArrivalTimeStamp, DurationS, EventTimeStamp
 
 __all__ = [
     "ShardExecutor",
+    "ShardRunner",
     "ShardTask",
     "ShardedHandlerView",
     "ShardedWindowOperator",
@@ -103,6 +106,12 @@ class _ShardPartial(float):
         self = super().__new__(cls, value)
         self.accumulator = accumulator
         return self
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        # float's default pickling calls __new__(cls, value) without the
+        # accumulator; spell out both arguments so per-shard results can
+        # cross the process boundary intact.
+        return (type(self), (float(self), self.accumulator))
 
 
 def _snapshot(accumulator: Any) -> Any:
@@ -229,6 +238,122 @@ class _ShardRun:
     current_slack: DurationS
     max_buffered: int
     released: int
+    #: Worker-recorded trace events (process executors only; the thread
+    #: path traces through the coordinator's recorder directly).  The
+    #: coordinator re-timestamps these into its own wall clock at merge.
+    trace_events: list[Any] = field(default_factory=list)
+    #: Worker-side telemetry counters (``chunks``, ``wire_bytes``, ...)
+    #: merged into the coordinator registry under ``shard.<id>.*``.
+    metric_deltas: dict[str, float] = field(default_factory=dict)
+
+
+class ShardRunner:
+    """Incremental driver for one shard's pipeline.
+
+    The single definition of what "running a shard" means, shared by
+    every executor: the thread path feeds a whole :class:`ShardTask` at
+    once, the process-pool workers feed decoded chunks as they arrive
+    over the wire.  Both end with :meth:`finish`, so per-shard semantics
+    (sanitizer wrapping, frontier-timeline capture, stats snapshot) are
+    identical across executors by construction.
+    """
+
+    __concurrency__ = "single-thread"
+
+    def __init__(
+        self,
+        shard_id: int,
+        mode: str,
+        assigner: WindowAssigner,
+        aggregate: AggregateFunction,
+        handler: DisorderHandler,
+        feedback_horizon: DurationS | None = None,
+        track_feedback: bool = True,
+        sanitize: str | None = None,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        from repro.engine.partial_tree import make_window_operator
+
+        self.shard_id = shard_id
+        self._handler = handler
+        operator = make_window_operator(
+            mode,
+            assigner,
+            cast(AggregateFunction, _capture_wrapper(aggregate)),
+            handler,
+            feedback_horizon=feedback_horizon,
+            track_feedback=track_feedback,
+        )
+        self._stats = getattr(operator, "stats")
+        if tracer.enabled:
+            set_tracer = getattr(operator, "set_tracer", None)
+            if set_tracer is not None:
+                set_tracer(tracer)
+        driven: Any = operator
+        if sanitize == "stream":
+            from repro.analysis.sanitizer import SanitizerConfig, SanitizingOperator
+
+            driven = SanitizingOperator(operator, SanitizerConfig())
+        elif sanitize == "race":
+            from repro.analysis.concur.racesan import RaceSan
+
+            driven = RaceSan().guard_operator(operator)
+        elif sanitize == "numeric":
+            from repro.analysis.numeric.numsan import NumSan
+
+            driven = NumSan().guard_operator(operator)
+        self._driven = driven
+        self._results: list[WindowResult] = []
+        self._frontier_arrivals: list[ArrivalTimeStamp] = []
+        self._frontier_values: list[EventTimeStamp] = []
+        self._last_frontier: EventTimeStamp = float("-inf")
+        self._last_arrival: ArrivalTimeStamp = float("-inf")
+        self._elements_in = 0
+        self._finished = False
+
+    def feed(self, elements: Sequence[StreamElement]) -> None:
+        """Drive a slice of the shard's stream, in arrival order."""
+        process = self._driven.process
+        handler = self._handler
+        for element in elements:
+            arrival = element.arrival_time
+            if arrival is not None and arrival > self._last_arrival:
+                self._last_arrival = arrival
+            emitted = process(element)
+            if emitted:
+                self._results.extend(emitted)
+            frontier = handler.frontier
+            if frontier > self._last_frontier:
+                self._last_frontier = frontier
+                self._frontier_arrivals.append(
+                    arrival if arrival is not None else self._last_arrival
+                )
+                self._frontier_values.append(frontier)
+        self._elements_in += len(elements)
+
+    def finish(self) -> _ShardRun:
+        """Flush the shard operator and snapshot everything it reports."""
+        if self._finished:
+            raise ConfigurationError(
+                f"shard {self.shard_id} was already finished"
+            )
+        self._finished = True
+        final_frontier = self._last_frontier
+        self._results.extend(self._driven.finish())
+        handler = self._handler
+        return _ShardRun(
+            shard_id=self.shard_id,
+            results=self._results,
+            elements_in=self._elements_in,
+            late_dropped=self._stats.late_dropped,
+            observed_errors=list(self._stats.observed_errors),
+            frontier_arrivals=self._frontier_arrivals,
+            frontier_values=self._frontier_values,
+            final_frontier=final_frontier,
+            current_slack=handler.current_slack,
+            max_buffered=handler.max_buffered_count(),
+            released=handler.released_count(),
+        )
 
 
 class ShardExecutor:
@@ -242,6 +367,11 @@ class ShardExecutor:
     """
 
     __concurrency__ = "single-thread"
+
+    #: Streaming executors (the process pool) receive chunks during the
+    #: run through ``begin``/``dispatch``/``collect`` instead of whole
+    #: tasks at finish; the coordinator branches on this attribute.
+    streaming = False
 
     def run(
         self,
@@ -257,39 +387,66 @@ class ShardExecutor:
 
 
 class ThreadShardExecutor(ShardExecutor):
-    """One worker thread per shard.
+    """A bounded pool of worker threads carrying the shard tasks.
 
     Threads carry the shards concurrently on free-threaded builds; under
     the GIL they interleave, and the sharded speedup comes from the
     per-shard operators doing algorithmically less work (see
     ``docs/SCALING.md``).  Worker exceptions are captured and re-raised
     on the coordinator, lowest shard id first, after every thread joined.
+
+    Args:
+        max_workers: Thread-count cap.  Defaults to
+            ``min(n_tasks, os.cpu_count())`` — one thread per shard was
+            pure oversubscription beyond the core count: past it, extra
+            threads only add GIL handoffs and scheduler churn without any
+            shard finishing sooner.
     """
 
     __concurrency__ = "single-thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and (
+            not isinstance(max_workers, int)
+            or isinstance(max_workers, bool)
+            or max_workers < 1
+        ):
+            raise ConfigurationError(
+                f"max_workers must be a positive int or None, got {max_workers!r}"
+            )
+        self.max_workers = max_workers
+
+    def worker_count(self, n_tasks: int) -> int:
+        """Number of threads a run over ``n_tasks`` shards will start."""
+        cap = self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+        return max(1, min(n_tasks, cap))
 
     def run(
         self,
         fn: Callable[[ShardTask], _ShardRun],
         tasks: Sequence[ShardTask],
     ) -> list[_ShardRun]:
-        """Run all shard tasks on their own threads and join them."""
+        """Run all shard tasks on a bounded thread pool and join it."""
         outcomes: list[_ShardRun | None] = [None] * len(tasks)
         failures: list[BaseException | None] = [None] * len(tasks)
+        pending: "queue.SimpleQueue[int]" = queue.SimpleQueue()
+        for index in range(len(tasks)):
+            pending.put(index)
 
-        def worker(index: int, task: ShardTask) -> None:
-            try:
-                outcomes[index] = fn(task)
-            except BaseException as error:  # noqa: BLE001 — re-raised below
-                failures[index] = error
+        def worker() -> None:
+            while True:
+                try:
+                    index = pending.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    outcomes[index] = fn(tasks[index])
+                except BaseException as error:  # noqa: BLE001 — re-raised below
+                    failures[index] = error
 
         threads = [
-            threading.Thread(
-                target=worker,
-                args=(index, task),
-                name=f"repro-shard-{task.shard_id}",
-            )
-            for index, task in enumerate(tasks)
+            threading.Thread(target=worker, name=f"repro-shard-worker-{i}")
+            for i in range(self.worker_count(len(tasks)))
         ]
         for thread in threads:
             thread.start()
@@ -483,6 +640,19 @@ class ShardedWindowOperator(Operator):
         self._sanitize: str | None = None
         self._registry: MetricsRegistry | None = None
         self._finished = False
+        # Streaming executors (the process pool) receive element chunks
+        # during the run; everything crossing the boundary must pickle, so
+        # picklability is checked here at build time (clear error) rather
+        # than at first dispatch (opaque pickle traceback mid-run).
+        self._streaming = bool(self._executor.streaming)
+        self._streaming_started = False
+        self._chunk_size = int(getattr(self._executor, "chunk_size", 0) or 0)
+        self._chunks_sent = [0] * n_shards
+        self._elements_sent = [0] * n_shards
+        if self._streaming:
+            validate = getattr(self._executor, "validate", None)
+            if validate is not None:
+                validate(assigner, aggregate, prototype_handler)
 
     # -- pipeline hooks ------------------------------------------------ #
 
@@ -528,12 +698,15 @@ class ShardedWindowOperator(Operator):
 
     def process(self, element: StreamElement) -> list[WindowResult]:
         """Route one element to its shard; results all come from finish."""
-        self._pending[self._route(element)].append(element)
+        shard = self._route(element)
+        self._pending[shard].append(element)
         arrival = element.arrival_time
         if arrival is not None and arrival > self._last_arrival:
             self._last_arrival = arrival
         self.handler._note_routed(1)
         self.stats.elements_in += 1
+        if self._streaming and 0 < self._chunk_size <= len(self._pending[shard]):
+            self._dispatch_shard(shard)
         return []
 
     def process_many(self, elements: list[StreamElement]) -> list[WindowResult]:
@@ -547,70 +720,92 @@ class ShardedWindowOperator(Operator):
                 self._last_arrival = arrival
         self.handler._note_routed(len(elements))
         self.stats.elements_in += len(elements)
+        if self._streaming and self._chunk_size > 0:
+            for shard in range(self._n_shards):
+                if len(pending[shard]) >= self._chunk_size:
+                    self._dispatch_shard(shard)
         return []
+
+    # -- streaming dispatch (process-pool executors) -------------------- #
+
+    def _start_streaming(self) -> None:
+        """Warm up the streaming executor with this run's shard spec."""
+        from repro.engine.checkpoint import dumps_state
+        from repro.engine.process_pool import ShardSpec
+
+        spec = ShardSpec(
+            n_shards=self._n_shards,
+            mode=self._mode,
+            assigner=self._assigner,
+            aggregate=self._aggregate,
+            handler_blob=dumps_state(self._handler_factory()),
+            feedback_horizon=self._feedback_horizon,
+            track_feedback=self._track_feedback,
+            sanitize=self._sanitize,
+            trace_enabled=self.tracer.enabled,
+            trace_detail=self.tracer.detail,
+        )
+        self._executor.begin(spec)
+        self._streaming_started = True
+
+    def _dispatch_shard(self, shard_id: int) -> None:
+        """Ship one shard's pending elements as an encoded chunk."""
+        elements = self._pending[shard_id]
+        if not elements:
+            return
+        self._pending[shard_id] = []
+        if not self._streaming_started:
+            self._start_streaming()
+        n_bytes = self._executor.dispatch(shard_id, elements)
+        chunk = self._chunks_sent[shard_id]
+        self._chunks_sent[shard_id] = chunk + 1
+        self._elements_sent[shard_id] += len(elements)
+        if self.tracer.enabled:
+            self.tracer.shard_dispatch(
+                self._last_arrival, shard_id, chunk, len(elements), n_bytes
+            )
+
+    def _finish_streaming(self, tracer: Tracer) -> list[_ShardRun]:
+        """Flush remaining chunks and join every worker-side shard run."""
+        for shard_id in range(self._n_shards):
+            if self._pending[shard_id]:
+                self._dispatch_shard(shard_id)
+        self._pending = [[] for _ in range(self._n_shards)]
+        if not self._streaming_started:
+            return []
+        if tracer.enabled:
+            for shard_id, count in enumerate(self._elements_sent):
+                if count:
+                    tracer.shard_ingest(self._last_arrival, shard_id, count)
+        runs = self._executor.collect()
+        if tracer.enabled:
+            for run in runs:
+                tracer.absorb(run.trace_events)
+                tracer.shard_collect(
+                    self._last_arrival,
+                    run.shard_id,
+                    len(run.results),
+                    len(run.trace_events),
+                    self._chunks_sent[run.shard_id],
+                )
+        return runs
 
     # -- shard execution ----------------------------------------------- #
 
     def _run_shard(self, task: ShardTask) -> _ShardRun:
         """Execute one shard to completion (runs on a worker thread)."""
-        from repro.engine.partial_tree import make_window_operator
-
-        handler = self._handler_factory()
-        operator = make_window_operator(
+        runner = ShardRunner(
+            task.shard_id,
             self._mode,
             self._assigner,
-            cast(AggregateFunction, _capture_wrapper(self._aggregate)),
-            handler,
+            self._aggregate,
+            self._handler_factory(),
             feedback_horizon=self._feedback_horizon,
             track_feedback=self._track_feedback,
+            sanitize=self._sanitize,
         )
-        shard_stats = getattr(operator, "stats")
-        driven: Any = operator
-        if self._sanitize == "stream":
-            from repro.analysis.sanitizer import SanitizerConfig, SanitizingOperator
-
-            driven = SanitizingOperator(operator, SanitizerConfig())
-        elif self._sanitize == "race":
-            from repro.analysis.concur.racesan import RaceSan
-
-            driven = RaceSan().guard_operator(operator)
-        elif self._sanitize == "numeric":
-            from repro.analysis.numeric.numsan import NumSan
-
-            driven = NumSan().guard_operator(operator)
-
-        results: list[WindowResult] = []
-        frontier_arrivals: list[ArrivalTimeStamp] = []
-        frontier_values: list[EventTimeStamp] = []
-        last_frontier = float("-inf")
-        process = driven.process
-        for element in task.elements:
-            emitted = process(element)
-            if emitted:
-                results.extend(emitted)
-            frontier = handler.frontier
-            if frontier > last_frontier:
-                last_frontier = frontier
-                arrival = element.arrival_time
-                frontier_arrivals.append(
-                    arrival if arrival is not None else self._last_arrival
-                )
-                frontier_values.append(frontier)
-        final_frontier = last_frontier
-        results.extend(driven.finish())
-        return _ShardRun(
-            shard_id=task.shard_id,
-            results=results,
-            elements_in=len(task.elements),
-            late_dropped=shard_stats.late_dropped,
-            observed_errors=list(shard_stats.observed_errors),
-            frontier_arrivals=frontier_arrivals,
-            frontier_values=frontier_values,
-            final_frontier=final_frontier,
-            current_slack=handler.current_slack,
-            max_buffered=handler.max_buffered_count(),
-            released=handler.released_count(),
-        )
+        runner.feed(task.elements)
+        return runner.finish()
 
     # -- merge --------------------------------------------------------- #
 
@@ -680,22 +875,25 @@ class ShardedWindowOperator(Operator):
         if self._finished:
             return []
         self._finished = True
-        tasks = [
-            ShardTask(shard_id=shard_id, elements=tuple(elements))
-            for shard_id, elements in enumerate(self._pending)
-            if elements
-        ]
-        self._pending = [[] for _ in range(self._n_shards)]
         tracer = self.tracer
-        if tracer.enabled:
-            for task in tasks:
-                tracer.shard_ingest(
-                    self._last_arrival, task.shard_id, len(task.elements)
-                )
-        if not tasks:
+        if self._streaming:
+            runs = self._finish_streaming(tracer)
+        else:
+            tasks = [
+                ShardTask(shard_id=shard_id, elements=tuple(elements))
+                for shard_id, elements in enumerate(self._pending)
+                if elements
+            ]
+            self._pending = [[] for _ in range(self._n_shards)]
+            if tracer.enabled:
+                for task in tasks:
+                    tracer.shard_ingest(
+                        self._last_arrival, task.shard_id, len(task.elements)
+                    )
+            runs = self._executor.run(self._run_shard, tasks) if tasks else []
+        if not runs:
             self.handler._finalize(())
             return []
-        runs = self._executor.run(self._run_shard, tasks)
         merged = self._merge(runs)
         self.handler._finalize(runs)
         stats = self.stats
@@ -712,6 +910,8 @@ class ShardedWindowOperator(Operator):
                 registry.counter(f"{prefix}.late_dropped").set(run.late_dropped)
                 registry.gauge(f"{prefix}.max_buffered").set(run.max_buffered)
                 registry.gauge(f"{prefix}.final_frontier").set(run.final_frontier)
+                for name, value in run.metric_deltas.items():
+                    registry.counter(f"{prefix}.{name}").set(value)
         if tracer.enabled:
             for group in merged:
                 result = group.result

@@ -27,6 +27,18 @@ class ExperimentError(ReproError):
     """An experiment configuration or run failed."""
 
 
+class ShardWorkerError(ReproError):
+    """A shard worker process failed or died before returning its results.
+
+    Raised by the process-pool shard executor
+    (:mod:`repro.engine.process_pool`) on the coordinator when a worker
+    reports an exception (the message carries the worker-side traceback,
+    the shard id and the phase that failed) or when a worker process
+    exits without reporting at all (crash, ``os._exit``, OOM kill) — the
+    message then carries the exit code and the shards the worker owned.
+    """
+
+
 class SanitizerError(ReproError):
     """A StreamSan runtime checker caught an engine invariant violation.
 

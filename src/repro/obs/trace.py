@@ -51,6 +51,8 @@ EVENT_KINDS = (
     "tree.patch",  # slice_index, depth (partial-aggregate path invalidated)
     "tree.assemble",  # key, end, nodes (cached partials combined per window)
     "shard.ingest",  # shard, count (elements routed to one shard)
+    "shard.dispatch",  # shard, chunk, count, bytes (one encoded chunk shipped)
+    "shard.collect",  # shard, results, events, chunks (one partial run joined)
     "shard.merge",  # key, start, end, shards, value, count (merged window)
     "adaptation",  # k_before, k_after, k_estimate, allowed_late_fraction,
     #               error_ewma, gain, residual, target
@@ -180,6 +182,25 @@ class Tracer:
 
     def shard_ingest(self, sim_time: float, shard: int, count: int) -> None:
         """``count`` elements were routed to ``shard`` for execution."""
+
+    def shard_dispatch(
+        self, sim_time: float, shard: int, chunk: int, count: int, n_bytes: int
+    ) -> None:
+        """One encoded chunk of ``count`` elements was shipped to ``shard``."""
+
+    def shard_collect(
+        self, sim_time: float, shard: int, results: int, events: int, chunks: int
+    ) -> None:
+        """One shard's partial run was collected back from its worker."""
+
+    def absorb(self, events: list["TraceEvent"]) -> None:
+        """Merge events recorded by another (worker-side) recorder.
+
+        No-op on the null tracer.  Recorders re-timestamp the absorbed
+        events into their own wall clock (see
+        :meth:`TraceRecorder.absorb`); simulated-time stamps are shared
+        by construction and pass through unchanged.
+        """
 
     def shard_merge(
         self,
@@ -436,6 +457,54 @@ class TraceRecorder(Tracer):
     def shard_ingest(self, sim_time: float, shard: int, count: int) -> None:
         """Record one shard's routed-element count at stream end."""
         self._emit("shard.ingest", sim_time, {"shard": shard, "count": count})
+
+    def shard_dispatch(
+        self, sim_time: float, shard: int, chunk: int, count: int, n_bytes: int
+    ) -> None:
+        """Record one encoded chunk shipped to a shard worker."""
+        self._emit(
+            "shard.dispatch",
+            sim_time,
+            {"shard": shard, "chunk": chunk, "count": count, "bytes": n_bytes},
+        )
+
+    def shard_collect(
+        self, sim_time: float, shard: int, results: int, events: int, chunks: int
+    ) -> None:
+        """Record one shard's partial run joining the coordinator."""
+        self._emit(
+            "shard.collect",
+            sim_time,
+            {"shard": shard, "results": results, "events": events, "chunks": chunks},
+        )
+
+    def absorb(self, events: list[TraceEvent]) -> None:
+        """Merge worker-recorded events, re-timestamped into this clock.
+
+        Worker recorders measure wall time against their own process
+        epoch, which is meaningless in the coordinator.  Absorbing shifts
+        every event by one constant so the *newest* absorbed event lands
+        at the coordinator's current wall offset — relative spacing
+        within the worker trace is preserved, and absorbed events can
+        never appear to come from the future.  Events beyond
+        ``max_events`` are counted in :attr:`dropped`, like native ones.
+        """
+        if not events:
+            return
+        now = time.perf_counter() - self._epoch
+        shift = now - max(event.wall_time for event in events)
+        for index, event in enumerate(events):
+            if len(self.events) >= self.max_events:
+                self.dropped += len(events) - index
+                return
+            self.events.append(
+                TraceEvent(
+                    kind=event.kind,
+                    sim_time=event.sim_time,
+                    wall_time=event.wall_time + shift,
+                    fields=dict(event.fields),
+                )
+            )
 
     def shard_merge(
         self,

@@ -84,6 +84,8 @@ class ContinuousQuery:
         self._shards: int | None = None
         self._shard_key = None
         self._handler_is_instance = False
+        self._executor_spec = None
+        self._chunk_size: int | None = None
 
     # ------------------------------------------------------------------ #
     # inputs
@@ -237,6 +239,71 @@ class ContinuousQuery:
         self._shard_key = key
         return self
 
+    def executor(self, kind="thread", chunk_size: int | None = None) -> "ContinuousQuery":
+        """Choose how shards execute: ``"thread"``, ``"process"`` or ``"serial"``.
+
+        ``"process"`` runs shards on a warm pool of worker processes
+        (true multicore parallelism, see ``docs/SCALING.md``); it requires
+        every query part crossing the process boundary — window assigner,
+        aggregate, disorder handler — to be picklable, which is checked at
+        build time.  An already-constructed
+        :class:`~repro.engine.parallel.ShardExecutor` instance is also
+        accepted (e.g. a shared warm pool reused across queries).
+
+        Args:
+            kind: Executor name or instance.
+            chunk_size: Elements per dispatched chunk; only meaningful for
+                ``"process"`` (defaults to
+                :data:`~repro.engine.process_pool.DEFAULT_CHUNK_SIZE`).
+
+        Requires :meth:`shards`; checked when the operator is built.
+        """
+        from repro.engine.parallel import ShardExecutor
+
+        if isinstance(kind, str):
+            if kind not in ("thread", "process", "serial"):
+                raise QueryError(
+                    f"unknown executor {kind!r}; expected \"thread\", "
+                    '"process", "serial" or a ShardExecutor instance'
+                )
+        elif not isinstance(kind, ShardExecutor):
+            raise QueryError(
+                f"executor must be a name or a ShardExecutor, got {kind!r}"
+            )
+        if chunk_size is not None:
+            if (
+                not isinstance(chunk_size, int)
+                or isinstance(chunk_size, bool)
+                or chunk_size < 1
+            ):
+                raise QueryError(
+                    f"chunk_size must be a positive int, got {chunk_size!r}"
+                )
+            if kind != "process":
+                raise QueryError(
+                    "chunk_size only applies to the \"process\" executor"
+                )
+        self._executor_spec = kind
+        self._chunk_size = chunk_size
+        return self
+
+    def _make_executor(self):
+        """Materialize the configured shard executor (None = default)."""
+        from repro.engine.parallel import ShardExecutor, ThreadShardExecutor
+
+        spec = self._executor_spec
+        if spec is None or isinstance(spec, ShardExecutor):
+            return spec
+        if spec == "serial":
+            return ShardExecutor()
+        if spec == "thread":
+            return ThreadShardExecutor()
+        from repro.engine.process_pool import ProcessShardExecutor
+
+        if self._chunk_size is not None:
+            return ProcessShardExecutor(chunk_size=self._chunk_size)
+        return ProcessShardExecutor()
+
     def sliced(self, enabled: bool = True) -> "ContinuousQuery":
         """Use slice-based execution (alias for ``.mode("sliced")``).
 
@@ -278,6 +345,11 @@ class ContinuousQuery:
                 lambda: handler_factory(self),
                 mode=self._mode,
                 key_fn=self._shard_key,
+                executor=self._make_executor(),
+            )
+        if self._executor_spec is not None:
+            raise QueryError(
+                "executor(...) requires sharded execution; call .shards(n) first"
             )
         handler = self._handler_factory(self)
         from repro.engine.partial_tree import make_window_operator

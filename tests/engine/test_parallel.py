@@ -385,6 +385,47 @@ def test_serial_executor_matches_threads():
     assert canonical(threaded.results) == canonical(serial.results)
 
 
+def test_thread_executor_caps_workers_at_cpu_count():
+    import os
+    import threading
+
+    cpus = os.cpu_count() or 1
+    default = ThreadShardExecutor()
+    # Default cap: min(n_tasks, cpu_count) — one thread per shard beyond
+    # the core count was pure oversubscription.
+    assert default.worker_count(1) == 1
+    assert default.worker_count(cpus) == cpus
+    assert default.worker_count(cpus + 40) == cpus
+    capped = ThreadShardExecutor(max_workers=2)
+    assert capped.worker_count(1) == 1
+    assert capped.worker_count(64) == 2
+
+    seen = set()
+
+    def note(_task):
+        seen.add(threading.current_thread().name)
+        return None
+
+    tasks = [object()] * 8
+    capped.run(note, tasks)
+    assert len(seen) <= 2
+
+
+@pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+def test_thread_executor_rejects_invalid_max_workers(bad):
+    with pytest.raises(ConfigurationError):
+        ThreadShardExecutor(max_workers=bad)
+
+
+def test_thread_executor_bounded_pool_matches_unbounded():
+    stream = keyed_stream()
+    wide = run_pipeline(stream, sharded_operator(8, executor=ThreadShardExecutor()))
+    narrow = run_pipeline(
+        stream, sharded_operator(8, executor=ThreadShardExecutor(max_workers=2))
+    )
+    assert canonical(wide.results) == canonical(narrow.results)
+
+
 def test_worker_exception_propagates_to_the_coordinator():
     class BoomAggregate:
         __numeric__ = "exact"
